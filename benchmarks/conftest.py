@@ -1,0 +1,27 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one figure of the paper via
+:mod:`repro.harness.experiments` and prints the resulting table (visible
+with ``pytest -s``). Scales are chosen so the full suite finishes in
+minutes; raise them (env ``REPRO_BENCH_SCALE``) for tighter reproductions.
+"""
+
+import os
+
+import pytest
+
+#: Baseline scale for benchmark runs (fraction of the paper's heap sizes).
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.04"))
+
+
+@pytest.fixture
+def bench_scale():
+    return BENCH_SCALE
+
+
+def run_and_render(benchmark, fn, **kwargs):
+    """Benchmark one experiment runner and print its table."""
+    result = benchmark.pedantic(lambda: fn(**kwargs), rounds=1, iterations=1)
+    print()
+    print(result.render())
+    return result

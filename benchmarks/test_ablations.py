@@ -1,0 +1,45 @@
+"""Ablation benches for the design choices DESIGN.md calls out."""
+
+from benchmarks.conftest import run_and_render
+from repro.harness import experiments as E
+
+
+def test_abl_layout_bidirectional_wins(benchmark, bench_scale):
+    """§IV-A idea I: the bidirectional layout removes TIB indirections."""
+    result = run_and_render(benchmark, E.abl_layout, scale=bench_scale * 0.75)
+    for row in result.rows:
+        assert row[3] > 1.02, f"{row[0]}: conventional should cost more"
+
+
+def test_abl_decoupling(benchmark, bench_scale):
+    """§IV-A ideas II/III: decoupled marker/tracer with deep request slots."""
+    result = run_and_render(benchmark, E.abl_decoupling,
+                            scale=bench_scale * 0.75)
+    by_label = {row[0]: row[1] for row in result.rows}
+    decoupled = by_label["decoupled (TQ=128, 16 slots)"]
+    single_slot = by_label["single-slot marker"]
+    # Collapsing the marker to one outstanding request loses most of the
+    # unit's memory-level parallelism.
+    assert single_slot > 1.5 * decoupled
+
+
+def test_abl_scheduler(benchmark, bench_scale):
+    """§VI-A: FR-FCFS with 16 outstanding reads vs FIFO with 8."""
+    result = run_and_render(benchmark, E.abl_scheduler,
+                            scale=bench_scale * 0.75)
+    rows = {row[0]: row for row in result.rows}
+    # The unit is sensitive to the memory scheduler...
+    assert rows["FR-FCFS/16"][2] < rows["FIFO/8"][2]
+    # ...while the CPU baseline barely notices (paper: "insensitive").
+    cpu_times = [row[1] for row in result.rows]
+    assert max(cpu_times) < 1.10 * min(cpu_times)
+
+
+def test_abl_barriers(benchmark):
+    """§III/§IV-E: barrier design points for a concurrent collector."""
+    result = run_and_render(benchmark, E.abl_barriers)
+    rows = {row[0]: row for row in result.rows}
+    assert rows["software"][1] < 20.0  # ZGC-like: "up to 15%"
+    assert rows["vm_trap"][2] > rows["vm_trap"][1] * 10  # trap storms
+    assert rows["refload"][1] < rows["software"][1]
+    assert rows["coherence"][1] < rows["software"][1]

@@ -1,0 +1,31 @@
+"""Benches for the §VII / §VI-A extension features."""
+
+from benchmarks.conftest import run_and_render
+from repro.harness import experiments as E
+
+
+def test_abl_superpages(benchmark, bench_scale):
+    """§VII: superpages relieve the TLB bottleneck."""
+    result = run_and_render(benchmark, E.abl_superpages, scale=bench_scale)
+    rows = {row[0]: row for row in result.rows}
+    assert rows["2 MiB superpages"][2] < rows["4 KiB pages"][2] / 5
+    assert rows["2 MiB superpages"][4] > 1.1  # speedup vs 4 KiB
+
+
+def test_abl_nonblocking_ptw(benchmark, bench_scale):
+    """§VI-A future work: concurrent walks recover mark throughput."""
+    result = run_and_render(benchmark, E.abl_nonblocking_ptw,
+                            scale=bench_scale)
+    speedups = [row[3] for row in result.rows]
+    assert speedups[0] == 1.0
+    assert speedups[-1] > 1.1
+    assert speedups == sorted(speedups)
+
+
+def test_abl_throttle(benchmark, bench_scale):
+    """§VII: throttling trades GC time for residual bandwidth."""
+    result = run_and_render(benchmark, E.abl_throttle, scale=bench_scale)
+    mark_times = [row[1] for row in result.rows]
+    request_rates = [row[3] for row in result.rows]
+    assert mark_times == sorted(mark_times)  # tighter throttle -> slower GC
+    assert request_rates == sorted(request_rates, reverse=True)

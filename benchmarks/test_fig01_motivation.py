@@ -1,0 +1,24 @@
+"""Figure 1: GC time fractions and lusearch tail latencies."""
+
+from benchmarks.conftest import run_and_render
+from repro.harness import experiments as E
+
+
+def test_fig01a_gc_cpu_time(benchmark, bench_scale):
+    result = run_and_render(benchmark, E.fig01a, scale=bench_scale / 2,
+                            n_gcs=2)
+    fractions = {row[0]: row[1] for row in result.rows}
+    # The paper's headline: up to ~35% of CPU time in GC; xalan/lusearch
+    # are the heavy hitters, luindex the lightest.
+    assert max(fractions.values()) > 15.0
+    assert fractions["xalan"] > fractions["luindex"]
+    assert fractions["lusearch"] > fractions["luindex"]
+
+
+def test_fig01b_query_latency_cdf(benchmark, bench_scale):
+    result = run_and_render(benchmark, E.fig01b, scale=bench_scale / 2,
+                            n_gcs=3, n_queries=10_000, warmup=1_000)
+    stats = {row[0]: row[1] for row in result.rows}
+    # GC-induced stragglers: a long tail far above the median.
+    assert stats["tail ratio p99.9/p50"] > 20.0
+    assert stats["queries near GC (%)"] > 1.0

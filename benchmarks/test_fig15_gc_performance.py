@@ -1,0 +1,17 @@
+"""Figure 15: mark/sweep speedups on the DDR3 model (the headline result)."""
+
+from benchmarks.conftest import run_and_render
+from repro.harness import experiments as E
+
+
+def test_fig15_mark_and_sweep_speedups(benchmark, bench_scale):
+    result = run_and_render(benchmark, E.fig15, scale=bench_scale)
+    geomean_row = result.rows[-1]
+    mark_x, sweep_x = geomean_row[3], geomean_row[6]
+    # Paper: 4.2x mark, 1.9x sweep (2 sweepers). Accept the band around it.
+    assert 3.0 < mark_x < 5.5, f"mark speedup {mark_x} out of band"
+    assert 1.4 < sweep_x < 3.2, f"sweep speedup {sweep_x} out of band"
+    # Every benchmark individually shows the win.
+    for row in result.rows[:-1]:
+        assert row[3] > 2.0, f"{row[0]} mark speedup too low"
+        assert row[6] > 1.2, f"{row[0]} sweep speedup too low"

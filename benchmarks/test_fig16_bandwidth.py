@@ -1,0 +1,19 @@
+"""Figure 16: memory bandwidth during the last GC pause of avrora."""
+
+from benchmarks.conftest import run_and_render
+from repro.harness import experiments as E
+from repro.harness.reporting import render_series
+
+
+def test_fig16_bandwidth_trace(benchmark, bench_scale):
+    result = run_and_render(benchmark, E.fig16, scale=bench_scale)
+    print()
+    print(render_series(result.extras["hw_mark_series"],
+                        x_label="cycle", y_label="GB/s",
+                        title="GC unit, mark phase"))
+    rows = {row[0]: row for row in result.rows}
+    # In the paper's accounting (one 64B line access per memory request)
+    # the unit exploits far more of the memory system than the CPU.
+    assert rows["GC unit"][1] > 2.0 * rows["CPU"][1]
+    # Its pause is far shorter despite touching the same heap.
+    assert rows["GC unit"][3] < 0.6 * rows["CPU"][3]

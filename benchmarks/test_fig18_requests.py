@@ -1,0 +1,16 @@
+"""Figure 18: cache partitioning — request breakdown by source."""
+
+from benchmarks.conftest import run_and_render
+from repro.harness import experiments as E
+
+
+def test_fig18_partitioning(benchmark, bench_scale):
+    result = run_and_render(benchmark, E.fig18, scale=bench_scale * 0.75)
+    shares = {row[0]: (row[2], row[4]) for row in result.rows[:-1]}
+    # Shared-cache design: PTW requests dominate the L1 (paper: ~2/3),
+    # drowning out the units doing actual work.
+    assert shares["ptw"][0] > 40.0
+    assert shares["ptw"][0] > shares["marker"][0]
+    # Partitioned design: marker + tracer dominate memory requests.
+    assert shares["marker"][1] + shares["tracer"][1] > 50.0
+    assert shares["ptw"][1] < shares["ptw"][0]

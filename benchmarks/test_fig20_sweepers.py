@@ -1,0 +1,18 @@
+"""Figure 20: block-sweeper scaling."""
+
+from benchmarks.conftest import run_and_render
+from repro.harness import experiments as E
+
+
+def test_fig20_sweeper_scaling(benchmark, bench_scale):
+    result = run_and_render(benchmark, E.fig20, scale=bench_scale * 0.6,
+                            sweeper_counts=(1, 2, 4, 8))
+    for row in result.rows:
+        name, s1, s2, s4, s8 = row
+        # Near-linear to 2 sweepers...
+        assert s2 > 1.25 * s1, f"{name}: 1->2 gain too small"
+        # ...then contention flattens the curve (paper's knee).
+        assert (s4 / s2) < (s2 / s1), f"{name}: no knee by 4 sweepers"
+        assert s8 < 2.0 * s2, f"{name}: 8 sweepers scaled implausibly"
+        # 2+ sweepers beat the CPU sweep outright.
+        assert s2 > 1.2, f"{name}: 2 sweepers should beat the CPU"

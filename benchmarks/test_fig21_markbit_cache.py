@@ -1,0 +1,21 @@
+"""Figure 21: hot-object skew and the mark-bit cache."""
+
+from benchmarks.conftest import run_and_render
+from repro.harness import experiments as E
+
+
+def test_fig21_markbit_cache(benchmark, bench_scale):
+    result = run_and_render(benchmark, E.fig21, scale=bench_scale,
+                            n_warm_gcs=2,
+                            cache_sizes=(0, 16, 64, 105, 256))
+    # (a) A handful of objects draw a disproportionate share of accesses
+    # (paper: 56 objects ~ 10%).
+    assert result.extras["top56_share_pct"] > 3.0
+    # (b) Filtering grows with cache size; no cache filters nothing; the
+    # mark time is barely affected (paper: "not ... a substantial impact").
+    rows = result.rows
+    assert rows[0][1] == 0
+    filtered = [row[1] for row in rows]
+    assert filtered[-1] > filtered[1] >= 0
+    mark_times = [row[4] for row in rows]
+    assert max(mark_times) < 1.25 * min(mark_times)

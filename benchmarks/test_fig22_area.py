@@ -1,0 +1,19 @@
+"""Figure 22: area model."""
+
+import pytest
+
+from benchmarks.conftest import run_and_render
+from repro.harness import experiments as E
+
+
+def test_fig22_area(benchmark):
+    result = run_and_render(benchmark, E.fig22)
+    values = {row[0]: row[1] for row in result.rows}
+    # Headlines: 18.5% of Rocket, ~64 KB of SRAM, mark-queue-dominated.
+    assert values["unit/Rocket ratio %"] == pytest.approx(18.5, abs=1.5)
+    assert values["unit SRAM-equivalent KB"] == pytest.approx(64, abs=6)
+    unit_parts = {k.replace("[c] GC unit / ", ""): v
+                  for k, v in values.items() if k.startswith("[c]")}
+    assert unit_parts["Mark Q."] == max(unit_parts.values())
+    # Fig. 22a ordering: L2 > Rocket > HWGC.
+    assert values["[a] L2 Cache"] > values["[a] Rocket"] > values["[a] HWGC"]

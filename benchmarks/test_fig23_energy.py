@@ -1,0 +1,16 @@
+"""Figure 23: DRAM power and GC energy."""
+
+from benchmarks.conftest import run_and_render
+from repro.harness import experiments as E
+
+
+def test_fig23_power_and_energy(benchmark, bench_scale):
+    result = run_and_render(benchmark, E.fig23, scale=max(bench_scale, 0.04))
+    mean_saving = result.rows[-1][-1]
+    # Paper: ~14.5% lower energy despite much higher DRAM power. Our model
+    # lands in the same regime (positive double-digit savings).
+    assert mean_saving > 5.0, f"mean energy saving {mean_saving}%"
+    for row in result.rows[:-1]:
+        name, cpu_mw, unit_mw, _cpu_mj, _unit_mj, _saving = row
+        assert unit_mw > 1.3 * cpu_mw, \
+            f"{name}: the unit's DRAM power should be much higher"

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Concurrent GC demo: barriers, relocation, and the races they close.
+
+Reproduces the paper's §IV-D scenarios:
+
+1. **The hidden-object race (Fig. 3)** — the traversal unit marks while a
+   mutator keeps moving references. Without a write barrier, reachable
+   objects get lost; with the barrier (overwritten references published to
+   hwgc-space, consumed by the unit's reader mid-traversal) nothing is.
+
+2. **Relocation with a read barrier (Fig. 9)** — the relocating sweep
+   evacuates blocks, building a forwarding table; mutator loads through
+   the read barrier transparently land on the new addresses, and the
+   remap pass rewrites stale fields.
+
+Run:  python examples/concurrent_collection.py
+"""
+
+from repro.core import GCUnit, GCUnitConfig
+from repro.core.concurrent import (
+    ConcurrentMarkSimulation,
+    MutatorBarriers,
+    RelocatingSweep,
+)
+from repro.workloads import DACAPO_PROFILES, HeapGraphBuilder
+
+
+def hidden_object_race() -> None:
+    print("=== 1. Concurrent marking vs a mutating application ===\n")
+    for barrier in (False, True):
+        built = HeapGraphBuilder(DACAPO_PROFILES["pmd"], scale=0.008,
+                                 seed=2).build()
+        outcome = ConcurrentMarkSimulation(
+            built.heap, n_mutations=400, mutation_period=150,
+            write_barrier_enabled=barrier, seed=2,
+        ).run()
+        label = "write barrier ON " if barrier else "write barrier OFF"
+        print(f"  {label}: {outcome.mutations} mutations raced the "
+              f"traversal, {outcome.write_barrier_hits} barrier hits, "
+              f"{len(outcome.lost_objects)} reachable objects LOST")
+        if barrier:
+            assert not outcome.lost_objects
+    print("\n  The barrier publishes every overwritten reference into the "
+          "root region,\n  where the unit's reader picks it up — no "
+          "reachable object can hide (Fig. 3, closed).\n")
+
+
+def relocation_with_read_barrier() -> None:
+    print("=== 2. Relocating sweep + read barrier ===\n")
+    built = HeapGraphBuilder(DACAPO_PROFILES["avrora"], scale=0.008,
+                             seed=3).build()
+    heap = built.heap
+    GCUnit(heap, GCUnitConfig()).collect()  # mark, so liveness is known
+
+    reachable_before = heap.reachable()
+    sweep = RelocatingSweep(heap)
+    table = sweep.evacuate_blocks([0, 1, 2, 3])
+    print(f"  evacuated {sweep.objects_moved} live objects "
+          f"({sweep.bytes_copied} bytes) out of 4 blocks; forwarding table "
+          f"holds {len(table)} entries")
+
+    barriers = MutatorBarriers(heap, forwarding=table)
+    # A mutator load through the barrier returns the post-move address.
+    sample_old = next(iter(table.old_addresses()))
+    print(f"  read barrier: {sample_old:#x} -> "
+          f"{table.resolve(sample_old):#x} "
+          f"(delta {table.delta(sample_old):#x}, no trap, no branch)")
+
+    fixed = sweep.fixup_references(table)
+    reachable_after = heap.reachable()
+    moved_set = {table.resolve(a) for a in reachable_before}
+    assert reachable_after == moved_set
+    print(f"  remap pass rewrote {fixed} stale fields; the object graph is "
+          f"isomorphic\n  ({len(reachable_after)} reachable objects before "
+          "and after). Fig. 4's race: closed.\n")
+    print(f"  mutator read-barrier self-heals: {barriers.read_barrier_fixes}"
+          " fields fixed lazily during loads")
+
+
+def main() -> None:
+    hidden_object_race()
+    relocation_with_read_barrier()
+
+
+if __name__ == "__main__":
+    main()

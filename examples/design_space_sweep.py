@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Design-space exploration: the knobs of §VI-B on one workload.
+
+Sweeps the GC unit's main parameters — marker request slots, mark-queue
+size (with and without address compression), number of block sweepers,
+mark-bit-cache size — against one heap, printing mark/sweep times for
+each point. This is the kind of exploration the paper's Figs. 19-21 distil.
+
+Run:  python examples/design_space_sweep.py
+"""
+
+from repro.core import GCUnit, GCUnitConfig
+from repro.harness.reporting import render_table
+from repro.power.area import AreaModel
+from repro.workloads import DACAPO_PROFILES, HeapGraphBuilder
+
+
+def sweep(heap, checkpoint, configs):
+    rows = []
+    for label, config in configs:
+        heap.restore(checkpoint)
+        result = GCUnit(heap, config).collect()
+        rows.append([
+            label, result.mark_ms, result.sweep_ms,
+            result.spill_writes + result.spill_reads,
+            AreaModel().unit_total(config),
+        ])
+    return rows
+
+
+def main() -> None:
+    built = HeapGraphBuilder(DACAPO_PROFILES["xalan"], scale=0.02,
+                             seed=11).build()
+    heap = built.heap
+    checkpoint = heap.checkpoint()
+    print(f"workload: xalan at scale 0.02 "
+          f"({built.n_objects} objects, {len(built.live)} live)\n")
+
+    print(render_table(
+        ["config", "mark ms", "sweep ms", "spill reqs", "unit mm^2"],
+        sweep(heap, checkpoint, [
+            ("baseline (paper §VI-A)", GCUnitConfig()),
+            ("1 marker slot", GCUnitConfig(marker_slots=1)),
+            ("4 marker slots", GCUnitConfig(marker_slots=4)),
+            ("64 marker slots", GCUnitConfig(marker_slots=64)),
+            ("tiny queue (64)", GCUnitConfig(mark_queue_entries=64)),
+            ("tiny queue + compression",
+             GCUnitConfig(mark_queue_entries=64, address_compression=True)),
+            ("1 sweeper", GCUnitConfig(n_sweepers=1)),
+            ("4 sweepers", GCUnitConfig(n_sweepers=4)),
+            ("8 sweepers", GCUnitConfig(n_sweepers=8)),
+            ("64-entry mark-bit cache",
+             GCUnitConfig(mark_bit_cache_entries=64)),
+            ("shared 16KB cache (rejected design)",
+             GCUnitConfig(cache_mode="shared")),
+        ]),
+        title="GC-unit design space (one xalan collection per row)",
+    ))
+    print("\nTakeaways the paper reports: request slots buy mark "
+          "throughput until DRAM\nsaturates; queue size barely matters "
+          "(spilling is cheap); compression halves\nspill traffic; sweepers "
+          "scale to ~2-4 then contend; the shared cache wastes\nits area "
+          "(Fig. 18).")
+
+
+if __name__ == "__main__":
+    main()

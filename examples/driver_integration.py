@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""System-integration walkthrough (Fig. 10, §V-E): the software stack.
+
+Shows the full control path of the prototype — JikesRVM's MMTk plan calls
+libhwgc, which talks to the Linux driver, which programs the unit's MMIO
+registers — against the simulated device:
+
+1. the "driver" reads the process state and programs the register file
+   (page-table base, hwgc-space, spill region, block list);
+2. the "runtime" performs root scanning into hwgc-space;
+3. the runtime writes the GC command and polls the status register;
+4. results (objects marked, cells freed) come back through MMIO, and the
+   runtime hands the rebuilt free lists to the allocator.
+
+Run:  python examples/driver_integration.py
+"""
+
+from repro.core.config import GCUnitConfig
+from repro.core.driver import HWGCDriver
+from repro.core.mmio import Reg
+from repro.workloads import DACAPO_PROFILES, HeapGraphBuilder
+
+
+def main() -> None:
+    built = HeapGraphBuilder(DACAPO_PROFILES["luindex"], scale=0.01,
+                             seed=13).build()
+    heap = built.heap
+
+    print("1. open(/dev/hwgc0): driver programs the MMIO register file")
+    driver = HWGCDriver(heap, GCUnitConfig())
+    driver.init_device()
+    for reg in (Reg.PAGE_TABLE_BASE, Reg.HWGC_BASE, Reg.SPILL_BASE,
+                Reg.SPILL_SIZE, Reg.BLOCK_LIST_BASE):
+        print(f"   {reg.name:16s} = {driver.mmio.read(reg):#012x}")
+
+    print("\n2. runtime root scan -> hwgc-space "
+          f"({heap.roots.count} roots already published by the workload)")
+
+    print("\n3. libhwgc: write COMMAND=START_FULL_GC, poll STATUS...")
+    result = driver.run_gc()
+    print(f"   status cycled MARKING -> SWEEPING -> DONE -> READY")
+
+    print("\n4. results via MMIO:")
+    print(f"   OBJECTS_MARKED = {driver.mmio.read(Reg.OBJECTS_MARKED)}")
+    print(f"   CELLS_FREED    = {driver.mmio.read(Reg.CELLS_FREED)}")
+    print(f"   pause: mark {result.mark_ms:.3f} ms + "
+          f"sweep {result.sweep_ms:.3f} ms")
+
+    print("\n5. allocator picks up the rebuilt free lists:")
+    heap.prune_dead(heap.reachable())
+    heap.complete_gc_cycle()
+    blocks_before = heap.allocator.blocks_in_use
+    for _ in range(200):
+        heap.new_object(2, 2)
+    print(f"   200 allocations served, blocks {blocks_before} -> "
+          f"{heap.allocator.blocks_in_use} (reused swept cells)")
+    print("\nNo CPU or memory-system modifications involved: the unit is "
+          "a memory-mapped\ndevice 'similar to a NIC' (§IV-C).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Tail-latency demo (Fig. 1b): what GC pauses do to an interactive service.
+
+Simulates the lusearch scenario: an open-loop query stream (coordinated-
+omission corrected) against a benchmark timeline whose GC pauses come from
+the simulated collector — first with the software stop-the-world GC, then
+with the hardware unit shortening every pause.
+
+Run:  python examples/latency_tail.py
+"""
+
+from repro.harness.reporting import render_table
+from repro.workloads import (
+    DACAPO_PROFILES,
+    HeapGraphBuilder,
+    MutatorModel,
+    QuerySimulator,
+)
+from repro.workloads.latency import tail_ratio
+
+
+def run_one(collector: str):
+    built = HeapGraphBuilder(DACAPO_PROFILES["lusearch"], scale=0.015,
+                             seed=9).build()
+    run = MutatorModel(built, collector=collector).run(n_gcs=3)
+    mean_pause = run.gc_cycles // max(1, len(run.pauses))
+    sim = QuerySimulator(
+        run,
+        interval_cycles=max(50_000, mean_pause // 6),
+        service_mean_cycles=max(4_000, mean_pause // 60),
+        seed=9,
+    )
+    records = sim.run_queries(n_queries=8_000, warmup=800)
+    latencies = sorted(r.latency_ms for r in records)
+
+    def pct(p):
+        return latencies[min(len(latencies) - 1,
+                             int(p / 100 * len(latencies)))]
+
+    return {
+        "collector": "software GC" if collector == "sw" else "GC unit",
+        "GC %": 100 * run.gc_time_fraction,
+        "mean pause ms": mean_pause / 1e6,
+        "p50 ms": pct(50),
+        "p99 ms": pct(99),
+        "p99.9 ms": pct(99.9),
+        "tail ratio": tail_ratio(records),
+        "near-GC %": 100 * sum(r.near_gc for r in records) / len(records),
+    }
+
+
+def main() -> None:
+    rows = [run_one("sw"), run_one("hw")]
+    print(render_table(
+        list(rows[0].keys()), [list(r.values()) for r in rows],
+        title="lusearch, 10x-scaled open-loop query stream "
+        "(coordinated omission corrected)",
+    ))
+    print("\nThe head of the distribution barely moves; the GC-induced "
+          "tail — queries\nthat land on (or queue behind) a pause — "
+          "shrinks with the unit because every\npause does. A pause-free "
+          "concurrent configuration (§IV-D) would remove the\ntail "
+          "entirely at the cost of barrier overheads "
+          "(benchmarks/test_ablations.py).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Multi-process GC service (§VII "Supporting multiple applications").
+
+The paper notes the unit "could perform GC for multiple processes
+simultaneously, by tagging references by process and supporting multiple
+page tables". The prototype supports one process at a time, with cheap
+context switches ("the minimum overhead would be equivalent to
+transferring less than 64B into an MMIO region").
+
+This example runs the context-switched version: two independent
+"processes" (separate heaps, separate page tables) share one GC unit; the
+driver reprograms the page-table base and region registers between
+collections — exactly the per-process state the Linux driver extracts.
+
+Run:  python examples/multi_process.py
+"""
+
+from repro.core.driver import HWGCDriver
+from repro.core.mmio import Reg
+from repro.workloads import DACAPO_PROFILES, HeapGraphBuilder
+
+
+def main() -> None:
+    processes = {}
+    for pid, (name, scale, seed) in enumerate([
+        ("avrora", 0.012, 1), ("xalan", 0.010, 2),
+    ]):
+        built = HeapGraphBuilder(DACAPO_PROFILES[name], scale=scale,
+                                 seed=seed).build()
+        processes[pid] = (name, built)
+        print(f"process {pid} ({name}): {built.n_objects} objects, "
+              f"page-table root {built.heap.memsys.page_table.root:#x}")
+
+    print("\nThe unit context-switches between address spaces; each "
+          "switch is a handful\nof MMIO writes (the driver re-reads the "
+          "process's page-table base):\n")
+    for round_no in range(2):
+        for pid, (name, built) in processes.items():
+            driver = HWGCDriver(built.heap)
+            driver.init_device()  # the "context switch": reprogram MMIO
+            result = driver.run_gc()
+            built.heap.prune_dead(built.heap.reachable())
+            built.heap.complete_gc_cycle()
+            print(f"  round {round_no}, process {pid} ({name:7s}): "
+                  f"ptbase={driver.mmio.read(Reg.PAGE_TABLE_BASE):#08x}  "
+                  f"marked {result.objects_marked:5d}  "
+                  f"freed {result.cells_freed:5d}  "
+                  f"pause {result.total_cycles / 1e6:.3f} ms")
+            # Mutate a little between rounds so the next GC has real work.
+            from repro.workloads import MutatorModel
+            MutatorModel(built, collector="hw").mutate_phase()
+
+    print("\nEach process's collections are fully isolated: separate page "
+          "tables, spill\nregions, block lists and root regions — the unit "
+          "only ever sees the address\nspace the driver programmed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Quickstart: collect one heap with the CPU baseline and the GC unit.
+
+Builds a synthetic DaCapo-like heap (avrora profile), runs the software
+Mark & Sweep on the in-order CPU model, restores the heap, runs the
+hardware GC unit on the byte-identical heap, and prints the comparison —
+a one-benchmark slice of the paper's Fig. 15.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import GCUnit, GCUnitConfig
+from repro.swgc import SoftwareCollector
+from repro.workloads import DACAPO_PROFILES, HeapGraphBuilder
+
+
+def main() -> None:
+    profile = DACAPO_PROFILES["avrora"]
+    print(f"Building a synthetic '{profile.name}' heap "
+          f"({profile.description.split(':')[0]})...")
+    built = HeapGraphBuilder(profile, scale=0.03, seed=42).build()
+    heap = built.heap
+    print(f"  {built.n_objects} objects, {len(built.live)} reachable, "
+          f"{len(built.roots)} roots, "
+          f"{heap.allocator.blocks_in_use} blocks\n")
+
+    checkpoint = heap.checkpoint()
+
+    print("Collecting with the software baseline (Rocket-like CPU)...")
+    sw = SoftwareCollector(heap).collect()
+    print(f"  mark  {sw.mark_ms:6.2f} ms   sweep {sw.sweep_ms:6.2f} ms   "
+          f"marked {sw.objects_marked}, freed {sw.cells_freed} cells\n")
+
+    heap.restore(checkpoint)
+
+    print("Collecting with the GC unit (baseline config: 1024-entry mark "
+          "queue,\n16 marker slots, 2 sweepers)...")
+    hw = GCUnit(heap, GCUnitConfig()).collect()
+    print(f"  mark  {hw.mark_ms:6.2f} ms   sweep {hw.sweep_ms:6.2f} ms   "
+          f"marked {hw.objects_marked}, freed {hw.cells_freed} cells\n")
+
+    assert hw.objects_marked == sw.objects_marked, "collectors must agree"
+
+    print("Speedups (paper: 4.2x mark, 1.9x sweep):")
+    print(f"  mark   {sw.mark_cycles / hw.mark_cycles:5.2f}x")
+    print(f"  sweep  {sw.sweep_cycles / hw.sweep_cycles:5.2f}x")
+    print(f"  total  {sw.total_cycles / hw.total_cycles:5.2f}x")
+    print(f"\nUnit work counters: {hw.refs_traced} references traced, "
+          f"{hw.objects_requeued} duplicate mark attempts, "
+          f"{hw.spilled_entries} mark-queue entries spilled to memory.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""Reproduction of *A Hardware Accelerator for Tracing Garbage Collection*
+(Maas, Asanović, Kubiatowicz — ISCA 2018).
+
+This package provides a cycle-approximate, event-driven simulation of the
+paper's full system:
+
+* :mod:`repro.engine` — the discrete-event simulation kernel.
+* :mod:`repro.memory` — DDR3/pipe memory models, caches, TLBs, page tables.
+* :mod:`repro.heap` — a JikesRVM-style managed heap (segregated free lists,
+  bidirectional object layout, spaces).
+* :mod:`repro.workloads` — DaCapo-like synthetic heap profiles and mutators.
+* :mod:`repro.swgc` — the software Mark & Sweep baseline on an in-order CPU.
+* :mod:`repro.core` — the GC accelerator (traversal + reclamation units).
+* :mod:`repro.power` — area and energy models.
+* :mod:`repro.harness` — experiment runners for every figure in the paper.
+
+Quickstart::
+
+    from repro.harness import run_gc_comparison
+    from repro.workloads import DACAPO_PROFILES
+
+    result = run_gc_comparison(DACAPO_PROFILES["avrora"], scale=0.05, seed=1)
+    print(result.summary())
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,96 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list``                      — available experiments and benchmarks.
+* ``run <experiment> [opts]``   — regenerate one figure and print its table
+                                  (e.g. ``python -m repro run fig15 --scale 0.05``).
+* ``compare <benchmark> [opts]``— one SW-vs-HW collection on one profile.
+* ``area``                      — print the Fig. 22 area tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_list(_args) -> int:
+    from repro.harness.experiments import ALL_EXPERIMENTS
+    from repro.workloads.profiles import DACAPO_PROFILES
+    print("experiments:")
+    for name, fn in ALL_EXPERIMENTS.items():
+        doc = (fn.__doc__ or "").strip().splitlines()[0]
+        print(f"  {name:16s} {doc}")
+    print("\nbenchmark profiles:")
+    for name, profile in DACAPO_PROFILES.items():
+        print(f"  {name:10s} {profile.description.split(':')[0]}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.harness.experiments import ALL_EXPERIMENTS
+    fn = ALL_EXPERIMENTS.get(args.experiment)
+    if fn is None:
+        print(f"unknown experiment {args.experiment!r}; try `list`",
+              file=sys.stderr)
+        return 2
+    kwargs = {}
+    if args.scale is not None:
+        kwargs["scale"] = args.scale
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    result = fn(**kwargs)
+    print(result.render())
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from repro.harness.runners import run_gc_comparison
+    from repro.workloads.profiles import DACAPO_PROFILES
+    profile = DACAPO_PROFILES.get(args.benchmark)
+    if profile is None:
+        print(f"unknown benchmark {args.benchmark!r}; try `list`",
+              file=sys.stderr)
+        return 2
+    comp = run_gc_comparison(profile, scale=args.scale or 0.03,
+                             seed=args.seed or 1)
+    print(comp.summary())
+    print(f"overall speedup: {comp.overall_speedup:.2f}x")
+    return 0
+
+
+def _cmd_area(_args) -> int:
+    from repro.harness.experiments import fig22
+    print(fig22().render())
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduction of 'A Hardware Accelerator for Tracing "
+        "Garbage Collection' (ISCA 2018)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list experiments and profiles")
+    run_parser = sub.add_parser("run", help="regenerate one figure")
+    run_parser.add_argument("experiment")
+    run_parser.add_argument("--scale", type=float, default=None)
+    run_parser.add_argument("--seed", type=int, default=None)
+    cmp_parser = sub.add_parser("compare", help="SW vs HW on one profile")
+    cmp_parser.add_argument("benchmark")
+    cmp_parser.add_argument("--scale", type=float, default=None)
+    cmp_parser.add_argument("--seed", type=int, default=None)
+    sub.add_parser("area", help="print the area model (Fig. 22)")
+    args = parser.parse_args(argv)
+    return {
+        "list": _cmd_list,
+        "run": _cmd_run,
+        "compare": _cmd_compare,
+        "area": _cmd_area,
+    }[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""The GC accelerator — the paper's primary contribution (§IV, §V).
+
+Two units connected to the on-chip interconnect like any DMA-capable device:
+
+* the **traversal unit** (:class:`~repro.core.unit.TraversalUnit`): reader,
+  marker and tracer pipelined around an on-chip mark queue that spills to a
+  dedicated memory region when full;
+* the **reclamation unit** (:class:`~repro.core.unit.ReclamationUnit`):
+  a block-list reader feeding parallel block sweepers that rebuild the
+  segregated free lists in memory.
+
+:class:`~repro.core.unit.GCUnit` composes both behind the MMIO register
+file and Linux-driver model of §V-E, and `collect()` runs a full
+stop-the-world hardware collection against a :class:`~repro.heap.heapimage.
+ManagedHeap`.
+"""
+
+from repro.core.config import GCUnitConfig, HardwareGCResult
+from repro.core.markqueue import MarkQueue, AddressCodec
+from repro.core.markbitcache import MarkBitCache
+from repro.core.unit import GCUnit, TraversalUnit, ReclamationUnit
+from repro.core.mmio import MMIORegisterFile, Reg
+from repro.core.driver import HWGCDriver
+
+__all__ = [
+    "GCUnitConfig",
+    "HardwareGCResult",
+    "MarkQueue",
+    "AddressCodec",
+    "MarkBitCache",
+    "GCUnit",
+    "TraversalUnit",
+    "ReclamationUnit",
+    "MMIORegisterFile",
+    "Reg",
+    "HWGCDriver",
+]

@@ -1,0 +1,39 @@
+"""Concurrent-GC support: barriers, forwarding, relocation (§IV-D, §IV-E).
+
+The prototype evaluates the unit stop-the-world, but the design generalizes
+to a pause-free collector built from three pieces, all modeled here:
+
+* a **write barrier** that funnels overwritten references into the same
+  hwgc-space region used for roots, where the traversal unit's reader picks
+  them up mid-traversal — closing the hidden-object race of Fig. 3;
+* a **read barrier** (Fig. 9) for a relocating collector: every reference
+  load also loads from the address with its MSB flipped; unrelocated pages
+  map to a zero page (delta 0), relocated pages map to the reclamation
+  unit's address range, which serves per-object deltas from the forwarding
+  table — closing the stale-reference race of Fig. 4 without traps;
+* the optional **REFLOAD** CPU instruction (§IV-E) that fuses load and
+  barrier so the pipeline can speculate over the check; modeled as a
+  per-operation cost alongside the software and trap-based alternatives.
+"""
+
+from repro.core.concurrent.forwarding import ForwardingTable
+from repro.core.concurrent.barriers import (
+    ConcurrentMarkSimulation,
+    MutatorBarriers,
+)
+from repro.core.concurrent.relocate import RelocatingSweep
+from repro.core.concurrent.refload import (
+    BarrierKind,
+    BarrierCostModel,
+    BARRIER_MODELS,
+)
+
+__all__ = [
+    "ForwardingTable",
+    "MutatorBarriers",
+    "ConcurrentMarkSimulation",
+    "RelocatingSweep",
+    "BarrierKind",
+    "BarrierCostModel",
+    "BARRIER_MODELS",
+]

@@ -1,0 +1,79 @@
+"""Forwarding table for the relocating collector (§IV-D, Fig. 9).
+
+"Many relocating GCs operate on large pages or regions, and invalidate all
+objects within the same page at a time ... They then compact all objects
+from these pages into new locations, keeping a forwarding table to map old
+to new addresses."
+
+The table maps old object addresses to new ones and knows which virtual
+pages have been invalidated. For the read-barrier protocol it can also
+render the *delta cache line* the reclamation unit would serve when a CPU
+acquires a line of the barrier address range: per-object deltas
+``new - old`` for the objects whose barrier shadow falls in that line.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.memory.paging import PAGE_SIZE
+
+#: The stolen virtual-address bit (§IV-D: "we steal one bit of each virtual
+#: address (say, the MSB), mapping the heap to the bottom half").
+BARRIER_BIT = 1 << 63
+
+
+def barrier_shadow(vaddr: int) -> int:
+    """The barrier-load address for a reference: flip the stolen bit."""
+    return vaddr ^ BARRIER_BIT
+
+
+class ForwardingTable:
+    """old address -> new address, with page-granular invalidation."""
+
+    def __init__(self) -> None:
+        self._forward: Dict[int, int] = {}
+        self._invalid_pages: Set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self._forward)
+
+    def add(self, old_addr: int, new_addr: int) -> None:
+        if old_addr in self._forward:
+            raise ValueError(f"object {old_addr:#x} forwarded twice")
+        self._forward[old_addr] = new_addr
+        self._invalid_pages.add(old_addr // PAGE_SIZE)
+
+    def invalidate_page(self, vaddr: int) -> None:
+        """Mark a page as relocated even if it held no live objects."""
+        self._invalid_pages.add(vaddr // PAGE_SIZE)
+
+    def is_relocated_page(self, vaddr: int) -> bool:
+        return vaddr // PAGE_SIZE in self._invalid_pages
+
+    def lookup(self, old_addr: int) -> Optional[int]:
+        return self._forward.get(old_addr)
+
+    def resolve(self, addr: int) -> int:
+        """The address a correct mutator must use: forwarded if moved."""
+        return self._forward.get(addr, addr)
+
+    def delta(self, addr: int) -> int:
+        """The value the barrier load returns for this reference: 0 when the
+        object has not moved, ``new - old`` when it has (§IV-D: "y = x + Δy
+        if object was relocated, x otherwise")."""
+        new = self._forward.get(addr)
+        if new is None:
+            return 0
+        return new - addr
+
+    def delta_line(self, line_vaddr: int, line_bytes: int = 64) -> List[int]:
+        """The delta cache line the reclamation unit serves: one delta per
+        8-byte slot of the line (slots without a relocated object are 0)."""
+        deltas = []
+        for off in range(0, line_bytes, 8):
+            deltas.append(self.delta(line_vaddr + off))
+        return deltas
+
+    def old_addresses(self) -> Iterable[int]:
+        return self._forward.keys()

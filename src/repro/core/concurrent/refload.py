@@ -1,0 +1,105 @@
+"""Barrier cost models, including the REFLOAD extension (§III, §IV-E).
+
+Barriers "span a wide design space that trades off fast-path latency,
+slow-path latency, the instruction footprint and how it maps to the
+underlying microarchitecture" (§III). The paper sketches four points:
+
+* ``SOFTWARE_CONDITIONAL`` — compiled check + branch to a slow-path handler
+  (the G1/ZGC approach; "Oracle's newly announced concurrent ZGC collector
+  targets up to 15% slow-down").
+* ``VM_TRAP`` — fold the check into virtual memory and trap on the slow
+  path (Pauseless/Guarded Storage): free fast path, but slow paths flush
+  the pipeline and "can be very frequent if churn is large (resulting in
+  trap storms)".
+* ``COHERENCE`` — the paper's trap-free design (Fig. 9): the barrier is an
+  extra load that usually hits a cached zero-page line; relocated pages
+  cost a coherence round trip to the reclamation unit, paid once per line.
+* ``REFLOAD`` — the optional CPU instruction (§IV-E) that fissions into
+  load + RB, letting the pipeline speculate over the barrier: "the only
+  effect of the GC are loads that may take longer, but traps and pipeline
+  flushes are eliminated."
+
+The model is analytic (cycles per reference operation), applied to the
+mutator-phase cycle counts from :mod:`repro.workloads.mutator` — the
+ablation the paper motivates but leaves as future work.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class BarrierKind(enum.Enum):
+    NONE = "none"
+    SOFTWARE_CONDITIONAL = "software"
+    VM_TRAP = "vm_trap"
+    COHERENCE = "coherence"
+    REFLOAD = "refload"
+
+
+@dataclass(frozen=True)
+class BarrierCostModel:
+    """Per-reference-operation costs of one barrier design."""
+
+    kind: BarrierKind
+    #: Extra cycles on every guarded reference load (the fast path).
+    fast_path_cycles: float
+    #: Extra cycles when the barrier triggers (object moved / unvisited ref).
+    slow_path_cycles: float
+    #: Extra instruction-footprint pressure, as a fractional slowdown on the
+    #: mutator's non-memory work (icache/fetch effects of inlined checks).
+    footprint_overhead: float
+
+    def overhead_cycles(self, ref_ops: int, slow_fraction: float,
+                        mutator_exec_cycles: int = 0) -> float:
+        """Total extra cycles for ``ref_ops`` guarded operations."""
+        if not 0.0 <= slow_fraction <= 1.0:
+            raise ValueError(f"slow_fraction out of range: {slow_fraction}")
+        fast = ref_ops * (1.0 - slow_fraction) * self.fast_path_cycles
+        slow = ref_ops * slow_fraction * self.slow_path_cycles
+        return fast + slow + mutator_exec_cycles * self.footprint_overhead
+
+    def slowdown(self, mutator_cycles: int, ref_ops: int,
+                 slow_fraction: float) -> float:
+        """Mutator slowdown factor (1.0 = no overhead)."""
+        if mutator_cycles <= 0:
+            raise ValueError("mutator_cycles must be positive")
+        extra = self.overhead_cycles(ref_ops, slow_fraction)
+        return (mutator_cycles + extra) / mutator_cycles
+
+
+#: Reference cost points. The software barrier's ~4-cycle fast path with a
+#: modest footprint overhead lands near ZGC's "up to 15%" target for
+#: typical reference densities; the trap designs pay ~300 cycles per
+#: pipeline-flushing trap; the coherence/REFLOAD designs ride the cache.
+BARRIER_MODELS = {
+    BarrierKind.NONE: BarrierCostModel(BarrierKind.NONE, 0.0, 0.0, 0.0),
+    BarrierKind.SOFTWARE_CONDITIONAL: BarrierCostModel(
+        BarrierKind.SOFTWARE_CONDITIONAL,
+        fast_path_cycles=3.0,
+        slow_path_cycles=40.0,
+        footprint_overhead=0.04,
+    ),
+    BarrierKind.VM_TRAP: BarrierCostModel(
+        BarrierKind.VM_TRAP,
+        fast_path_cycles=0.0,
+        slow_path_cycles=300.0,
+        footprint_overhead=0.0,
+    ),
+    BarrierKind.COHERENCE: BarrierCostModel(
+        BarrierKind.COHERENCE,
+        # The extra load usually hits the cached zero page; it does double
+        # TLB footprint and adds cache pressure (§IV-E).
+        fast_path_cycles=1.5,
+        slow_path_cycles=60.0,  # one coherence round trip per line, amortized
+        footprint_overhead=0.02,
+    ),
+    BarrierKind.REFLOAD: BarrierCostModel(
+        BarrierKind.REFLOAD,
+        # Fissioned in decode; speculated over like any load.
+        fast_path_cycles=0.5,
+        slow_path_cycles=60.0,
+        footprint_overhead=0.0,
+    ),
+}

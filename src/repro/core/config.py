@@ -1,0 +1,116 @@
+"""Configuration and result types for the GC unit.
+
+The defaults are the paper's baseline (§VI-A): "Our baseline GC unit design
+contains 2 sweepers, a 1,024 entry mark-queue, 16 request slots for the
+marker, 32-entry TLBs and a 128-entry shared L2 TLB."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.memory.config import CacheConfig, TLBConfig
+
+
+@dataclass
+class GCUnitConfig:
+    """Design-space parameters of the traversal and reclamation units."""
+
+    # Traversal unit.
+    mark_queue_entries: int = 1024
+    tracer_queue_entries: int = 128
+    marker_slots: int = 16
+    tlb: TLBConfig = field(default_factory=lambda: TLBConfig(entries=32))
+    l2_tlb_entries: int = 128
+    #: Entries in the recently-marked filter; 0 disables it (Fig. 21).
+    mark_bit_cache_entries: int = 0
+    #: Compress 64-bit references to 32 bits in the queue and spill region
+    #: (§V-C "Address Compression"; halves spill traffic, Fig. 19).
+    address_compression: bool = False
+    #: outQ/inQ staging sizes (entries) for mark-queue spilling (Fig. 12).
+    spill_out_entries: int = 48
+    spill_in_entries: int = 48
+    #: outQ fill level at which the tracer is throttled (§V-C). Must leave
+    #: room for at least one full spill batch (16 compressed entries).
+    spill_throttle_level: int = 24
+
+    # Reclamation unit.
+    n_sweepers: int = 2
+    sweeper_slots: int = 4
+
+    #: Bandwidth throttling (§VII): minimum cycles between unit memory
+    #: requests (None = unthrottled). Lets a concurrent collector "only use
+    #: residual bandwidth" instead of interfering with the application.
+    bandwidth_throttle: Optional[int] = None
+
+    #: Concurrent page-table walks (§VI-A future work). 1 = the paper's
+    #: blocking walker.
+    ptw_concurrent_walks: int = 1
+
+    # Cache organization (the partitioning study, Fig. 18).
+    #: "partitioned": marker/tracer talk to the interconnect directly, the
+    #: PTW gets a private 8 KB cache, the queue spill path a 2-line buffer.
+    #: "shared": everything shares one small L1 through a crossbar — the
+    #: design the paper started with and rejected.
+    cache_mode: str = "partitioned"
+    ptw_cache: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            size_bytes=8 * 1024, ways=4, hit_latency=1, mshrs=1
+        )
+    )
+    shared_cache: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            size_bytes=16 * 1024, ways=4, hit_latency=2, mshrs=8
+        )
+    )
+
+    def __post_init__(self) -> None:
+        if self.cache_mode not in ("partitioned", "shared"):
+            raise ValueError(f"unknown cache_mode {self.cache_mode!r}")
+        if self.marker_slots < 1:
+            raise ValueError("marker needs at least one request slot")
+        if self.n_sweepers < 1:
+            raise ValueError("need at least one block sweeper")
+        if self.spill_throttle_level >= self.spill_out_entries:
+            raise ValueError("throttle level must leave outQ headroom")
+
+    @property
+    def mark_queue_bytes(self) -> int:
+        """On-chip mark-queue SRAM (entries x entry width), as in Fig. 19's
+        x-axis. Compression halves the entry width."""
+        entry_bytes = 4 if self.address_compression else 8
+        total_entries = (
+            self.mark_queue_entries + self.spill_in_entries + self.spill_out_entries
+        )
+        return total_entries * entry_bytes
+
+
+@dataclass
+class HardwareGCResult:
+    """Timing and work counters for one hardware collection."""
+
+    mark_cycles: int
+    sweep_cycles: int
+    objects_marked: int
+    objects_requeued: int  # dequeued but already marked (duplicates)
+    refs_traced: int
+    cells_freed: int
+    cells_live: int
+    spill_writes: int
+    spill_reads: int
+    spilled_entries: int
+    markbit_cache_hits: int
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_cycles(self) -> int:
+        return self.mark_cycles + self.sweep_cycles
+
+    @property
+    def mark_ms(self) -> float:
+        return self.mark_cycles / 1e6
+
+    @property
+    def sweep_ms(self) -> float:
+        return self.sweep_cycles / 1e6

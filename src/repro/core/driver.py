@@ -1,0 +1,75 @@
+"""The software side of the hardware GC: driver + libhwgc model (§V-E).
+
+In the prototype, a Linux character device (/dev/hwgc0) configures the
+unit: "the driver reads its process state, including the page-table base
+register and status bits, which are written to memory-mapped registers in
+the GC unit"; JikesRVM's MMTk plan calls into libhwgc.so through the
+SysCall interface to initiate collections and poll for completion.
+
+:class:`HWGCDriver` reproduces that control flow against the simulated
+MMIO register file, and is the entry point the examples use: configure
+once, then ``run_gc()`` per collection.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import GCUnitConfig, HardwareGCResult
+from repro.core.mmio import Command, MMIORegisterFile, Reg, Status
+from repro.core.unit import GCUnit
+from repro.heap.heapimage import ManagedHeap
+
+
+class HWGCDriver:
+    """Configures the unit via MMIO and runs collections (the libhwgc path)."""
+
+    def __init__(self, heap: ManagedHeap,
+                 config: Optional[GCUnitConfig] = None):
+        self.heap = heap
+        self.config = config if config is not None else GCUnitConfig()
+        self.mmio = MMIORegisterFile()
+        self._initialized = False
+
+    def init_device(self) -> None:
+        """What the kernel driver does at open(): program the address-space
+        and region registers from the process's state."""
+        memsys = self.heap.memsys
+        self.mmio.write(Reg.PAGE_TABLE_BASE, memsys.page_table.root)
+        self.mmio.write(Reg.HWGC_BASE, memsys.address_map.hwgc[0])
+        self.mmio.write(
+            Reg.HWGC_SIZE,
+            memsys.address_map.hwgc[1] - memsys.address_map.hwgc[0],
+        )
+        self.mmio.write(Reg.SPILL_BASE, memsys.address_map.spill[0])
+        self.mmio.write(
+            Reg.SPILL_SIZE,
+            memsys.address_map.spill[1] - memsys.address_map.spill[0],
+        )
+        self.mmio.write(Reg.BLOCK_LIST_BASE, memsys.address_map.block_list[0])
+        self.mmio.write(Reg.N_SWEEPERS, self.config.n_sweepers)
+        self._initialized = True
+
+    def run_gc(self) -> HardwareGCResult:
+        """Initiate a full collection and poll until DONE (§IV-C).
+
+        Precondition: the runtime has already written the roots into
+        hwgc-space (root scanning stays in software, §IV-C)."""
+        if not self._initialized:
+            raise RuntimeError("driver not initialized; call init_device()")
+        if self.mmio.status != Status.READY:
+            raise RuntimeError(f"unit busy: {self.mmio.status}")
+        self.mmio.write(Reg.MARK_PARITY, self.heap.mark_parity)
+        self.mmio.write(Reg.COMMAND, int(Command.START_FULL_GC))
+        self.mmio.set_status(Status.MARKING)
+        unit = GCUnit(self.heap, self.config)
+        mark_cycles = unit.mark()
+        self.mmio.set_status(Status.SWEEPING)
+        sweep_cycles = unit.sweep()
+        self.mmio.set_status(Status.DONE)
+        result = unit.collect_result(mark_cycles, sweep_cycles)
+        self.mmio.write(Reg.OBJECTS_MARKED, result.objects_marked)
+        self.mmio.write(Reg.CELLS_FREED, result.cells_freed)
+        self.mmio.write(Reg.COMMAND, int(Command.IDLE))
+        self.mmio.set_status(Status.READY)
+        return result

@@ -1,0 +1,59 @@
+"""Mark-bit cache: a small filter of recently marked objects (§V-C, Fig. 21).
+
+"About 10% of mark operations access the same 56 objects in our benchmarks.
+We therefore conclude that a small mark bit cache that stores a set of
+recently accessed objects can be efficient at reducing traffic."
+
+A fully associative LRU set of object references sitting in front of the
+marker: references that hit are known to be already marked, so the marker
+skips the memory fetch-or entirely.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class MarkBitCache:
+    """LRU filter over recently marked object references."""
+
+    def __init__(self, entries: int):
+        if entries < 0:
+            raise ValueError("entries must be non-negative")
+        self.entries = entries
+        self._set: "OrderedDict[int, None]" = OrderedDict()
+        self.hits = 0
+        self.lookups = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.entries > 0
+
+    def contains(self, ref: int) -> bool:
+        """Filter check; counts a hit and refreshes LRU position on match."""
+        if not self.enabled:
+            return False
+        self.lookups += 1
+        if ref in self._set:
+            self._set.move_to_end(ref)
+            self.hits += 1
+            return True
+        return False
+
+    def insert(self, ref: int) -> None:
+        """Record a freshly marked reference."""
+        if not self.enabled:
+            return
+        if ref in self._set:
+            self._set.move_to_end(ref)
+            return
+        if len(self._set) >= self.entries:
+            self._set.popitem(last=False)
+        self._set[ref] = None
+
+    def clear(self) -> None:
+        self._set.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0

@@ -1,0 +1,123 @@
+"""The marker (Fig. 13, §V-C).
+
+"Instead of full memory requests, we only hold a tag and a 64-bit address
+for each request, translate them using a dedicated TLB, send the resulting
+reads into the memory system and then handle responses in the order they
+return. For each response, we then issue the corresponding write-back
+request to store the updated mark bit and free the request slot (we can
+elide write-backs if the object was already marked)."
+
+The marker dequeues references from the mark queue, filters them through
+the optional mark-bit cache, marks the object's status word — receiving the
+mark bit and reference count in that single access (§IV-A idea II) — and
+hands newly marked objects with outbound references to the tracer queue.
+
+Request slots are modeled as a token pool: the marker stalls when all
+``marker_slots`` are in flight, the unit's analogue of MSHR pressure.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.engine.queues import HWQueue
+from repro.engine.simulator import Simulator
+from repro.engine.stats import StatsRegistry
+from repro.heap.header import decode_refcount, header_is_marked, header_with_mark
+from repro.core.markbitcache import MarkBitCache
+from repro.core.markqueue import MarkQueue
+from repro.memory.memimage import PhysicalMemory
+from repro.memory.tlb import TLB
+
+
+class Marker:
+    """Pipelined mark stage of the traversal unit."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        mem: PhysicalMemory,
+        mark_queue: MarkQueue,
+        tracer_queue: HWQueue,
+        port,
+        tlb: TLB,
+        unit,  # TraversalUnit; provides retire_ref() and mark parity
+        slots: int = 16,
+        mark_bit_cache: Optional[MarkBitCache] = None,
+        stats: Optional[StatsRegistry] = None,
+        nonblocking_tlb: bool = False,
+    ):
+        self.sim = sim
+        self.mem = mem
+        self.mark_queue = mark_queue
+        self.tracer_queue = tracer_queue
+        self.port = port
+        self.tlb = tlb
+        self.unit = unit
+        self.mark_bit_cache = mark_bit_cache or MarkBitCache(0)
+        self.stats = stats if stats is not None else StatsRegistry()
+        #: §VI-A future work: a non-blocking TLB lets the marker keep
+        #: issuing requests that hit while misses walk in the background
+        #: (requires a PTW with ``max_concurrent > 1`` to pay off).
+        self.nonblocking_tlb = nonblocking_tlb
+        # Request-slot token pool (Fig. 13's tag table).
+        self._slots = HWQueue(sim, slots, name="marker.slots")
+        for tag in range(slots):
+            self._slots.put_nowait(tag)
+        self.objects_marked = 0
+        self.already_marked = 0
+        self.filtered = 0
+        self.writebacks_elided = 0
+
+    def process(self):
+        """The marker's main loop (runs as a simulation process)."""
+        while True:
+            ref = yield from self.mark_queue.dequeue()
+            if self.mark_bit_cache.contains(ref):
+                # Known already-marked: no memory traffic at all.
+                self.filtered += 1
+                self.unit.retire_ref()
+                continue
+            tag = yield self._slots.get()
+            translate = self.tlb.translate(ref)
+            if self.nonblocking_tlb:
+                # Park the miss with its walk; keep consuming the queue.
+                translate.add_callback(
+                    lambda paddr, r=ref, t=tag: self._issue(r, paddr, t)
+                )
+            else:
+                # The paper's design: misses serialize the marker behind
+                # the blocking PTW (§VI-A).
+                paddr = yield translate
+                self._issue(ref, paddr, tag)
+
+    def _issue(self, ref: int, paddr: int, tag: int) -> None:
+        self.port.read(paddr, 8).add_callback(
+            lambda _v, r=ref, p=paddr, t=tag: self._response(r, p, t)
+        )
+
+    def _response(self, ref: int, paddr: int, tag: int) -> None:
+        """Handle a returning mark access (any order, matched by tag)."""
+        parity = self.unit.mark_parity
+        status = self.mem.read_word(paddr)
+        if header_is_marked(status, parity):
+            # Already marked: elide the write-back, free the slot.
+            self.already_marked += 1
+            self.writebacks_elided += 1
+            self._slots.put_nowait(tag)
+            self.unit.retire_ref()
+            return
+        # Newly marked: functional update + posted write-back.
+        self.mem.write_word(paddr, header_with_mark(status, parity))
+        self.port.write(paddr, 8)
+        self.objects_marked += 1
+        self.mark_bit_cache.insert(ref)
+        n_refs, _is_array = decode_refcount(status)
+        if n_refs == 0:
+            self._slots.put_nowait(tag)
+            self.unit.retire_ref()
+            return
+        # Hand to the tracer; if its queue is full this keeps the slot
+        # occupied, back-pressuring the marker (the decoupling of §IV-A III).
+        put_event = self.tracer_queue.put((ref, n_refs))
+        put_event.add_callback(lambda _v, t=tag: self._slots.put_nowait(t))

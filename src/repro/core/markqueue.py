@@ -1,0 +1,314 @@
+"""The traversal unit's mark queue with memory spilling (Fig. 12, §V-C).
+
+The on-chip main queue ``Q`` holds references between tracer and marker.
+Because the frontier of a heap traversal can grow arbitrarily, two staging
+queues extend it into memory:
+
+* when ``Q`` is full, enqueues divert to ``outQ``; a state machine writes
+  outQ entries in 64-byte batches to a dedicated spill region "not shared
+  with JikesRVM";
+* when ``Q`` drains, entries are read back through ``inQ``;
+* if there are elements in outQ and free slots in inQ (and nothing is
+  spilled), they are copied directly, saving the memory round trip;
+* when outQ reaches a fill level, a throttle signal stops the tracer from
+  issuing further memory requests, preventing outQ overflow; prioritizing
+  outQ's *writes* over inQ's reads avoids deadlock.
+
+**Address compression** (§V-C): heap references occupy far fewer than 64
+bits; an optional codec packs them into 32 bits, doubling the effective
+queue size and halving spill traffic (Fig. 19 shows the 2x reduction).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from repro.engine.queues import HWQueue
+from repro.engine.simulator import Event, Simulator
+from repro.engine.stats import StatsRegistry
+from repro.memory.config import WORD_BYTES
+from repro.memory.memimage import PhysicalMemory
+from repro.memory.paging import VIRT_OFFSET
+
+
+class AddressCodec:
+    """Optional 64 -> 32-bit reference compression.
+
+    Heap references are 8-byte aligned and sit above a fixed base, so
+    ``(ref - base) >> 3`` fits 32 bits for heaps up to 32 GiB. "Real
+    implementations would likely need to preserve at least 48b" (§VI-B) —
+    the entry width is a parameter in the area model for that reason.
+    """
+
+    def __init__(self, enabled: bool, base: int = VIRT_OFFSET):
+        self.enabled = enabled
+        self.base = base
+        self.entry_bytes = 4 if enabled else 8
+
+    def encode(self, ref: int) -> int:
+        if not self.enabled:
+            return ref
+        if ref < self.base or (ref - self.base) % WORD_BYTES:
+            raise ValueError(f"reference {ref:#x} not compressible")
+        packed = (ref - self.base) >> 3
+        if packed >= 1 << 32:
+            raise ValueError(f"reference {ref:#x} exceeds 32-bit packing")
+        return packed
+
+    def decode(self, word: int) -> int:
+        if not self.enabled:
+            return word
+        return (word << 3) + self.base
+
+
+class MarkQueue:
+    """Main queue + inQ/outQ staging + spill ring, with throttle signal."""
+
+    #: Entries per 64-byte spill transfer.
+    def __init__(
+        self,
+        sim: Simulator,
+        mem: PhysicalMemory,
+        spill_port,
+        spill_region: Tuple[int, int],
+        entries: int = 1024,
+        out_entries: int = 32,
+        in_entries: int = 32,
+        throttle_level: int = 16,
+        codec: Optional[AddressCodec] = None,
+        stats: Optional[StatsRegistry] = None,
+    ):
+        self.sim = sim
+        self.mem = mem
+        self.port = spill_port
+        self.codec = codec if codec is not None else AddressCodec(False)
+        self.stats = stats if stats is not None else StatsRegistry()
+        self.main = HWQueue(sim, entries, name="markq.main")
+        self.out_capacity = out_entries
+        self.in_capacity = in_entries
+        self.throttle_level = throttle_level
+        self._outq: Deque[int] = deque()
+        self._inq: Deque[int] = deque()
+        # Spill ring state (entry indices; memory writes keep the region
+        # contents faithful for debugging, like the paper's heap-snapshot
+        # debug path).
+        self._spill_base, spill_end = spill_region
+        self.spill_capacity = (spill_end - self._spill_base) // self.codec.entry_bytes
+        self._spill_head = 0  # next entry to read
+        self._spill_tail = 0  # next entry to write
+        self._spilled = 0
+        self._write_pending = False
+        self._write_inflight = 0  # entries inside an in-flight spill write
+        self._read_pending = False
+        self._unthrottle: Optional[Event] = None
+        self.batch_entries = 64 // self.codec.entry_bytes
+        # Statistics.
+        self.spill_writes = 0
+        self.spill_reads = 0
+        self.spilled_entries = 0
+        self.direct_copies = 0
+        self.peak_entries = 0
+        self.total_enqueued = 0
+
+    # -- occupancy ----------------------------------------------------------
+
+    @property
+    def total_entries(self) -> int:
+        """Entries anywhere in the queue system (on-chip + spilled)."""
+        return (
+            self.main.occupancy + len(self._outq) + len(self._inq)
+            + self._spilled + self._write_inflight
+        )
+
+    @property
+    def is_drained(self) -> bool:
+        return self.total_entries == 0 and not self._write_pending \
+            and not self._read_pending
+
+    @property
+    def throttled(self) -> bool:
+        """The back-pressure signal sampled by the tracer (§V-C)."""
+        return len(self._outq) >= self.throttle_level
+
+    # -- producer side -------------------------------------------------------
+
+    def enqueue(self, ref: int) -> None:
+        """Add a reference (non-blocking; excess goes to outQ/spill)."""
+        self.total_enqueued += 1
+        if (
+            not self._outq
+            and not self._inq
+            and self._spilled == 0
+            and self.main.try_put(ref)
+        ):
+            pass
+        else:
+            self._outq.append(ref)
+            self._balance()
+        if self.total_entries > self.peak_entries:
+            self.peak_entries = self.total_entries
+        if len(self._outq) > self.out_capacity:
+            # The throttle should prevent this; reaching here means a unit
+            # ignored the signal for too long.
+            self.stats.inc("markq.outq_overflow")
+
+    # -- consumer side ----------------------------------------------------------
+
+    def dequeue(self):
+        """Yieldable: produces the next reference (from Q, refilled from
+        inQ/outQ/spill as needed)."""
+        self._balance()
+        item = yield self.main.get()
+        self._balance()
+        return item
+
+    # -- the spill state machine ---------------------------------------------------
+
+    def _balance(self) -> None:
+        """Move entries toward the main queue and start spill transfers."""
+        moved = True
+        while moved:
+            moved = False
+            # inQ -> main.
+            while self._inq and not self.main.is_full:
+                self.main.put_nowait(self._inq.popleft())
+                moved = True
+            # Direct paths only when nothing is spilled (keeps entries from
+            # overtaking the ones parked in memory... order doesn't matter
+            # for correctness, but it keeps the spill ring FIFO and simple).
+            if self._spilled == 0 and not self._write_pending \
+                    and not self._read_pending:
+                while self._outq and not self.main.is_full:
+                    self.main.put_nowait(self._outq.popleft())
+                    moved = True
+                while self._outq and len(self._inq) < self.in_capacity \
+                        and self.main.is_full:
+                    self._inq.append(self._outq.popleft())
+                    self.direct_copies += 1
+                    moved = True
+        # Spill out: memory writes take priority over reads (deadlock rule).
+        # Prefer full 64-byte batches; partial batches are written only when
+        # a non-empty outQ is blocking the refill path (the spill read
+        # requires outQ to be empty), so entries can never strand.
+        if not self._write_pending and self._outq:
+            full_batch = len(self._outq) >= self.batch_entries
+            # Flush a partial batch only when the main queue is running low
+            # and refill reads are blocked behind a non-empty outQ.
+            unblock_refill = (
+                self._spilled > 0
+                and self.main.occupancy <= self.main.capacity // 4
+            )
+            if (full_batch and (self.main.is_full or self._spilled > 0)) \
+                    or unblock_refill:
+                self._start_spill_write()
+        # Spill in: only when outQ is empty (§V-C) and inQ has space.
+        if (
+            not self._read_pending
+            and self._spilled > 0
+            and not self._outq
+            and not self._write_pending
+            and len(self._inq) + self.batch_entries <= self.in_capacity
+        ):
+            self._start_spill_read()
+        self._release_throttle()
+
+    def _entry_paddr(self, index: int) -> int:
+        offset = (index % self.spill_capacity) * self.codec.entry_bytes
+        return self._spill_base + offset
+
+    def _start_spill_write(self) -> None:
+        count = min(len(self._outq), self.batch_entries)
+        if count == 0:
+            return
+        if self._spilled + count > self.spill_capacity:
+            raise MemoryError(
+                "spill region exhausted; the driver's static 4 MB allocation "
+                "is too small for this heap (§V-E)"
+            )
+        entries = [self._outq.popleft() for _ in range(count)]
+        # Functional: pack entries into the ring (two per word if 32-bit).
+        for i, ref in enumerate(entries):
+            encoded = self.codec.encode(ref)
+            paddr = self._entry_paddr(self._spill_tail + i)
+            word_addr = paddr - (paddr % WORD_BYTES)
+            if self.codec.entry_bytes == 4:
+                word = self.mem.read_word(word_addr)
+                if paddr % WORD_BYTES:
+                    word = (word & 0xFFFFFFFF) | (encoded << 32)
+                else:
+                    word = (word & ~0xFFFFFFFF) | encoded
+                self.mem.write_word(word_addr, word)
+            else:
+                self.mem.write_word(word_addr, encoded)
+        start_addr = self._entry_paddr(self._spill_tail)
+        nbytes = count * self.codec.entry_bytes
+        self._spill_tail += count
+        self._write_pending = True
+        self._write_inflight = count
+        self.spill_writes += 1
+        self.spilled_entries += count
+        self.stats.inc("markq.spill_write_bytes", nbytes)
+        aligned = self._aligned_span(start_addr, nbytes)
+        self.port.write(aligned[0], aligned[1]).add_callback(
+            lambda _v, c=count: self._finish_spill_write(c)
+        )
+
+    def _finish_spill_write(self, count: int) -> None:
+        self._spilled += count
+        self._write_inflight = 0
+        self._write_pending = False
+        self._release_throttle()
+        self._balance()
+
+    def _start_spill_read(self) -> None:
+        count = min(self._spilled, self.batch_entries)
+        start_addr = self._entry_paddr(self._spill_head)
+        nbytes = count * self.codec.entry_bytes
+        refs = []
+        for i in range(count):
+            paddr = self._entry_paddr(self._spill_head + i)
+            word_addr = paddr - (paddr % WORD_BYTES)
+            word = self.mem.read_word(word_addr)
+            if self.codec.entry_bytes == 4:
+                encoded = (word >> 32) if paddr % WORD_BYTES else word & 0xFFFFFFFF
+            else:
+                encoded = word
+            refs.append(self.codec.decode(encoded))
+        self._spill_head += count
+        self._spilled -= count
+        self._read_pending = True
+        self.spill_reads += 1
+        self.stats.inc("markq.spill_read_bytes", nbytes)
+        aligned = self._aligned_span(start_addr, nbytes)
+        self.port.read(aligned[0], aligned[1]).add_callback(
+            lambda _v, r=tuple(refs): self._finish_spill_read(r)
+        )
+
+    def _finish_spill_read(self, refs: Tuple[int, ...]) -> None:
+        self._inq.extend(refs)
+        self._read_pending = False
+        self._balance()
+
+    @staticmethod
+    def _aligned_span(addr: int, nbytes: int) -> Tuple[int, int]:
+        """Round a spill transfer to an aligned power-of-two 8..64B size."""
+        size = 8
+        while size < nbytes and size < 64:
+            size *= 2
+        aligned_addr = addr - (addr % size)
+        return aligned_addr, size
+
+    # -- throttle handshake -----------------------------------------------------
+
+    def wait_if_throttled(self):
+        """Yieldable: blocks the caller while the throttle signal is high."""
+        while self.throttled:
+            if self._unthrottle is None or self._unthrottle.triggered:
+                self._unthrottle = self.sim.event(name="markq.unthrottle")
+            yield self._unthrottle
+
+    def _release_throttle(self) -> None:
+        if not self.throttled and self._unthrottle is not None \
+                and not self._unthrottle.triggered:
+            self._unthrottle.trigger()

@@ -1,0 +1,71 @@
+"""Memory-mapped register file (§V-B, §V-E).
+
+"We also connect a set of memory mapped (MMIO) registers to the periphery
+bus (Southbridge), for configuration and communication with the CPU."
+
+The register map mirrors what the Linux driver programs: the process's
+page-table base, the hwgc-space and spill-region bounds, the block-list
+location, and a command/status pair the runtime polls ("the runtime system
+polls a control register to wait for it to be ready", §IV-C).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict
+
+
+class Reg(enum.IntEnum):
+    """Register offsets (byte offsets within the MMIO window)."""
+
+    COMMAND = 0x00
+    STATUS = 0x08
+    PAGE_TABLE_BASE = 0x10
+    HWGC_BASE = 0x18
+    HWGC_SIZE = 0x20
+    SPILL_BASE = 0x28
+    SPILL_SIZE = 0x30
+    BLOCK_LIST_BASE = 0x38
+    MARK_PARITY = 0x40
+    N_SWEEPERS = 0x48
+    OBJECTS_MARKED = 0x50  # read-only result counter
+    CELLS_FREED = 0x58  # read-only result counter
+
+
+class Command(enum.IntEnum):
+    IDLE = 0
+    START_MARK = 1
+    START_SWEEP = 2
+    START_FULL_GC = 3
+
+
+class Status(enum.IntEnum):
+    READY = 0
+    MARKING = 1
+    SWEEPING = 2
+    DONE = 3
+
+
+class MMIORegisterFile:
+    """A plain register file; the driver reads/writes it like /dev/hwgc0."""
+
+    def __init__(self) -> None:
+        self._regs: Dict[int, int] = {int(r): 0 for r in Reg}
+        self._regs[Reg.STATUS] = int(Status.READY)
+
+    def write(self, offset: int, value: int) -> None:
+        if offset not in self._regs:
+            raise ValueError(f"write to unmapped MMIO offset {offset:#x}")
+        self._regs[offset] = value
+
+    def read(self, offset: int) -> int:
+        if offset not in self._regs:
+            raise ValueError(f"read from unmapped MMIO offset {offset:#x}")
+        return self._regs[offset]
+
+    @property
+    def status(self) -> Status:
+        return Status(self._regs[Reg.STATUS])
+
+    def set_status(self, status: Status) -> None:
+        self._regs[Reg.STATUS] = int(status)

@@ -1,0 +1,80 @@
+"""The root reader (§V-C).
+
+"At the beginning of a GC, a reader copies all references from the
+hwgc-space into the mark queue."
+
+The reader streams the root table with 64-byte transfers. After its first
+pass it re-reads the count word: if the runtime (or a concurrent write
+barrier, §IV-D) appended more references in the meantime, it keeps going —
+this is the mechanism that lets the concurrent collector feed overwritten
+references to an in-flight traversal.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.engine.simulator import Simulator
+from repro.engine.stats import StatsRegistry
+from repro.heap.roots import RootRegion
+from repro.memory.config import WORD_BYTES
+from repro.memory.memimage import PhysicalMemory
+
+
+class RootReader:
+    """Streams hwgc-space roots into the mark queue."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        mem: PhysicalMemory,
+        roots: RootRegion,
+        port,
+        unit,  # TraversalUnit; provides enqueue_ref()
+        stats: Optional[StatsRegistry] = None,
+    ):
+        self.sim = sim
+        self.mem = mem
+        self.roots = roots
+        self.port = port
+        self.unit = unit
+        self.stats = stats if stats is not None else StatsRegistry()
+        self.roots_read = 0
+
+    #: Cycles between root-table polls in concurrent mode.
+    POLL_INTERVAL = 200
+
+    def process(self):
+        """Stream the root table; re-check for appended entries at the end.
+
+        In concurrent mode (§IV-D) the reader keeps polling the count word
+        so write-barrier appends reach the mark queue mid-traversal; it only
+        exits after the unit's stop request (the runtime's termination
+        handshake once mutation has quiesced)."""
+        # Read the count word.
+        yield self.port.read(self.roots.base, 8)
+        consumed = 0
+        while True:
+            count = self.roots.count
+            if consumed >= count:
+                if self.unit.concurrent and not self.unit.stop_requested:
+                    yield self.POLL_INTERVAL
+                    continue
+                break
+            # Stream pending entries: 64B transfers when aligned with at
+            # least a full line of entries left, single words otherwise.
+            while consumed < count:
+                entry_paddr = self.roots.base + WORD_BYTES * (1 + consumed)
+                if entry_paddr % 64 == 0 and count - consumed >= 8:
+                    size, batch = 64, 8
+                else:
+                    size, batch = WORD_BYTES, 1
+                yield self.port.read(entry_paddr, size)
+                for i in range(batch):
+                    ref = self.mem.read_word(entry_paddr + i * WORD_BYTES)
+                    if ref != 0:
+                        self.unit.enqueue_ref(ref)
+                    self.roots_read += 1
+                consumed += batch
+            # Re-read the count word in case the write barrier appended.
+            yield self.port.read(self.roots.base, 8)

@@ -1,0 +1,192 @@
+"""The reclamation unit: parallel block sweepers (Fig. 8, §IV-B, §V-D).
+
+"Blocks are read from a global block list, distributed to block sweepers
+that reclaim them in parallel, and then written back to the respective free
+lists of empty and (partially) live blocks." ... "Each of these operations
+can be performed with a small state machine."
+
+A block sweeper is a **serial state machine** stepping through the block's
+cells: read the word at the cell start — LSB 1 means a live-cell scan word,
+from which it computes the status word's location and reads it to check the
+tag/mark bits; LSB 0 means a free-list next pointer (or terminator). Dead
+and already-free cells get a next pointer written back (posted), linking
+them onto the block's free list; live cells are skipped without a write,
+and the rebuilt list head is stored into the block descriptor.
+
+Because one sweeper is latency-bound (dependent reads per cell), sweep
+performance scales nearly linearly with sweeper count at first; beyond a
+few sweepers the shared TLB/PTW and DRAM bank contention take over — the
+knee in Fig. 20.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.engine.queues import HWQueue
+from repro.engine.simulator import Event, Simulator
+from repro.engine.stats import StatsRegistry
+from repro.heap.blocks import BlockDescriptor, BlockList
+from repro.heap.header import decode_refcount, header_is_marked, scan_word_is_object
+from repro.memory.config import WORD_BYTES
+from repro.memory.memimage import PhysicalMemory
+from repro.memory.paging import PAGE_SIZE
+from repro.memory.tlb import TLB
+
+_SENTINEL = object()
+
+#: State-machine cycles per cell beyond the memory accesses (address
+#: arithmetic, case dispatch).
+CELL_OVERHEAD_CYCLES = 2
+
+
+class BlockSweeper:
+    """One sweeping lane of the reclamation unit."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        mem: PhysicalMemory,
+        port,
+        tlb: TLB,
+        block_queue: HWQueue,
+        unit,  # ReclamationUnit; provides mark_parity / to_physical
+        index: int,
+    ):
+        self.sim = sim
+        self.mem = mem
+        self.port = port
+        self.tlb = tlb
+        self.block_queue = block_queue
+        self.unit = unit
+        self.index = index
+        self.blocks_swept = 0
+        self.cells_freed = 0
+        self.cells_live = 0
+        self.cells_were_free = 0
+
+    def process(self):
+        """Main loop: sweep blocks until the dispatcher sends the sentinel."""
+        while True:
+            desc = yield self.block_queue.get()
+            if desc is _SENTINEL:
+                return
+            yield from self._sweep_block(desc)
+            self.blocks_swept += 1
+
+    def _sweep_block(self, desc: BlockDescriptor):
+        base_paddr = self.unit.to_physical(desc.base_vaddr)
+        span = desc.cell_bytes * desc.n_cells
+        # One translation per page of the block (shared TLB; the blocking
+        # PTW serializes misses across sweepers).
+        for page_off in range(0, span, PAGE_SIZE):
+            yield self.tlb.translate(desc.base_vaddr + page_off)
+
+        parity = self.unit.mark_parity
+        free_head = 0
+        for i in range(desc.n_cells):
+            cell_paddr = base_paddr + i * desc.cell_bytes
+            yield CELL_OVERHEAD_CYCLES
+            # Read the cell's first word and decide what the cell holds.
+            yield self.port.read(cell_paddr, 8)
+            first = self.mem.read_word(cell_paddr)
+            if scan_word_is_object(first):
+                n_refs, _ = decode_refcount(first)
+                status_paddr = cell_paddr + WORD_BYTES * (1 + n_refs)
+                yield self.port.read(status_paddr, 8)
+                status = self.mem.read_word(status_paddr)
+                if header_is_marked(status, parity):
+                    self.cells_live += 1
+                    continue
+                self.cells_freed += 1
+            else:
+                self.cells_were_free += 1
+            # Dead object or already-free cell: (re)link it (posted write).
+            self.mem.write_word(cell_paddr, free_head)
+            self.port.write(cell_paddr, 8)
+            free_head = desc.base_vaddr + i * desc.cell_bytes
+        # Store the rebuilt free-list head into the descriptor (Fig. 8's
+        # block-list writer).
+        head_paddr = self.unit.block_list.descriptor_addr(desc.index) \
+            + 3 * WORD_BYTES
+        self.mem.write_word(head_paddr, free_head)
+        yield self.port.write(head_paddr, 8)
+
+
+class ReclamationUnit:
+    """Block-list reader + writer + N parallel block sweepers."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        mem: PhysicalMemory,
+        block_list: BlockList,
+        port_factory,  # callable(source) -> port
+        tlb: TLB,
+        mark_parity: int,
+        virt_offset: int,
+        n_sweepers: int = 2,
+        sweeper_slots: int = 4,  # reserved: per-lane pipelining (future work)
+        stats: Optional[StatsRegistry] = None,
+    ):
+        self.sim = sim
+        self.mem = mem
+        self.block_list = block_list
+        self.mark_parity = mark_parity
+        self._virt_offset = virt_offset
+        self.stats = stats if stats is not None else StatsRegistry()
+        self._queue = HWQueue(sim, max(2, 2 * n_sweepers), name="recl.blocks")
+        self._list_port = port_factory("sweeper")
+        self.sweepers = [
+            BlockSweeper(
+                sim, mem, port_factory("sweeper"), tlb, self._queue, self,
+                index=i,
+            )
+            for i in range(n_sweepers)
+        ]
+
+    def to_physical(self, vaddr: int) -> int:
+        return vaddr - self._virt_offset
+
+    def _dispatch(self):
+        """Block-list reader: stream descriptors to the sweepers."""
+        n = self.block_list.count
+        for index in range(n):
+            # One transfer per descriptor (the stream is sequential, so the
+            # DRAM row stays open across descriptors).
+            yield self._list_port.read(
+                self.block_list.descriptor_addr(index), 8
+            )
+            desc = self.block_list.read(index)
+            yield self._queue.put(desc)
+        for _ in self.sweepers:
+            yield self._queue.put(_SENTINEL)
+
+    def sweep(self) -> Event:
+        """Run the full sweep; returns an event triggered at completion."""
+        done = self.sim.event(name="recl.done")
+        procs = [self.sim.process(s.process(), name=f"sweeper{s.index}")
+                 for s in self.sweepers]
+        procs.append(self.sim.process(self._dispatch(), name="recl.dispatch"))
+        remaining = [len(procs)]
+
+        def _one(_v):
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                done.trigger()
+
+        for proc in procs:
+            proc.add_callback(_one)
+        return done
+
+    @property
+    def cells_freed(self) -> int:
+        return sum(s.cells_freed for s in self.sweepers)
+
+    @property
+    def cells_live(self) -> int:
+        return sum(s.cells_live for s in self.sweepers)
+
+    @property
+    def blocks_swept(self) -> int:
+        return sum(s.blocks_swept for s in self.sweepers)

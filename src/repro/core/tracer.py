@@ -1,0 +1,122 @@
+"""The tracer (Fig. 14, §V-C).
+
+"We built a custom tracer that can keep an arbitrary number of requests in
+flight. After translating the virtual address of the object, it enters a
+request generator, which sends Get coherence messages into the memory
+system. Our interconnect supports transfer sizes from 8 to 64B, but they
+have to be aligned. ... Note that we need to detect when we hit a page
+boundary; in this case, the request is interrupted and re-enqueued to pass
+through the TLB again."
+
+Requests are **untagged** (§IV-A idea III): the tracer stores no per-request
+state; responses append their references to the mark queue in whatever
+order they return, which is correct because mark-queue ordering doesn't
+affect the traversal result.
+
+Back-pressure: before each memory request the tracer samples the mark
+queue's throttle signal (outQ fill level) and stalls while it is high.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.engine.queues import HWQueue
+from repro.engine.simulator import Simulator
+from repro.engine.stats import StatsRegistry
+from repro.core.markqueue import MarkQueue
+from repro.memory.config import WORD_BYTES
+from repro.memory.memimage import PhysicalMemory
+from repro.memory.paging import PAGE_SIZE
+from repro.memory.request import split_into_aligned_transfers
+from repro.memory.tlb import TLB
+
+
+class Tracer:
+    """Pipelined reference-copy stage of the traversal unit."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        mem: PhysicalMemory,
+        mark_queue: MarkQueue,
+        tracer_queue: HWQueue,
+        port,
+        tlb: TLB,
+        unit,  # TraversalUnit; provides enqueue_ref()/retire_ref()
+        stats: Optional[StatsRegistry] = None,
+    ):
+        self.sim = sim
+        self.mem = mem
+        self.mark_queue = mark_queue
+        self.tracer_queue = tracer_queue
+        self.port = port
+        self.tlb = tlb
+        self.unit = unit
+        self.stats = stats if stats is not None else StatsRegistry()
+        self.objects_traced = 0
+        self.refs_copied = 0
+        self.null_refs_skipped = 0
+        self.requests_issued = 0
+        self.page_boundary_splits = 0
+
+    def process(self):
+        """The tracer's main loop (runs as a simulation process)."""
+        while True:
+            obj_addr, n_refs = yield self.tracer_queue.get()
+            yield from self._trace_object(obj_addr, n_refs)
+
+    def _trace_object(self, obj_addr: int, n_refs: int):
+        """Walk the reference section ``[obj - 8R, obj)`` with maximal
+        aligned transfers, splitting at page boundaries."""
+        self.objects_traced += 1
+        section_start = obj_addr - WORD_BYTES * n_refs
+        section_bytes = WORD_BYTES * n_refs
+        # ``remaining`` counts outstanding transfers for this object; the
+        # extra 1 is released after issue so an early response can't retire
+        # the object before the last request is even sent.
+        state = {"remaining": 1}
+        cursor = section_start
+        end = section_start + section_bytes
+        first_chunk = True
+        while cursor < end:
+            page_end = cursor - (cursor % PAGE_SIZE) + PAGE_SIZE
+            chunk_end = min(end, page_end)
+            if not first_chunk:
+                self.page_boundary_splits += 1
+            first_chunk = False
+            # Each page chunk passes through the TLB once.
+            yield from self.mark_queue.wait_if_throttled()
+            chunk_paddr = yield self.tlb.translate(cursor)
+            for vaddr, size in split_into_aligned_transfers(
+                cursor, chunk_end - cursor
+            ):
+                yield from self.mark_queue.wait_if_throttled()
+                paddr = chunk_paddr + (vaddr - cursor)
+                state["remaining"] += 1
+                self.requests_issued += 1
+                self.port.read(paddr, size).add_callback(
+                    lambda _v, p=paddr, s=size: self._response(p, s, state)
+                )
+            cursor = chunk_end
+        self._transfer_done(state)  # release the issue guard
+
+    def _response(self, paddr: int, size: int, state: dict) -> None:
+        """A returning (untagged) transfer: append its refs to the queue."""
+        for word in self.mem.read_words(paddr, size // WORD_BYTES):
+            if word == 0:
+                self.null_refs_skipped += 1
+                continue
+            self.refs_copied += 1
+            self.unit.enqueue_ref(word)
+        self._transfer_done(state)
+
+    def _transfer_done(self, state: dict) -> None:
+        state["remaining"] -= 1
+        if state["remaining"] == 0:
+            # All of this object's references are in the mark queue.
+            self.unit.retire_ref()
+
+    @property
+    def idle(self) -> bool:
+        return self.tracer_queue.is_empty

@@ -1,0 +1,311 @@
+"""Top-level GC unit: traversal + reclamation behind an MMIO interface.
+
+:class:`TraversalUnit` wires reader -> mark queue -> marker -> tracer
+(Figs. 5, 7) with either the **partitioned** memory organization the paper
+settled on (marker and tracer talk to the interconnect directly, the PTW
+gets a private 8 KB cache, the mark-queue spill path streams straight to
+memory) or the rejected **shared-cache** organization of Fig. 18a, where
+every requester goes through one small L1 behind a crossbar.
+
+:class:`GCUnit` sequences a full stop-the-world collection: traversal (mark
+phase), then reclamation (sweep phase), returning per-phase cycle counts
+and work counters — the quantities plotted in Figs. 15-21.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.engine.queues import HWQueue
+from repro.engine.simulator import Event, Simulator
+from repro.engine.stats import StatsRegistry
+from repro.core.config import GCUnitConfig, HardwareGCResult
+from repro.core.markbitcache import MarkBitCache
+from repro.core.marker import Marker
+from repro.core.markqueue import AddressCodec, MarkQueue
+from repro.core.reader import RootReader
+from repro.core.sweeper import ReclamationUnit
+from repro.core.tracer import Tracer
+from repro.heap.heapimage import ManagedHeap
+from repro.memory.cache import Cache
+from repro.memory.interconnect import TileLinkPort
+from repro.memory.paging import VIRT_OFFSET
+from repro.memory.ptw import PageTableWalker
+from repro.memory.request import MemRequest
+from repro.memory.tlb import TLB, SharedL2TLB
+
+
+class _Crossbar:
+    """Serializes requesters onto one port, at most one per ``interval``.
+
+    Two uses:
+
+    * ``interval=1``: the shared-cache design's crossbar — "This creates a
+      lot of contention on the cache's crossbar, effectively drowning out
+      requests by other units" (§VI-B);
+    * ``interval>1``: bandwidth throttling (§VII: "This interference could
+      be reduced by communicating with the memory controller to only use
+      residual bandwidth") — caps the unit's request rate so a concurrent
+      application keeps its share of the memory system.
+    """
+
+    def __init__(self, sim: Simulator, target, stats: StatsRegistry,
+                 interval: int = 1, name: str = "xbar"):
+        if interval < 1:
+            raise ValueError("interval must be >= 1")
+        self.sim = sim
+        self.target = target
+        self.stats = stats
+        self.interval = interval
+        self.name = name
+        self._next_free = 0
+
+    def submit(self, req: MemRequest) -> Event:
+        done = self.sim.event(name=self.name)
+        delay = max(0, self._next_free - self.sim.now)
+        if delay:
+            self.stats.inc(f"{self.name}.contention_cycles", delay)
+        self._next_free = self.sim.now + delay + self.interval
+        self.sim.schedule(
+            delay, lambda: self.target.submit(req).add_callback(done.trigger)
+        )
+        return done
+
+
+class TraversalUnit:
+    """The mark-phase engine (Fig. 5, left)."""
+
+    def __init__(
+        self,
+        heap: ManagedHeap,
+        config: Optional[GCUnitConfig] = None,
+        concurrent: bool = False,
+    ):
+        self.heap = heap
+        self.sim: Simulator = heap.sim
+        self.config = config if config is not None else GCUnitConfig()
+        #: Concurrent mode (§IV-D): the reader keeps polling hwgc-space for
+        #: write-barrier appends until :meth:`request_stop`.
+        self.concurrent = concurrent
+        self.stop_requested = False
+        memsys = heap.memsys
+        self.stats: StatsRegistry = memsys.stats
+        self.mark_parity = heap.mark_parity
+        cfg = self.config
+
+        # -- memory organization (partitioned vs shared, Fig. 18) ---------
+        # Optional bandwidth throttle between the whole unit and memory.
+        if cfg.bandwidth_throttle is not None:
+            model_target = _Crossbar(self.sim, memsys.model, self.stats,
+                                     interval=cfg.bandwidth_throttle,
+                                     name="throttle")
+        else:
+            model_target = memsys.model
+        if cfg.cache_mode == "shared":
+            shared = Cache(self.sim, cfg.shared_cache, model_target,
+                           name="gcu_l1", stats=self.stats)
+            xbar = _Crossbar(self.sim, shared, self.stats)
+            self.shared_cache = shared
+
+            def port(source: str) -> TileLinkPort:
+                return TileLinkPort(xbar, source=source, validate=True)
+
+            ptw_port = TileLinkPort(xbar, source="ptw", validate=True)
+        else:
+            self.shared_cache = None
+            ptw_cache = Cache(self.sim, cfg.ptw_cache, model_target,
+                              name="ptw_cache", stats=self.stats)
+
+            def port(source: str) -> TileLinkPort:
+                return TileLinkPort(model_target, source=source,
+                                    validate=True)
+
+            ptw_port = ptw_cache
+        self._port_factory = port
+
+        # -- translation ---------------------------------------------------
+        self.ptw = PageTableWalker(self.sim, memsys.page_table, ptw_port,
+                                   source="ptw", stats=self.stats,
+                                   max_concurrent=cfg.ptw_concurrent_walks)
+        self.l2_tlb = SharedL2TLB(entries=cfg.l2_tlb_entries)
+        self.marker_tlb = TLB(self.sim, cfg.tlb, self.ptw, name="marker",
+                              l2=self.l2_tlb, stats=self.stats)
+        self.tracer_tlb = TLB(self.sim, cfg.tlb, self.ptw, name="tracer",
+                              l2=self.l2_tlb, stats=self.stats)
+
+        # -- queues and pipeline stages -------------------------------------
+        codec = AddressCodec(cfg.address_compression)
+        self.mark_queue = MarkQueue(
+            self.sim, memsys.phys, port("queue"),
+            memsys.address_map.spill,
+            entries=cfg.mark_queue_entries,
+            out_entries=cfg.spill_out_entries,
+            in_entries=cfg.spill_in_entries,
+            throttle_level=cfg.spill_throttle_level,
+            codec=codec,
+            stats=self.stats,
+        )
+        self.tracer_queue = HWQueue(self.sim, cfg.tracer_queue_entries,
+                                    name="tracerq")
+        self.mark_bit_cache = MarkBitCache(cfg.mark_bit_cache_entries)
+        self.marker = Marker(
+            self.sim, memsys.phys, self.mark_queue, self.tracer_queue,
+            port("marker"), self.marker_tlb, unit=self,
+            slots=cfg.marker_slots, mark_bit_cache=self.mark_bit_cache,
+            stats=self.stats,
+            nonblocking_tlb=cfg.ptw_concurrent_walks > 1,
+        )
+        self.tracer = Tracer(
+            self.sim, memsys.phys, self.mark_queue, self.tracer_queue,
+            port("tracer"), self.tracer_tlb, unit=self, stats=self.stats,
+        )
+        self.reader = RootReader(
+            self.sim, memsys.phys, heap.roots, port("queue"), unit=self,
+            stats=self.stats,
+        )
+        # Work accounting for termination detection.
+        self._inflight = 0
+        self._reader_done = False
+        self._done_event: Optional[Event] = None
+
+    # -- work accounting (references in flight anywhere in the pipeline) ---
+
+    def enqueue_ref(self, ref: int) -> None:
+        self._inflight += 1
+        self.mark_queue.enqueue(ref)
+
+    def retire_ref(self) -> None:
+        self._inflight -= 1
+        if self._inflight < 0:
+            raise RuntimeError("traversal-unit work accounting underflow")
+        self._check_done()
+
+    def _check_done(self) -> None:
+        if (
+            self._reader_done
+            and self._inflight == 0
+            and self._done_event is not None
+            and not self._done_event.triggered
+        ):
+            self._done_event.trigger()
+
+    # -- run ------------------------------------------------------------------
+
+    def run(self) -> Event:
+        """Start the traversal; returns the completion event."""
+        self._done_event = self.sim.event(name="traversal.done")
+        self.sim.process(self.marker.process(), name="marker")
+        self.sim.process(self.tracer.process(), name="tracer")
+        reader_proc = self.sim.process(self.reader.process(), name="reader")
+
+        def _reader_finished(_v) -> None:
+            self._reader_done = True
+            self._check_done()
+
+        reader_proc.add_callback(_reader_finished)
+        return self._done_event
+
+    def request_stop(self) -> None:
+        """End concurrent marking: the reader drains any remaining barrier
+        appends and the traversal completes (the termination handshake)."""
+        self.stop_requested = True
+
+    def port_factory(self) -> Callable[[str], TileLinkPort]:
+        return self._port_factory
+
+
+class GCUnit:
+    """The full accelerator: one traversal unit + one reclamation unit.
+
+    A fresh :class:`GCUnit` is instantiated per collection (hardware state
+    is reset between GCs by the driver anyway, §V-E)."""
+
+    def __init__(self, heap: ManagedHeap,
+                 config: Optional[GCUnitConfig] = None):
+        self.heap = heap
+        self.sim = heap.sim
+        self.config = config if config is not None else GCUnitConfig()
+        self.traversal: Optional[TraversalUnit] = None
+        self.reclamation: Optional[ReclamationUnit] = None
+        self.last_result: Optional[HardwareGCResult] = None
+        #: Per-phase memory-system stat deltas (filled by mark()/sweep()).
+        self.mark_stats: Dict[str, int] = {}
+        self.sweep_stats: Dict[str, int] = {}
+        self.mark_window: Optional[tuple] = None  # (start, end) cycles
+        self.sweep_window: Optional[tuple] = None
+
+    @staticmethod
+    def _stats_delta(before: Dict[str, int], after: Dict[str, int]) -> Dict[str, int]:
+        return {k: v - before.get(k, 0) for k, v in after.items()
+                if v != before.get(k, 0)}
+
+    def mark(self) -> int:
+        """Run the mark phase; returns its cycle count."""
+        self.traversal = TraversalUnit(self.heap, self.config)
+        before = self.heap.memsys.stats.as_dict()
+        start = self.sim.now
+        done = self.traversal.run()
+        self.sim.run_until(done)
+        self.mark_stats = self._stats_delta(before,
+                                            self.heap.memsys.stats.as_dict())
+        self.mark_window = (start, self.sim.now)
+        return self.sim.now - start
+
+    def sweep(self) -> int:
+        """Run the sweep phase; returns its cycle count."""
+        if self.traversal is None:
+            raise RuntimeError("sweep requires a completed mark phase")
+        trav = self.traversal
+        recl_tlb = TLB(self.sim, self.config.tlb, trav.ptw, name="recl",
+                       l2=trav.l2_tlb, stats=self.heap.memsys.stats)
+        self.reclamation = ReclamationUnit(
+            self.sim, self.heap.memsys.phys, self.heap.block_list,
+            trav.port_factory(), recl_tlb,
+            mark_parity=self.heap.mark_parity,
+            virt_offset=VIRT_OFFSET,
+            n_sweepers=self.config.n_sweepers,
+            sweeper_slots=self.config.sweeper_slots,
+            stats=self.heap.memsys.stats,
+        )
+        before = self.heap.memsys.stats.as_dict()
+        start = self.sim.now
+        done = self.reclamation.sweep()
+        self.sim.run_until(done)
+        self.sweep_stats = self._stats_delta(before,
+                                             self.heap.memsys.stats.as_dict())
+        self.sweep_window = (start, self.sim.now)
+        return self.sim.now - start
+
+    def collect(self) -> HardwareGCResult:
+        """Full stop-the-world collection: mark, then sweep."""
+        mark_cycles = self.mark()
+        sweep_cycles = self.sweep()
+        return self.collect_result(mark_cycles, sweep_cycles)
+
+    def collect_result(self, mark_cycles: int,
+                       sweep_cycles: int) -> HardwareGCResult:
+        """Assemble the result record after mark/sweep have run."""
+        trav = self.traversal
+        recl = self.reclamation
+        assert trav is not None and recl is not None
+        self.last_result = HardwareGCResult(
+            mark_cycles=mark_cycles,
+            sweep_cycles=sweep_cycles,
+            objects_marked=trav.marker.objects_marked,
+            objects_requeued=trav.marker.already_marked,
+            refs_traced=trav.tracer.refs_copied,
+            cells_freed=recl.cells_freed,
+            cells_live=recl.cells_live,
+            spill_writes=trav.mark_queue.spill_writes,
+            spill_reads=trav.mark_queue.spill_reads,
+            spilled_entries=trav.mark_queue.spilled_entries,
+            markbit_cache_hits=trav.mark_bit_cache.hits,
+            counters={
+                "tracer_requests": trav.tracer.requests_issued,
+                "tracer_null_refs": trav.tracer.null_refs_skipped,
+                "marker_filtered": trav.marker.filtered,
+                "queue_peak_entries": trav.mark_queue.peak_entries,
+                "page_boundary_splits": trav.tracer.page_boundary_splits,
+            },
+        )
+        return self.last_result

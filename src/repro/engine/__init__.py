@@ -1,0 +1,39 @@
+"""Discrete-event simulation kernel.
+
+The kernel is deliberately small: an event-driven :class:`Simulator` with an
+integer cycle clock, generator-based :class:`Process` coroutines (in the style
+of simpy, but specialized for hardware modeling), bounded hardware FIFO
+:class:`HWQueue` objects with backpressure, and statistics collectors used by
+the evaluation harness.
+
+Every hardware unit in :mod:`repro.core` and every memory-system component in
+:mod:`repro.memory` is built on these primitives.
+"""
+
+from repro.engine.simulator import Simulator, Event, Process, Delay, SimulationError
+from repro.engine.queues import HWQueue, QueueFullError, QueueEmptyError
+from repro.engine.stats import (
+    BandwidthTracker,
+    Counter,
+    Histogram,
+    IntervalTracker,
+    StatsRegistry,
+    TimeSeries,
+)
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Process",
+    "Delay",
+    "SimulationError",
+    "HWQueue",
+    "QueueFullError",
+    "QueueEmptyError",
+    "Counter",
+    "Histogram",
+    "TimeSeries",
+    "IntervalTracker",
+    "BandwidthTracker",
+    "StatsRegistry",
+]

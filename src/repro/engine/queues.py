@@ -1,0 +1,151 @@
+"""Bounded hardware FIFO queues with backpressure.
+
+:class:`HWQueue` models an on-chip FIFO (e.g. the traversal unit's mark queue
+and tracer queue). ``put`` blocks the producing process while the queue is
+full and ``get`` blocks the consumer while it is empty — exactly the
+back-pressure behaviour the paper relies on ("the queues exert back-pressure
+to avoid overflowing, and marker and tracer can only issue requests if there
+is space", §V-C).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional, Tuple
+
+from repro.engine.simulator import Event, SimulationError, Simulator
+
+
+class QueueFullError(SimulationError):
+    """Raised by :meth:`HWQueue.put_nowait` when the queue is full."""
+
+
+class QueueEmptyError(SimulationError):
+    """Raised by :meth:`HWQueue.get_nowait` when the queue is empty."""
+
+
+class HWQueue:
+    """A bounded FIFO connecting two hardware processes.
+
+    ``yield queue.put(item)`` completes once the item has been accepted;
+    ``item = yield queue.get()`` completes with the dequeued item. Both
+    maintain FIFO order among waiters.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = ""):
+        if capacity < 1:
+            raise SimulationError(f"queue capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[Tuple[Event, Any]] = deque()
+        # Statistics.
+        self.total_puts = 0
+        self.total_gets = 0
+        self.peak_occupancy = 0
+        self.put_stall_count = 0  # puts that found the queue full
+
+    # -- non-blocking interface ------------------------------------------
+
+    @property
+    def occupancy(self) -> int:
+        """Number of items currently held."""
+        return len(self._items)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._items
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    def put_nowait(self, item: Any) -> None:
+        """Enqueue immediately; raises :class:`QueueFullError` if full."""
+        if self.is_full:
+            raise QueueFullError(f"queue {self.name!r} full")
+        self._accept(item)
+
+    def get_nowait(self) -> Any:
+        """Dequeue immediately; raises :class:`QueueEmptyError` if empty."""
+        if not self._items:
+            raise QueueEmptyError(f"queue {self.name!r} empty")
+        return self._release()
+
+    def try_put(self, item: Any) -> bool:
+        """Enqueue if space is available; returns whether it was accepted."""
+        if self.is_full:
+            return False
+        self._accept(item)
+        return True
+
+    # -- blocking (process) interface ------------------------------------
+
+    def put(self, item: Any) -> Event:
+        """Yieldable put: completes when the item has been accepted."""
+        event = self.sim.event(name=f"{self.name}.put")
+        if not self.is_full and not self._putters:
+            self._accept(item)
+            event.trigger()
+        else:
+            self.put_stall_count += 1
+            self._putters.append((event, item))
+        return event
+
+    def get(self) -> Event:
+        """Yieldable get: completes with the dequeued item."""
+        event = self.sim.event(name=f"{self.name}.get")
+        if self._items:
+            event.trigger(self._release())
+        else:
+            self._getters.append(event)
+        return event
+
+    # -- internals --------------------------------------------------------
+
+    def _accept(self, item: Any) -> None:
+        """Add an item, waking a waiting getter if there is one."""
+        self.total_puts += 1
+        if self._getters:
+            # Hand the item straight to the oldest waiting consumer.
+            getter = self._getters.popleft()
+            self.total_gets += 1
+            getter.trigger(item)
+            return
+        self._items.append(item)
+        if len(self._items) > self.peak_occupancy:
+            self.peak_occupancy = len(self._items)
+
+    def _release(self) -> Any:
+        """Remove the head item, admitting a waiting putter if there is one."""
+        item = self._items.popleft()
+        self.total_gets += 1
+        if self._putters:
+            putter_event, pending = self._putters.popleft()
+            self._items.append(pending)
+            self.total_puts += 1
+            putter_event.trigger()
+        return item
+
+    def drain(self) -> list:
+        """Remove and return all queued items (used when resetting a unit)."""
+        items = list(self._items)
+        self._items.clear()
+        self.total_gets += len(items)
+        while self._putters and not self.is_full:
+            putter_event, pending = self._putters.popleft()
+            self._items.append(pending)
+            self.total_puts += 1
+            putter_event.trigger()
+        return items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __repr__(self) -> str:
+        return (
+            f"HWQueue({self.name!r}, {len(self._items)}/{self.capacity}, "
+            f"waiting_put={len(self._putters)}, waiting_get={len(self._getters)})"
+        )

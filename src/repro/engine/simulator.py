@@ -1,0 +1,212 @@
+"""Event-driven simulator core with generator-based processes.
+
+Time is an integer number of *cycles*. The simulated SoC runs at 1 GHz
+(paper Table I), so one cycle is one nanosecond; the harness converts cycle
+counts to milliseconds when reporting paper-style numbers.
+
+Processes are Python generators that ``yield``:
+
+* an ``int`` or :class:`Delay` — resume after that many cycles;
+* an :class:`Event` — resume when the event triggers (receiving its value);
+* another :class:`Process` — resume when that process finishes (a *join*).
+
+Sub-routines that follow the same protocol are invoked with ``yield from``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+
+class SimulationError(RuntimeError):
+    """Raised for protocol violations inside the simulation kernel."""
+
+
+class Delay:
+    """Explicit delay request; ``yield Delay(n)`` is equivalent to ``yield n``."""
+
+    __slots__ = ("cycles",)
+
+    def __init__(self, cycles: int):
+        if cycles < 0:
+            raise SimulationError(f"negative delay: {cycles}")
+        self.cycles = int(cycles)
+
+    def __repr__(self) -> str:
+        return f"Delay({self.cycles})"
+
+
+class Event:
+    """A one-shot event that processes can wait on.
+
+    An event starts untriggered. :meth:`trigger` fires it with an optional
+    value; all current and future waiters are resumed with that value.
+    Triggering twice is an error (hardware handshakes are one-shot).
+    """
+
+    __slots__ = ("sim", "triggered", "value", "_waiters", "name")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.triggered = False
+        self.value: Any = None
+        self._waiters: List[Callable[[Any], None]] = []
+        self.name = name
+
+    def trigger(self, value: Any = None) -> None:
+        """Fire the event, resuming all waiters in this same cycle."""
+        if self.triggered:
+            raise SimulationError(f"event {self.name or id(self)} triggered twice")
+        self.triggered = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for callback in waiters:
+            self.sim.schedule(0, callback, value)
+
+    def add_callback(self, callback: Callable[[Any], None]) -> None:
+        """Invoke ``callback(value)`` when the event fires (immediately if fired)."""
+        if self.triggered:
+            self.sim.schedule(0, callback, self.value)
+        else:
+            self._waiters.append(callback)
+
+    def __repr__(self) -> str:
+        state = "fired" if self.triggered else "pending"
+        return f"Event({self.name!r}, {state})"
+
+
+class Process(Event):
+    """A running generator coroutine. Doubles as its own completion event.
+
+    The completion event's value is the generator's return value
+    (``StopIteration.value``).
+    """
+
+    __slots__ = ("_gen",)
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        super().__init__(sim, name=name)
+        self._gen = gen
+        sim.schedule(0, self._step, None)
+
+    def _step(self, value: Any) -> None:
+        # Fast path: consume already-triggered events (e.g. TLB hits)
+        # synchronously instead of bouncing through the event queue.
+        while True:
+            try:
+                item = self._gen.send(value)
+            except StopIteration as stop:
+                self.trigger(stop.value)
+                return
+            if isinstance(item, int):
+                if item == 0:
+                    value = None
+                    continue
+                self.sim.schedule(item, self._step, None)
+                return
+            if isinstance(item, Event):
+                if item.triggered:
+                    value = item.value
+                    continue
+                item.add_callback(self._step)
+                return
+            if isinstance(item, Delay):
+                self.sim.schedule(item.cycles, self._step, None)
+                return
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported item {item!r}"
+            )
+
+
+class Simulator:
+    """The event queue and clock.
+
+    Events scheduled for the same cycle run in scheduling order (a stable
+    FIFO within a cycle), which keeps hardware handshakes deterministic.
+    """
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._queue: List[Tuple[int, int, Callable, tuple]] = []
+        self._seq: int = 0
+        self.events_processed: int = 0
+
+    def schedule(self, delay: int, callback: Callable, *args: Any) -> None:
+        """Run ``callback(*args)`` ``delay`` cycles from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._queue, (self.now + delay, self._seq, callback, args))
+
+    def at(self, time: int, callback: Callable, *args: Any) -> None:
+        """Run ``callback(*args)`` at absolute cycle ``time``."""
+        self.schedule(time - self.now, callback, *args)
+
+    def event(self, name: str = "") -> Event:
+        """Create a fresh one-shot event bound to this simulator."""
+        return Event(self, name=name)
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        """Start a generator as a process; returns its completion event."""
+        return Process(self, gen, name=name)
+
+    def run(
+        self,
+        until: Optional[int] = None,
+        max_events: Optional[int] = None,
+    ) -> int:
+        """Run until the queue is empty, ``until`` cycles, or ``max_events``.
+
+        Returns the final simulation time. If ``until`` is given, the clock is
+        advanced to exactly ``until`` even if the queue drains earlier.
+        """
+        budget = max_events if max_events is not None else float("inf")
+        while self._queue and budget > 0:
+            time, _seq, callback, args = self._queue[0]
+            if until is not None and time > until:
+                break
+            heapq.heappop(self._queue)
+            self.now = time
+            callback(*args)
+            self.events_processed += 1
+            budget -= 1
+        if max_events is not None and budget <= 0 and self._queue:
+            raise SimulationError(
+                f"max_events={max_events} exhausted at cycle {self.now}; "
+                "simulation is likely livelocked"
+            )
+        if until is not None and self.now < until:
+            self.now = until
+        return self.now
+
+    def run_until(self, event: Event, max_events: Optional[int] = None) -> Any:
+        """Run until ``event`` triggers; returns its value.
+
+        Raises :class:`SimulationError` if the queue drains first (deadlock).
+        """
+        budget = max_events if max_events is not None else float("inf")
+        while not event.triggered:
+            if not self._queue:
+                raise SimulationError(
+                    f"deadlock: event queue empty at cycle {self.now} while "
+                    f"waiting for {event!r}"
+                )
+            if budget <= 0:
+                raise SimulationError(
+                    f"max_events={max_events} exhausted at cycle {self.now}"
+                )
+            time, _seq, callback, args = heapq.heappop(self._queue)
+            self.now = time
+            callback(*args)
+            self.events_processed += 1
+            budget -= 1
+        return event.value
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events currently scheduled."""
+        return len(self._queue)
+
+    def __repr__(self) -> str:
+        return f"Simulator(now={self.now}, pending={len(self._queue)})"

@@ -1,0 +1,251 @@
+"""Statistics collection for the evaluation harness.
+
+The paper's figures are driven by counters (memory requests by source,
+Fig. 18), time series (bandwidth over a pause, Fig. 16), histograms
+(object access frequencies, Fig. 21a), and request-interval measurements
+(cycles per request, Fig. 17b). This module provides one collector per shape.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter as PyCounter
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+class Counter:
+    """A named monotonically increasing counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class StatsRegistry:
+    """A flat namespace of counters, keyed by string.
+
+    Components attribute activity to keys like ``"mem.reads.marker"``; the
+    harness slices by prefix when regenerating the paper's breakdowns.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = {}
+
+    def inc(self, key: str, amount: int = 1) -> None:
+        self._counters[key] = self._counters.get(key, 0) + amount
+
+    def get(self, key: str, default: int = 0) -> int:
+        return self._counters.get(key, default)
+
+    def with_prefix(self, prefix: str) -> Dict[str, int]:
+        """All counters whose key starts with ``prefix``."""
+        return {k: v for k, v in self._counters.items() if k.startswith(prefix)}
+
+    def total(self, prefix: str) -> int:
+        """Sum of all counters under ``prefix``."""
+        return sum(self.with_prefix(prefix).values())
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._counters)
+
+    def merge(self, other: "StatsRegistry") -> None:
+        for key, value in other._counters.items():
+            self.inc(key, value)
+
+    def reset(self) -> None:
+        self._counters.clear()
+
+    def __repr__(self) -> str:
+        return f"StatsRegistry({len(self._counters)} counters)"
+
+
+class Histogram:
+    """An exact histogram over integer-valued samples."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._counts: PyCounter = PyCounter()
+        self.n = 0
+
+    def add(self, value: int, count: int = 1) -> None:
+        self._counts[value] += count
+        self.n += count
+
+    def counts(self) -> Dict[int, int]:
+        return dict(self._counts)
+
+    def mean(self) -> float:
+        if self.n == 0:
+            return 0.0
+        return sum(v * c for v, c in self._counts.items()) / self.n
+
+    def percentile(self, p: float) -> int:
+        """p in [0, 100]; nearest-rank percentile."""
+        if self.n == 0:
+            raise ValueError("empty histogram")
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile out of range: {p}")
+        rank = max(1, math.ceil(p / 100.0 * self.n))
+        seen = 0
+        for value in sorted(self._counts):
+            seen += self._counts[value]
+            if seen >= rank:
+                return value
+        return max(self._counts)  # pragma: no cover - defensive
+
+    def top(self, k: int) -> List[Tuple[int, int]]:
+        """The ``k`` (value, count) pairs with the highest counts."""
+        return self._counts.most_common(k)
+
+    def __len__(self) -> int:
+        return self.n
+
+
+class TimeSeries:
+    """A sequence of (time, value) samples."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.times: List[int] = []
+        self.values: List[float] = []
+
+    def sample(self, time: int, value: float) -> None:
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def points(self) -> List[Tuple[int, float]]:
+        return list(zip(self.times, self.values))
+
+
+class IntervalTracker:
+    """Tracks intervals between successive occurrences of an event.
+
+    Used for Fig. 17b: "a request being sent into the memory system every
+    8.66 cycles".
+    """
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.count = 0
+        self._first: Optional[int] = None
+        self._last: Optional[int] = None
+
+    def record(self, time: int) -> None:
+        if self._first is None:
+            self._first = time
+        self._last = time
+        self.count += 1
+
+    def mean_interval(self) -> float:
+        """Average cycles between occurrences (span / (count - 1))."""
+        if self.count < 2 or self._first is None or self._last is None:
+            return 0.0
+        return (self._last - self._first) / (self.count - 1)
+
+    @property
+    def span(self) -> int:
+        if self._first is None or self._last is None:
+            return 0
+        return self._last - self._first
+
+
+class BandwidthTracker:
+    """Accumulates (time, bytes) transfer records and bins them.
+
+    The simulated clock is 1 GHz, so a cycle is 1 ns and ``bytes/cycle``
+    equals GB/s — the unit used in Figs. 16 and 17.
+    """
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._records: List[Tuple[int, int]] = []
+        self.total_bytes = 0
+        self.busy_cycles = 0
+
+    def record(self, time: int, nbytes: int, busy_cycles: int = 0) -> None:
+        self._records.append((time, nbytes))
+        self.total_bytes += nbytes
+        self.busy_cycles += busy_cycles
+
+    def binned(self, bin_cycles: int) -> List[Tuple[int, float]]:
+        """Returns [(bin_start_cycle, GB/s within bin), ...] over the span."""
+        if not self._records:
+            return []
+        if bin_cycles <= 0:
+            raise ValueError("bin_cycles must be positive")
+        start = min(t for t, _ in self._records)
+        end = max(t for t, _ in self._records)
+        nbins = (end - start) // bin_cycles + 1
+        totals = [0] * nbins
+        for time, nbytes in self._records:
+            totals[(time - start) // bin_cycles] += nbytes
+        return [
+            (start + i * bin_cycles, totals[i] / bin_cycles) for i in range(nbins)
+        ]
+
+    def binned_window(
+        self, start: int, end: int, bin_cycles: int
+    ) -> List[Tuple[int, float]]:
+        """Like :meth:`binned` but restricted to ``[start, end)`` — used to
+        slice one GC pause out of a longer run (Fig. 16)."""
+        if bin_cycles <= 0:
+            raise ValueError("bin_cycles must be positive")
+        if end <= start:
+            return []
+        nbins = (end - start - 1) // bin_cycles + 1
+        totals = [0] * nbins
+        for time, nbytes in self._records:
+            if start <= time < end:
+                totals[(time - start) // bin_cycles] += nbytes
+        return [
+            (start + i * bin_cycles, totals[i] / bin_cycles)
+            for i in range(nbins)
+        ]
+
+    def window_bytes(self, start: int, end: int) -> int:
+        """Total bytes transferred in ``[start, end)``."""
+        return sum(b for t, b in self._records if start <= t < end)
+
+    def average_gbps(self, span_cycles: Optional[int] = None) -> float:
+        """Mean bandwidth in GB/s over the recorded span (or a given span)."""
+        if span_cycles is None:
+            if len(self._records) < 2:
+                return 0.0
+            span_cycles = self._records[-1][0] - self._records[0][0]
+        if span_cycles <= 0:
+            return 0.0
+        return self.total_bytes / span_cycles
+
+
+def weighted_mean(pairs: Iterable[Tuple[float, float]]) -> float:
+    """Mean of (value, weight) pairs; 0.0 when total weight is zero."""
+    total = 0.0
+    weight_sum = 0.0
+    for value, weight in pairs:
+        total += value * weight
+        weight_sum += weight
+    return total / weight_sum if weight_sum else 0.0
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean; the paper reports cross-benchmark speedups this way."""
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

@@ -1,0 +1,62 @@
+"""Plain-text rendering of experiment results (tables and series).
+
+The harness prints the same rows/series the paper's figures plot; these
+helpers format them for terminals, test logs and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple, Union
+
+Cell = Union[str, int, float]
+
+
+def _fmt(cell: Cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 100:
+            return f"{cell:.0f}"
+        if abs(cell) >= 1:
+            return f"{cell:.2f}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[Cell]],
+                 title: str = "") -> str:
+    """A GitHub-markdown-compatible table."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def render_series(points: Sequence[Tuple[float, float]],
+                  x_label: str = "x", y_label: str = "y",
+                  max_points: int = 24, width: int = 40,
+                  title: str = "") -> str:
+    """A terminal sparkline table for time series (Fig. 16-style plots)."""
+    if not points:
+        return f"{title} (no data)"
+    step = max(1, len(points) // max_points)
+    sampled = points[::step]
+    peak = max(y for _x, y in sampled) or 1.0
+    out = [title] if title else []
+    out.append(f"{x_label:>14} | {y_label}")
+    for x, y in sampled:
+        bar = "#" * int(round(width * y / peak))
+        out.append(f"{x:>14.0f} | {bar} {y:.2f}")
+    return "\n".join(out)

@@ -1,0 +1,64 @@
+"""JikesRVM-style managed heap substrate.
+
+Implements the runtime-system side of the paper's co-design (§V-A):
+
+* the **bidirectional object layout** (Fig. 6b) and the header/status-word
+  encoding of Fig. 11 (tag bit, mark bit, 32-bit reference count with an
+  array flag, replicated scan word at the cell start for linear sweeps);
+* the **segregated free-list allocator**: memory divided into blocks, each
+  assigned a size class that determines its cell size; cells hold either an
+  object or a free-list entry;
+* the MMTk-like **spaces** (MarkSweep, LargeObject, Immortal, Code) plus the
+  hwgc root-communication region;
+* the **root table** written into hwgc-space for the traversal unit; and
+* functional ground-truth reachability used to verify both collectors.
+
+Everything lives inside the simulated :class:`~repro.memory.memimage.
+PhysicalMemory`, so the software GC, the accelerator, and the sweeper all
+operate on real in-memory data structures.
+"""
+
+from repro.heap.header import (
+    ARRAY_FLAG,
+    MARK_BIT,
+    TAG_BIT,
+    decode_refcount,
+    header_is_marked,
+    make_header,
+    make_scan_word,
+    scan_word_is_object,
+)
+from repro.heap.sizeclass import SIZE_CLASSES_WORDS, SizeClassTable
+from repro.heap.layout import BidirectionalLayout, ConventionalLayout, ObjectShape
+from repro.heap.blocks import BLOCK_BYTES, BlockDescriptor, BlockList
+from repro.heap.allocator import SegregatedFreeListAllocator
+from repro.heap.spaces import Space, SpaceKind, SpacePlan
+from repro.heap.roots import RootRegion
+from repro.heap.objectmodel import ObjectView
+from repro.heap.heapimage import ManagedHeap
+
+__all__ = [
+    "ARRAY_FLAG",
+    "MARK_BIT",
+    "TAG_BIT",
+    "make_header",
+    "make_scan_word",
+    "decode_refcount",
+    "header_is_marked",
+    "scan_word_is_object",
+    "SIZE_CLASSES_WORDS",
+    "SizeClassTable",
+    "ObjectShape",
+    "BidirectionalLayout",
+    "ConventionalLayout",
+    "BLOCK_BYTES",
+    "BlockDescriptor",
+    "BlockList",
+    "SegregatedFreeListAllocator",
+    "Space",
+    "SpaceKind",
+    "SpacePlan",
+    "RootRegion",
+    "ObjectView",
+    "ManagedHeap",
+]

@@ -1,0 +1,171 @@
+"""Segregated free-list allocator over blocks and size classes (§V-A).
+
+Functional (untimed) — in the paper this is the application/runtime side:
+the GC unit only *produces* free lists; the mutator consumes them during
+allocation. The allocator:
+
+* carves fresh :data:`~repro.heap.blocks.BLOCK_BYTES` blocks out of the
+  MarkSweep space, assigns each a size class, and threads all cells of a
+  fresh block onto its free list (next pointers stored in the cells
+  themselves, Fig. 11);
+* pops cells off per-class free lists, consulting the block list's
+  sweeper-updated ``freelist_head`` fields after a GC ("places the
+  resulting free lists into main memory for the application on the CPU to
+  use during allocation", §IV);
+* initializes object metadata through the configured layout and returns the
+  object reference (virtual address of the status word).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.heap.blocks import BLOCK_BYTES, BlockDescriptor, BlockList
+from repro.heap.layout import BidirectionalLayout, ObjectShape
+from repro.heap.sizeclass import SizeClassTable
+from repro.memory.config import WORD_BYTES
+from repro.memory.memimage import PhysicalMemory
+
+
+class OutOfMemoryError(MemoryError):
+    """The MarkSweep space has no free cells and no room for fresh blocks."""
+
+
+class SegregatedFreeListAllocator:
+    """Allocation front-end for the MarkSweep space."""
+
+    def __init__(
+        self,
+        mem: PhysicalMemory,
+        block_list: BlockList,
+        space_pstart: int,
+        space_pend: int,
+        virt_offset: int,
+        size_classes: Optional[SizeClassTable] = None,
+        layout=BidirectionalLayout,
+        alloc_mark_value: int = 0,
+    ):
+        self.mem = mem
+        self.block_list = block_list
+        self.space_pstart = space_pstart
+        self.space_pend = space_pend
+        self.virt_offset = virt_offset
+        self.size_classes = size_classes or SizeClassTable()
+        self.layout = layout
+        #: Mark-bit value written into fresh objects; the heap updates this
+        #: when mark parity flips after a GC.
+        self.alloc_mark_value = alloc_mark_value
+        self._fresh_cursor = space_pstart
+        # Per size class: indices of blocks that may still have free cells.
+        self._class_blocks: Dict[int, List[int]] = {
+            i: [] for i in range(len(self.size_classes))
+        }
+        self._block_class: Dict[int, int] = {}  # block index -> class
+        self.objects_allocated = 0
+        self.bytes_allocated = 0
+
+    # -- address helpers ---------------------------------------------------
+
+    def to_virtual(self, paddr: int) -> int:
+        return paddr + self.virt_offset
+
+    def to_physical(self, vaddr: int) -> int:
+        return vaddr - self.virt_offset
+
+    # -- block management ----------------------------------------------------
+
+    def _carve_block(self, class_index: int) -> int:
+        """Take a fresh block from the space; returns its block-list index."""
+        if self._fresh_cursor + BLOCK_BYTES > self.space_pend:
+            raise OutOfMemoryError(
+                f"MarkSweep space exhausted at {self._fresh_cursor:#x}"
+            )
+        base_paddr = self._fresh_cursor
+        self._fresh_cursor += BLOCK_BYTES
+        cell_bytes = self.size_classes.cell_bytes(class_index)
+        n_cells = BLOCK_BYTES // cell_bytes
+        base_vaddr = self.to_virtual(base_paddr)
+        # Thread every cell onto the block's free list.
+        for i in range(n_cells):
+            cell_paddr = base_paddr + i * cell_bytes
+            next_vaddr = base_vaddr + (i + 1) * cell_bytes if i + 1 < n_cells else 0
+            self.mem.write_word(cell_paddr, next_vaddr)
+        desc = self.block_list.append(base_vaddr, cell_bytes, n_cells, base_vaddr)
+        self._class_blocks[class_index].append(desc.index)
+        self._block_class[desc.index] = class_index
+        return desc.index
+
+    def refresh_free_lists(self) -> None:
+        """Re-discover free cells after a sweep.
+
+        The sweeper wrote per-block free-list heads into the block list;
+        every block whose head is non-zero can serve allocations again.
+        """
+        self._class_blocks = {i: [] for i in range(len(self.size_classes))}
+        for desc in self.block_list:
+            class_index = self._block_class.get(desc.index)
+            if class_index is None:
+                # A block created by someone else (tests); infer its class.
+                class_index = self.size_classes.class_for(
+                    desc.cell_bytes // WORD_BYTES
+                )
+                self._block_class[desc.index] = class_index
+            if desc.freelist_head != 0:
+                self._class_blocks[class_index].append(desc.index)
+
+    # -- allocation -------------------------------------------------------------
+
+    def _pop_cell(self, class_index: int) -> int:
+        """Pop a free cell for the class; returns its *virtual* address."""
+        blocks = self._class_blocks[class_index]
+        while blocks:
+            block_index = blocks[0]
+            head = self.block_list.freelist_head(block_index)
+            if head == 0:
+                blocks.pop(0)
+                continue
+            next_vaddr = self.mem.read_word(self.to_physical(head))
+            self.block_list.set_freelist_head(block_index, next_vaddr)
+            return head
+        block_index = self._carve_block(class_index)
+        return self._pop_cell(class_index)
+
+    def alloc(self, shape: ObjectShape) -> int:
+        """Allocate an object; returns its reference (virtual address).
+
+        Only MarkSweep-space sizes are accepted; larger objects belong to
+        the large-object space (see :class:`~repro.heap.heapimage.
+        ManagedHeap`).
+        """
+        n_words = self.layout.words_needed(shape)
+        class_index = self.size_classes.class_for(n_words)
+        cell_vaddr = self._pop_cell(class_index)
+        cell_paddr = self.to_physical(cell_vaddr)
+        status_paddr = self.layout.initialize(
+            self.mem, cell_paddr, shape, mark=self.alloc_mark_value
+        )
+        self.objects_allocated += 1
+        self.bytes_allocated += self.size_classes.cell_bytes(class_index)
+        return self.to_virtual(status_paddr)
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def blocks_in_use(self) -> int:
+        return (self._fresh_cursor - self.space_pstart) // BLOCK_BYTES
+
+    def free_cells(self) -> int:
+        """Total free cells across all blocks (walks the real free lists)."""
+        total = 0
+        for desc in self.block_list:
+            head = desc.freelist_head
+            seen = 0
+            while head != 0:
+                seen += 1
+                if seen > desc.n_cells:
+                    raise RuntimeError(
+                        f"free list of block {desc.index} is cyclic or corrupt"
+                    )
+                head = self.mem.read_word(self.to_physical(head))
+            total += seen
+        return total

@@ -1,0 +1,93 @@
+"""Object header encoding (paper Fig. 11).
+
+Each live cell carries two metadata words:
+
+* the **status word** (the word an object reference points at, and the word
+  the marker fetch-ORs): ``[refcount:32 | thinlock:30 | mark:1 | tag:1]``.
+  The 32-bit refcount field stores the number of reference fields; its MSB
+  is set for arrays ("we use 32 of these bits to store the number of
+  references in an object (for arrays, we set the MSB of these 32 bits to 1
+  to distinguish them)", §V-A).
+* the **scan word** replicated at the cell start ("we also replicate the
+  reference count at the beginning of the array, which is necessary to
+  enable linear scans through the heap"). Its low bits are ``0b101``; bit 0
+  distinguishes a live cell from a free-list entry, whose next pointer is
+  8-byte aligned and therefore has ``000`` in its low bits.
+
+Mark-bit polarity alternates between collections ("mark parity"): GC epoch
+*n* marks objects by driving the mark bit to ``n % 2 ^ 1``... concretely, the
+heap tracks ``mark_parity``, the bit value meaning *marked in the current
+collection*. Marking is a single AMO either way (fetch-or when parity is 1,
+fetch-and when 0), and the sweeper never needs to clear mark bits — exactly
+why the paper's sweeper can skip live cells without writing them.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+TAG_BIT = 1 << 0  # 1 = live cell (object), 0 = free-list entry
+MARK_BIT = 1 << 1
+REFCOUNT_SHIFT = 32
+ARRAY_FLAG = 1 << 63  # MSB of the 32-bit refcount field
+REFCOUNT_MASK = (1 << 31) - 1  # 31 usable bits below the array flag
+
+#: Low bits of the scan word (Fig. 11 shows ``#REFS | 101``).
+SCAN_WORD_FLAGS = 0b101
+
+MAX_REFS = REFCOUNT_MASK
+
+
+def make_header(n_refs: int, is_array: bool = False, mark: int = 0) -> int:
+    """Build a status word for a live object (tag bit always set)."""
+    if not 0 <= n_refs <= MAX_REFS:
+        raise ValueError(f"reference count out of range: {n_refs}")
+    if mark not in (0, 1):
+        raise ValueError(f"mark must be 0 or 1: {mark}")
+    word = (n_refs << REFCOUNT_SHIFT) | TAG_BIT
+    if is_array:
+        word |= ARRAY_FLAG
+    if mark:
+        word |= MARK_BIT
+    return word
+
+
+def make_scan_word(n_refs: int, is_array: bool = False) -> int:
+    """Build the replicated scan word placed at the cell start."""
+    if not 0 <= n_refs <= MAX_REFS:
+        raise ValueError(f"reference count out of range: {n_refs}")
+    word = (n_refs << REFCOUNT_SHIFT) | SCAN_WORD_FLAGS
+    if is_array:
+        word |= ARRAY_FLAG
+    return word
+
+
+def decode_refcount(word: int) -> Tuple[int, bool]:
+    """Extract (n_refs, is_array) from a status or scan word."""
+    return (word >> REFCOUNT_SHIFT) & REFCOUNT_MASK, bool(word & ARRAY_FLAG)
+
+
+def header_is_marked(word: int, parity: int) -> bool:
+    """Whether a status word is marked under the given parity."""
+    return ((word & MARK_BIT) != 0) == (parity == 1)
+
+
+def header_with_mark(word: int, parity: int) -> int:
+    """A status word with its mark bit driven to the given parity."""
+    if parity == 1:
+        return word | MARK_BIT
+    return word & ~MARK_BIT
+
+
+def scan_word_is_object(word: int) -> bool:
+    """First-word test the sweeper performs (§V-D): LSB=1 means live object.
+
+    Free cells hold an 8-byte-aligned next pointer (LSB=0); a zero word is
+    the free-list terminator.
+    """
+    return bool(word & TAG_BIT)
+
+
+def header_is_live(word: int) -> bool:
+    """Tag-bit test: whether this status word belongs to a live cell."""
+    return bool(word & TAG_BIT)

@@ -1,0 +1,144 @@
+"""Object layouts: bidirectional (the co-designed one) and conventional/TIB.
+
+**Bidirectional layout** (Fig. 6b, Fig. 11). Within a cell of ``C`` words::
+
+    word 0           scan word   (#refs | array? | 0b101)   <- cell start
+    words 1..R       reference fields
+    word R+1         status word (#refs | array? | mark | tag)  <- object ref
+    words R+2..C-1   non-reference payload
+
+An object *reference* is the virtual address of the status word. The
+reference fields sit immediately below it, so the traversal unit locates
+them with no extra accesses: ``[obj - 8R, obj)`` — the unit-stride copy the
+tracer performs.
+
+**Conventional layout** (Fig. 6a), used only by the layout-ablation study:
+the header points to a type-information block (TIB) listing reference-field
+offsets, costing "two additional memory accesses per object in a cacheless
+system" (§IV-A). Cells are::
+
+    word 0           status word (tag | mark)                <- object ref
+    word 1           TIB pointer
+    words 2..C-1     fields (references interspersed, per the TIB)
+
+Both layouts implement the same protocol so the collectors can be
+parameterized by layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.heap.header import (
+    decode_refcount,
+    make_header,
+    make_scan_word,
+)
+from repro.memory.config import WORD_BYTES
+from repro.memory.memimage import PhysicalMemory
+
+
+@dataclass(frozen=True)
+class ObjectShape:
+    """The allocation request for one object."""
+
+    n_refs: int
+    n_payload_words: int = 0
+    is_array: bool = False
+
+    @property
+    def bidirectional_words(self) -> int:
+        """Cell words needed under the bidirectional layout."""
+        return 2 + self.n_refs + self.n_payload_words
+
+    @property
+    def conventional_words(self) -> int:
+        """Cell words needed under the conventional layout (header + TIB)."""
+        return 2 + self.n_refs + self.n_payload_words
+
+
+class BidirectionalLayout:
+    """Writer/reader for the bidirectional cell format."""
+
+    name = "bidirectional"
+
+    @staticmethod
+    def words_needed(shape: ObjectShape) -> int:
+        return shape.bidirectional_words
+
+    @staticmethod
+    def initialize(
+        mem: PhysicalMemory, cell_paddr: int, shape: ObjectShape, mark: int
+    ) -> int:
+        """Write metadata for a fresh object; returns the *physical* address
+        of the status word (callers convert to virtual for references)."""
+        mem.write_word(cell_paddr, make_scan_word(shape.n_refs, shape.is_array))
+        mem.fill(cell_paddr + WORD_BYTES, shape.n_refs, 0)  # null refs
+        status_paddr = cell_paddr + WORD_BYTES * (1 + shape.n_refs)
+        mem.write_word(
+            status_paddr, make_header(shape.n_refs, shape.is_array, mark=mark)
+        )
+        return status_paddr
+
+    @staticmethod
+    def status_paddr_from_cell(mem: PhysicalMemory, cell_paddr: int) -> int:
+        """Locate the status word from the cell start via the scan word —
+        the computation each block sweeper performs (§V-D)."""
+        scan = mem.read_word(cell_paddr)
+        n_refs, _is_array = decode_refcount(scan)
+        return cell_paddr + WORD_BYTES * (1 + n_refs)
+
+    @staticmethod
+    def ref_field_addr(obj_addr: int, n_refs: int, index: int) -> int:
+        """Address of reference field ``index`` given the object address."""
+        if not 0 <= index < n_refs:
+            raise IndexError(f"ref index {index} out of {n_refs}")
+        return obj_addr - WORD_BYTES * (n_refs - index)
+
+    @staticmethod
+    def ref_section(obj_addr: int, n_refs: int) -> Tuple[int, int]:
+        """(start, nbytes) of the reference section below the status word."""
+        return obj_addr - WORD_BYTES * n_refs, WORD_BYTES * n_refs
+
+    @staticmethod
+    def cell_paddr_from_status(status_paddr: int, n_refs: int) -> int:
+        return status_paddr - WORD_BYTES * (1 + n_refs)
+
+
+class ConventionalLayout:
+    """Conventional TIB-based layout for the ablation study.
+
+    The TIB itself is a separate heap structure shared per "type"; we model
+    one TIB per distinct reference count, each a small immortal array of
+    field offsets. Collectors traversing this layout must (1) read the
+    header, (2) read the TIB pointer, (3) read the TIB's offset list, then
+    (4) gather each reference field individually — the extra accesses the
+    bidirectional layout removes.
+    """
+
+    name = "conventional"
+
+    def __init__(self) -> None:
+        # type id -> list of field offsets (in words, relative to object).
+        self._tibs: Dict[int, List[int]] = {}
+        self._tib_addrs: Dict[int, int] = {}
+
+    @staticmethod
+    def words_needed(shape: ObjectShape) -> int:
+        return shape.conventional_words
+
+    def register_tib(
+        self, mem: PhysicalMemory, type_id: int, offsets: Sequence[int], paddr: int
+    ) -> None:
+        """Materialize a TIB: word 0 = count, then one offset per word."""
+        self._tibs[type_id] = list(offsets)
+        self._tib_addrs[type_id] = paddr
+        mem.write_word(paddr, len(offsets))
+        mem.write_words(paddr + WORD_BYTES, offsets)
+
+    def tib_addr(self, type_id: int) -> int:
+        return self._tib_addrs[type_id]
+
+    def offsets(self, type_id: int) -> List[int]:
+        return self._tibs[type_id]

@@ -1,0 +1,103 @@
+"""Typed view over an object in the simulated heap.
+
+:class:`ObjectView` wraps an object reference (the virtual address of its
+status word under the bidirectional layout) and exposes the fields the
+collectors manipulate. Used by the graph generators, the mutator model, and
+the verification code in tests; the collectors themselves read memory
+directly, as the hardware does.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.heap.header import (
+    MARK_BIT,
+    TAG_BIT,
+    decode_refcount,
+    header_is_marked,
+)
+from repro.heap.layout import BidirectionalLayout
+from repro.memory.config import WORD_BYTES
+from repro.memory.memimage import PhysicalMemory
+
+
+class ObjectView:
+    """Accessor for one bidirectional-layout object."""
+
+    __slots__ = ("mem", "addr", "virt_offset")
+
+    def __init__(self, mem: PhysicalMemory, addr: int, virt_offset: int):
+        self.mem = mem
+        self.addr = addr  # virtual address of the status word
+        self.virt_offset = virt_offset
+
+    # -- address translation ------------------------------------------------
+
+    @property
+    def status_paddr(self) -> int:
+        return self.addr - self.virt_offset
+
+    # -- header ------------------------------------------------------------
+
+    @property
+    def status_word(self) -> int:
+        return self.mem.read_word(self.status_paddr)
+
+    @property
+    def n_refs(self) -> int:
+        return decode_refcount(self.status_word)[0]
+
+    @property
+    def is_array(self) -> bool:
+        return decode_refcount(self.status_word)[1]
+
+    @property
+    def is_live_cell(self) -> bool:
+        return bool(self.status_word & TAG_BIT)
+
+    def is_marked(self, parity: int) -> bool:
+        return header_is_marked(self.status_word, parity)
+
+    @property
+    def mark_bit(self) -> int:
+        return 1 if self.status_word & MARK_BIT else 0
+
+    # -- reference fields -----------------------------------------------------
+
+    def ref_paddr(self, index: int) -> int:
+        vaddr = BidirectionalLayout.ref_field_addr(self.addr, self.n_refs, index)
+        return vaddr - self.virt_offset
+
+    def get_ref(self, index: int) -> int:
+        """Read reference field ``index`` (0 means null)."""
+        return self.mem.read_word(self.ref_paddr(index))
+
+    def set_ref(self, index: int, target_vaddr: int) -> None:
+        """Write reference field ``index``; ``0`` stores null."""
+        self.mem.write_word(self.ref_paddr(index), target_vaddr)
+
+    def refs(self) -> List[int]:
+        """All non-null outgoing references."""
+        n = self.n_refs
+        if n == 0:
+            return []
+        start_paddr = self.status_paddr - WORD_BYTES * n
+        return [w for w in self.mem.read_words(start_paddr, n) if w != 0]
+
+    # -- payload ---------------------------------------------------------------
+
+    def payload_paddr(self, index: int) -> int:
+        return self.status_paddr + WORD_BYTES * (1 + index)
+
+    def get_payload(self, index: int) -> int:
+        return self.mem.read_word(self.payload_paddr(index))
+
+    def set_payload(self, index: int, value: int) -> None:
+        self.mem.write_word(self.payload_paddr(index), value)
+
+    def __repr__(self) -> str:
+        return (
+            f"ObjectView({self.addr:#x}, refs={self.n_refs}, "
+            f"array={self.is_array}, mark={self.mark_bit})"
+        )

@@ -1,0 +1,66 @@
+"""The hwgc root-communication region (§V-A "Root Scanning", §IV-C).
+
+"We modify the root scanning mechanism in Jikes to not write the references
+into the software GC's mark queue but instead write them into a region in
+memory that is visible to the GC unit (hwgc-space)."
+
+Layout: word 0 holds the number of roots; words 1.. hold object references
+(virtual addresses). The same region doubles as the concurrent write
+barrier's communication channel: "When overwriting a reference, write it
+into the same region in memory that is used to communicate the roots"
+(§IV-D) — :meth:`RootRegion.append` is that barrier write.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from repro.memory.config import WORD_BYTES
+from repro.memory.memimage import PhysicalMemory
+
+
+class RootRegion:
+    """The in-memory root table shared between runtime and GC unit."""
+
+    def __init__(self, mem: PhysicalMemory, region: Tuple[int, int]):
+        self.mem = mem
+        self.base, self.end = region
+        self.capacity = (self.end - self.base) // WORD_BYTES - 1
+        self.mem.write_word(self.base, 0)
+
+    @property
+    def count(self) -> int:
+        return self.mem.read_word(self.base)
+
+    def clear(self) -> None:
+        self.mem.write_word(self.base, 0)
+
+    def write_roots(self, roots: Iterable[int]) -> None:
+        """Replace the table contents — what root scanning does at GC start."""
+        roots = list(roots)
+        if len(roots) > self.capacity:
+            raise MemoryError(
+                f"{len(roots)} roots exceed hwgc-space capacity {self.capacity}"
+            )
+        self.mem.write_words(self.base + WORD_BYTES, roots)
+        self.mem.write_word(self.base, len(roots))
+
+    def append(self, ref: int) -> None:
+        """Write-barrier append of an overwritten reference (§IV-D)."""
+        count = self.count
+        if count >= self.capacity:
+            raise MemoryError("hwgc-space overflow (write-barrier storm)")
+        self.mem.write_word(self.base + WORD_BYTES * (1 + count), ref)
+        self.mem.write_word(self.base, count + 1)
+
+    def read_all(self) -> List[int]:
+        count = self.count
+        if count == 0:
+            return []
+        return self.mem.read_words(self.base + WORD_BYTES, count)
+
+    def entry_addr(self, index: int) -> int:
+        """Physical address of entry ``index`` (the reader streams these)."""
+        if index < 0 or index >= self.count:
+            raise IndexError(f"root {index} out of {self.count}")
+        return self.base + WORD_BYTES * (1 + index)

@@ -1,0 +1,120 @@
+"""MMTk-style spaces (§V-A).
+
+Jikes's MarkSweep plan "consists of 9 spaces, including large object space,
+code space and immortal space. Our collector traces all of these spaces, but
+only reclaims the main MarkSweep space." We model the four that matter for
+the traversal and reclamation behaviour (MarkSweep, LargeObject, Immortal,
+Code); the remaining Jikes spaces (boot image, meta etc.) behave like
+Immortal for GC purposes and are folded into it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.memory.config import WORD_BYTES
+from repro.memory.paging import PAGE_SIZE
+
+
+class SpaceKind(enum.Enum):
+    MARKSWEEP = "marksweep"  # segregated free lists; reclaimed by the unit
+    LARGE_OBJECT = "los"  # page-granular; traced, reclaimed in software
+    IMMORTAL = "immortal"  # traced, never reclaimed
+    CODE = "code"  # traced, never reclaimed (managed by Jikes)
+
+
+@dataclass
+class Space:
+    """A contiguous physical range with a bump cursor for non-MS spaces."""
+
+    name: str
+    kind: SpaceKind
+    pstart: int
+    pend: int
+    cursor: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if self.cursor == 0:
+            self.cursor = self.pstart
+        if self.pstart % WORD_BYTES or self.pend % WORD_BYTES:
+            raise ValueError("space bounds must be word-aligned")
+        if self.pend <= self.pstart:
+            raise ValueError(f"empty space {self.name}")
+
+    @property
+    def size_bytes(self) -> int:
+        return self.pend - self.pstart
+
+    @property
+    def bytes_used(self) -> int:
+        return self.cursor - self.pstart
+
+    def contains(self, paddr: int) -> bool:
+        return self.pstart <= paddr < self.pend
+
+    def bump_alloc(self, nbytes: int, align: int = WORD_BYTES) -> int:
+        """Bump-pointer allocation (LOS/immortal/code); returns paddr."""
+        start = self.cursor
+        if start % align:
+            start += align - start % align
+        if start + nbytes > self.pend:
+            raise MemoryError(f"space {self.name} exhausted")
+        self.cursor = start + nbytes
+        return start
+
+
+class SpacePlan:
+    """Carves the heap region into spaces, MMTk-plan style.
+
+    Fractions reflect typical DaCapo-on-Jikes usage: most allocation lands
+    in the MarkSweep space ("which contains most freshly allocated
+    objects", §V-A).
+    """
+
+    def __init__(
+        self,
+        heap_range: Tuple[int, int],
+        immortal_frac: float = 0.04,
+        code_frac: float = 0.03,
+        los_frac: float = 0.13,
+    ):
+        pstart, pend = heap_range
+        total = pend - pstart
+        if immortal_frac + code_frac + los_frac >= 0.9:
+            raise ValueError("non-MarkSweep spaces would dwarf the MS space")
+
+        def carve(cursor: int, frac: float) -> Tuple[int, int]:
+            size = int(total * frac) // PAGE_SIZE * PAGE_SIZE
+            return cursor, cursor + size
+
+        cursor = pstart
+        if cursor % PAGE_SIZE:
+            cursor += PAGE_SIZE - cursor % PAGE_SIZE
+        imm_start, cursor = carve(cursor, immortal_frac)
+        code_start, cursor = carve(cursor, code_frac)
+        los_start, cursor = carve(cursor, los_frac)
+        self.immortal = Space("immortal", SpaceKind.IMMORTAL, imm_start, code_start)
+        self.code = Space("code", SpaceKind.CODE, code_start, los_start)
+        self.los = Space("los", SpaceKind.LARGE_OBJECT, los_start, cursor)
+        self.marksweep = Space("marksweep", SpaceKind.MARKSWEEP, cursor, pend)
+        self._all = [self.immortal, self.code, self.los, self.marksweep]
+
+    def __iter__(self):
+        return iter(self._all)
+
+    def by_name(self, name: str) -> Space:
+        for space in self._all:
+            if space.name == name:
+                return space
+        raise KeyError(name)
+
+    def space_for(self, paddr: int) -> Optional[Space]:
+        for space in self._all:
+            if space.contains(paddr):
+                return space
+        return None
+
+    def summary(self) -> Dict[str, int]:
+        return {space.name: space.size_bytes for space in self._all}

@@ -1,0 +1,176 @@
+"""Software verification of hardware-GC results (§V-E).
+
+"By replacing libhwgc, we can swap in a software implementation of our GC,
+as well as a version that performs software checks of the hardware unit
+(or produces a snapshot of the heap). This approach helped for debugging."
+
+:class:`HeapVerifier` is that debug path: a functional (untimed) mark over
+the heap image compared bit-for-bit against what a collector produced,
+plus structural checks of free lists and block metadata.
+:func:`snapshot_heap` / :func:`diff_snapshots` support the snapshot-based
+debugging workflow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.heap.header import (
+    decode_refcount,
+    header_is_marked,
+    scan_word_is_object,
+)
+from repro.heap.heapimage import ManagedHeap
+from repro.memory.config import WORD_BYTES
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of a software check of a collection."""
+
+    objects_checked: int = 0
+    mark_errors: List[str] = field(default_factory=list)
+    sweep_errors: List[str] = field(default_factory=list)
+    freelist_errors: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not (self.mark_errors or self.sweep_errors
+                    or self.freelist_errors)
+
+    def raise_if_failed(self) -> None:
+        if not self.ok:
+            problems = (self.mark_errors + self.sweep_errors
+                        + self.freelist_errors)
+            preview = "; ".join(problems[:5])
+            raise AssertionError(
+                f"hardware GC verification failed "
+                f"({len(problems)} problems): {preview}"
+            )
+
+
+class HeapVerifier:
+    """Functional re-execution of marking, compared against the heap image."""
+
+    def __init__(self, heap: ManagedHeap):
+        self.heap = heap
+
+    def software_mark_set(self) -> Set[int]:
+        """The reference result: BFS straight over the memory image."""
+        return self.heap.reachable()
+
+    def check_marks(self, parity: Optional[int] = None,
+                    report: Optional[VerificationReport] = None,
+                    ) -> VerificationReport:
+        """Every tracked object's mark bit must match functional liveness."""
+        heap = self.heap
+        parity = parity if parity is not None else heap.mark_parity
+        report = report or VerificationReport()
+        expected_live = self.software_mark_set()
+        for addr in heap.objects:
+            view = heap.view(addr)
+            report.objects_checked += 1
+            is_marked = view.is_marked(parity)
+            should_be = addr in expected_live
+            if is_marked != should_be:
+                kind = "unmarked live" if should_be else "marked garbage"
+                report.mark_errors.append(f"{kind} object at {addr:#x}")
+        return report
+
+    def check_sweep(self, report: Optional[VerificationReport] = None,
+                    parity: Optional[int] = None) -> VerificationReport:
+        """After a sweep: dead MarkSweep cells are free, live ones intact."""
+        heap = self.heap
+        parity = parity if parity is not None else heap.mark_parity
+        report = report or VerificationReport()
+        live = self.software_mark_set()
+        ms = heap.plan.marksweep
+        for desc in heap.block_list:
+            base_paddr = heap.to_physical(desc.base_vaddr)
+            if not ms.contains(base_paddr):
+                report.sweep_errors.append(
+                    f"block {desc.index} outside the MarkSweep space")
+                continue
+            for i in range(desc.n_cells):
+                cell_paddr = base_paddr + i * desc.cell_bytes
+                first = heap.mem.read_word(cell_paddr)
+                if not scan_word_is_object(first):
+                    continue  # a free cell; the free-list check covers it
+                n_refs, _ = decode_refcount(first)
+                status = heap.mem.read_word(
+                    cell_paddr + WORD_BYTES * (1 + n_refs))
+                obj_addr = desc.base_vaddr + i * desc.cell_bytes \
+                    + WORD_BYTES * (1 + n_refs)
+                if header_is_marked(status, parity):
+                    if obj_addr not in live:
+                        report.sweep_errors.append(
+                            f"surviving garbage cell at {obj_addr:#x}")
+                else:
+                    report.sweep_errors.append(
+                        f"unswept dead object at {obj_addr:#x} "
+                        "(cell still tagged live, not marked)")
+        return report
+
+    def check_free_lists(self, report: Optional[VerificationReport] = None,
+                         ) -> VerificationReport:
+        report = report or VerificationReport()
+        try:
+            self.heap.check_free_lists()
+        except AssertionError as exc:
+            report.freelist_errors.append(str(exc))
+        return report
+
+    def full_check(self, parity: Optional[int] = None) -> VerificationReport:
+        """Marks + sweep + free lists in one report."""
+        report = VerificationReport()
+        self.check_marks(parity=parity, report=report)
+        self.check_sweep(parity=parity, report=report)
+        self.check_free_lists(report=report)
+        return report
+
+
+# -- heap snapshots (the debugging aid of §V-E) -----------------------------
+
+@dataclass(frozen=True)
+class ObjectSnapshot:
+    addr: int
+    n_refs: int
+    is_array: bool
+    mark_bit: int
+    refs: Tuple[int, ...]
+
+
+def snapshot_heap(heap: ManagedHeap) -> Dict[int, ObjectSnapshot]:
+    """Capture the logical state of every tracked object."""
+    out: Dict[int, ObjectSnapshot] = {}
+    for addr in heap.objects:
+        view = heap.view(addr)
+        out[addr] = ObjectSnapshot(
+            addr=addr,
+            n_refs=view.n_refs,
+            is_array=view.is_array,
+            mark_bit=view.mark_bit,
+            refs=tuple(view.refs()),
+        )
+    return out
+
+
+def diff_snapshots(before: Dict[int, ObjectSnapshot],
+                   after: Dict[int, ObjectSnapshot]) -> List[str]:
+    """Human-readable differences between two snapshots."""
+    diffs: List[str] = []
+    for addr in sorted(set(before) | set(after)):
+        a, b = before.get(addr), after.get(addr)
+        if a is None:
+            diffs.append(f"+ object {addr:#x} appeared")
+        elif b is None:
+            diffs.append(f"- object {addr:#x} disappeared")
+        elif a != b:
+            details = []
+            if a.mark_bit != b.mark_bit:
+                details.append(f"mark {a.mark_bit}->{b.mark_bit}")
+            if a.refs != b.refs:
+                details.append(f"refs changed ({len(a.refs)}->{len(b.refs)})")
+            diffs.append(f"~ object {addr:#x}: {', '.join(details) or 'meta'}")
+    return diffs

@@ -1,0 +1,58 @@
+"""Memory-system substrate: DRAM, caches, TLBs, page tables, interconnect.
+
+The paper evaluates the GC unit against two memory models (Table I and
+§VI-A):
+
+* a DDR3-2000 single-rank model with an FR-FCFS memory-access scheduler,
+  open-page policy, and 16 read / 8 write requests in flight
+  (:class:`repro.memory.dram.DRAMController`), and
+* an idealized latency-bandwidth pipe with 1-cycle latency and 8 GB/s
+  bandwidth (:class:`repro.memory.pipe.LatencyBandwidthPipe`) used for the
+  "potential performance" study (Fig. 17).
+
+Functional state (the heap image, page tables, free lists) lives in
+:class:`repro.memory.memimage.PhysicalMemory`; the timing models simulate
+*when* each access completes, attributed per requester for the paper's
+request-breakdown figures (Fig. 18).
+"""
+
+from repro.memory.config import (
+    AddressMap,
+    CacheConfig,
+    DRAMConfig,
+    MemorySystemConfig,
+    PipeConfig,
+    TLBConfig,
+)
+from repro.memory.memimage import PhysicalMemory
+from repro.memory.request import MemRequest, AccessKind
+from repro.memory.dram import DRAMController
+from repro.memory.pipe import LatencyBandwidthPipe
+from repro.memory.cache import Cache
+from repro.memory.tlb import TLB
+from repro.memory.paging import PageTable, VIRT_OFFSET, PAGE_SIZE
+from repro.memory.ptw import PageTableWalker
+from repro.memory.interconnect import TileLinkPort, MemorySystem, build_memory_system
+
+__all__ = [
+    "AddressMap",
+    "CacheConfig",
+    "DRAMConfig",
+    "MemorySystemConfig",
+    "PipeConfig",
+    "TLBConfig",
+    "PhysicalMemory",
+    "MemRequest",
+    "AccessKind",
+    "DRAMController",
+    "LatencyBandwidthPipe",
+    "Cache",
+    "TLB",
+    "PageTable",
+    "PageTableWalker",
+    "TileLinkPort",
+    "MemorySystem",
+    "build_memory_system",
+    "VIRT_OFFSET",
+    "PAGE_SIZE",
+]

@@ -1,0 +1,102 @@
+"""Functional physical-memory image.
+
+A flat, word-addressed memory backed by a numpy ``uint64`` array. Every
+functional artifact of the system — object headers, reference fields, free
+lists, page tables, the spill region, the hwgc root region — lives in this
+image, so the GC algorithms (software and accelerator) operate on *real*
+in-memory data structures rather than Python mirrors.
+
+Timing is handled separately by the DRAM/cache models; see
+:mod:`repro.memory.interconnect` for how functional access and timing are
+paired.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.memory.config import WORD_BYTES
+
+_U64_MASK = (1 << 64) - 1
+
+
+class PhysicalMemory:
+    """Word-granularity physical memory with atomic-update helpers."""
+
+    def __init__(self, size_bytes: int):
+        if size_bytes % WORD_BYTES != 0:
+            raise ValueError(f"memory size must be word-aligned: {size_bytes}")
+        self.size_bytes = size_bytes
+        self.words = np.zeros(size_bytes // WORD_BYTES, dtype=np.uint64)
+
+    def _index(self, addr: int) -> int:
+        if addr % WORD_BYTES != 0:
+            raise ValueError(f"unaligned word access: {addr:#x}")
+        if not 0 <= addr < self.size_bytes:
+            raise IndexError(f"physical address out of range: {addr:#x}")
+        return addr // WORD_BYTES
+
+    # -- scalar access ----------------------------------------------------
+
+    def read_word(self, addr: int) -> int:
+        """Read the 64-bit word at byte address ``addr``."""
+        return int(self.words[self._index(addr)])
+
+    def write_word(self, addr: int, value: int) -> None:
+        """Write the 64-bit word at byte address ``addr``."""
+        self.words[self._index(addr)] = np.uint64(value & _U64_MASK)
+
+    # -- atomics (the marker's fetch-or / fetch-and, §IV-A) ---------------
+
+    def fetch_or(self, addr: int, mask: int) -> int:
+        """Atomically OR ``mask`` into the word; returns the *old* value."""
+        idx = self._index(addr)
+        old = int(self.words[idx])
+        self.words[idx] = np.uint64((old | mask) & _U64_MASK)
+        return old
+
+    def fetch_and(self, addr: int, mask: int) -> int:
+        """Atomically AND ``mask`` into the word; returns the *old* value."""
+        idx = self._index(addr)
+        old = int(self.words[idx])
+        self.words[idx] = np.uint64(old & mask & _U64_MASK)
+        return old
+
+    # -- bulk access (the tracer's unit-stride reference copies) ----------
+
+    def read_words(self, addr: int, count: int) -> List[int]:
+        """Read ``count`` consecutive words starting at ``addr``."""
+        idx = self._index(addr)
+        if idx + count > len(self.words):
+            raise IndexError(f"bulk read past end: {addr:#x} +{count} words")
+        return [int(w) for w in self.words[idx : idx + count]]
+
+    def write_words(self, addr: int, values: Iterable[int]) -> None:
+        """Write consecutive words starting at ``addr``."""
+        idx = self._index(addr)
+        vals = [np.uint64(v & _U64_MASK) for v in values]
+        if idx + len(vals) > len(self.words):
+            raise IndexError(f"bulk write past end: {addr:#x} +{len(vals)} words")
+        self.words[idx : idx + len(vals)] = vals
+
+    def fill(self, addr: int, count: int, value: int = 0) -> None:
+        """Fill ``count`` words starting at ``addr`` with ``value``."""
+        idx = self._index(addr)
+        self.words[idx : idx + count] = np.uint64(value & _U64_MASK)
+
+    # -- snapshots (runs mutate mark bits / free lists) --------------------
+
+    def snapshot(self) -> np.ndarray:
+        """A copy of the entire image, for restoring between GC runs."""
+        return self.words.copy()
+
+    def restore(self, snap: np.ndarray) -> None:
+        """Restore a snapshot taken from this memory."""
+        if snap.shape != self.words.shape:
+            raise ValueError("snapshot shape mismatch")
+        np.copyto(self.words, snap)
+
+    def __repr__(self) -> str:
+        return f"PhysicalMemory({self.size_bytes // (1024 * 1024)} MiB)"

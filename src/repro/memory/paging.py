@@ -1,0 +1,225 @@
+"""Sv39-style page tables, stored in simulated physical memory.
+
+The GC unit "operates on virtual addresses" with its own TLBs and page-table
+walker (§V-C); the Linux driver passes the process's page-table base pointer
+to the unit's MMIO registers (§V-E). We build a RISC-V Sv39-like 3-level
+table: 4 KiB pages, 9 bits of VPN per level, 8-byte PTEs, with the tables
+themselves resident in :class:`~repro.memory.memimage.PhysicalMemory` so
+that the walker's accesses are real memory traffic (the traffic that
+dominates Fig. 18a).
+
+The heap's virtual mapping is linear: ``vaddr = paddr + VIRT_OFFSET``. The
+offset is nonzero so that any confusion between address spaces faults
+immediately in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.memory.config import WORD_BYTES
+from repro.memory.memimage import PhysicalMemory
+
+PAGE_SIZE = 4096
+SUPERPAGE_SIZE = 2 * 1024 * 1024  # level-1 leaf: 512 x 4 KiB
+PTE_BYTES = 8
+ENTRIES_PER_TABLE = PAGE_SIZE // PTE_BYTES  # 512 = 2^9
+LEVELS = 3
+
+#: Virtual = physical + VIRT_OFFSET for the linear heap mapping.
+VIRT_OFFSET = 0x4000_0000
+
+# PTE encoding (simplified Sv39): bit 0 = valid, bit 1 = leaf,
+# bits 10.. = physical page number.
+PTE_VALID = 1 << 0
+PTE_LEAF = 1 << 1
+PTE_PPN_SHIFT = 10
+
+
+class PageFault(Exception):
+    """Raised when translating an unmapped virtual address."""
+
+
+def vpn_parts(vaddr: int) -> Tuple[int, int, int]:
+    """Split a virtual address into (vpn2, vpn1, vpn0)."""
+    vpn = vaddr // PAGE_SIZE
+    return (vpn >> 18) & 0x1FF, (vpn >> 9) & 0x1FF, vpn & 0x1FF
+
+
+class PageTable:
+    """A 3-level page table materialized inside physical memory."""
+
+    def __init__(self, mem: PhysicalMemory, region: Tuple[int, int]):
+        self.mem = mem
+        self._region_start, self._region_end = region
+        if self._region_start % PAGE_SIZE:
+            # Round the allocation cursor up to a page boundary.
+            self._region_start += PAGE_SIZE - self._region_start % PAGE_SIZE
+        self._next_table = self._region_start
+        self.root = self._alloc_table()
+        self.pages_mapped = 0
+
+    def _alloc_table(self) -> int:
+        addr = self._next_table
+        self._next_table += PAGE_SIZE
+        if self._next_table > self._region_end:
+            raise MemoryError("page-table region exhausted")
+        self.mem.fill(addr, ENTRIES_PER_TABLE, 0)
+        return addr
+
+    # -- construction -----------------------------------------------------------
+
+    def map_page(self, vaddr: int, paddr: int) -> None:
+        """Install a 4 KiB mapping vaddr -> paddr (both page-aligned)."""
+        if vaddr % PAGE_SIZE or paddr % PAGE_SIZE:
+            raise ValueError("map_page requires page-aligned addresses")
+        indices = vpn_parts(vaddr)
+        table = self.root
+        for level in range(LEVELS - 1):
+            pte_addr = table + indices[level] * PTE_BYTES
+            pte = self.mem.read_word(pte_addr)
+            if pte & PTE_VALID:
+                table = (pte >> PTE_PPN_SHIFT) * PAGE_SIZE
+            else:
+                new_table = self._alloc_table()
+                self.mem.write_word(
+                    pte_addr, ((new_table // PAGE_SIZE) << PTE_PPN_SHIFT) | PTE_VALID
+                )
+                table = new_table
+        leaf_addr = table + indices[LEVELS - 1] * PTE_BYTES
+        self.mem.write_word(
+            leaf_addr,
+            ((paddr // PAGE_SIZE) << PTE_PPN_SHIFT) | PTE_VALID | PTE_LEAF,
+        )
+        self.pages_mapped += 1
+
+    def map_superpage(self, vaddr: int, paddr: int) -> None:
+        """Install a 2 MiB superpage: a leaf PTE at level 1 (§VII: "large
+        heaps could use superpages instead of 4KB pages")."""
+        if vaddr % SUPERPAGE_SIZE or paddr % SUPERPAGE_SIZE:
+            raise ValueError("superpages require 2 MiB alignment")
+        indices = vpn_parts(vaddr)
+        table = self.root
+        pte_addr = table + indices[0] * PTE_BYTES
+        pte = self.mem.read_word(pte_addr)
+        if pte & PTE_VALID:
+            table = (pte >> PTE_PPN_SHIFT) * PAGE_SIZE
+        else:
+            new_table = self._alloc_table()
+            self.mem.write_word(
+                pte_addr, ((new_table // PAGE_SIZE) << PTE_PPN_SHIFT) | PTE_VALID
+            )
+            table = new_table
+        leaf_addr = table + indices[1] * PTE_BYTES
+        existing = self.mem.read_word(leaf_addr)
+        if existing & PTE_VALID and not existing & PTE_LEAF:
+            raise ValueError(
+                f"{vaddr:#x} already has 4 KiB mappings under it"
+            )
+        self.mem.write_word(
+            leaf_addr,
+            ((paddr // PAGE_SIZE) << PTE_PPN_SHIFT) | PTE_VALID | PTE_LEAF,
+        )
+        self.pages_mapped += SUPERPAGE_SIZE // PAGE_SIZE
+
+    def map_linear(self, vstart: int, pstart: int, nbytes: int,
+                   superpages: bool = False) -> None:
+        """Map a contiguous range with the linear vaddr = paddr + offset rule.
+
+        With ``superpages=True``, 2 MiB-aligned stretches use superpage
+        leaves and only the ragged edges fall back to 4 KiB pages.
+        """
+        if nbytes % PAGE_SIZE:
+            nbytes += PAGE_SIZE - nbytes % PAGE_SIZE
+        offset = 0
+        while offset < nbytes:
+            vaddr = vstart + offset
+            paddr = pstart + offset
+            if (superpages and vaddr % SUPERPAGE_SIZE == 0
+                    and paddr % SUPERPAGE_SIZE == 0
+                    and nbytes - offset >= SUPERPAGE_SIZE):
+                self.map_superpage(vaddr, paddr)
+                offset += SUPERPAGE_SIZE
+            else:
+                self.map_page(vaddr, paddr)
+                offset += PAGE_SIZE
+
+    def unmap_page(self, vaddr: int) -> None:
+        """Invalidate a leaf mapping (used by the relocating collector)."""
+        leaf_addr = self._walk_to_leaf(vaddr)
+        if leaf_addr is None:
+            raise PageFault(f"unmap of unmapped page {vaddr:#x}")
+        self.mem.write_word(leaf_addr, 0)
+
+    # -- functional translation ----------------------------------------------------
+
+    def _walk_to_leaf(self, vaddr: int) -> Optional[int]:
+        """PTE address of the leaf mapping ``vaddr`` (any level), or None."""
+        indices = vpn_parts(vaddr)
+        table = self.root
+        for level in range(LEVELS):
+            pte_addr = table + indices[level] * PTE_BYTES
+            pte = self.mem.read_word(pte_addr)
+            if not pte & PTE_VALID:
+                return None
+            if pte & PTE_LEAF or level == LEVELS - 1:
+                return pte_addr
+            table = (pte >> PTE_PPN_SHIFT) * PAGE_SIZE
+        return None  # pragma: no cover - loop always returns
+
+    def is_superpage(self, vaddr: int) -> bool:
+        """Whether ``vaddr`` is covered by a 2 MiB (level-1) leaf."""
+        indices = vpn_parts(vaddr)
+        pte = self.mem.read_word(self.root + indices[0] * PTE_BYTES)
+        if not pte & PTE_VALID or pte & PTE_LEAF:
+            return False
+        table = (pte >> PTE_PPN_SHIFT) * PAGE_SIZE
+        mid = self.mem.read_word(table + indices[1] * PTE_BYTES)
+        return bool(mid & PTE_VALID and mid & PTE_LEAF)
+
+    def translate(self, vaddr: int) -> int:
+        """Functional translation; raises :class:`PageFault` when unmapped."""
+        indices = vpn_parts(vaddr)
+        table = self.root
+        for level in range(LEVELS):
+            pte = self.mem.read_word(table + indices[level] * PTE_BYTES)
+            if not pte & PTE_VALID:
+                raise PageFault(f"no leaf for {vaddr:#x}")
+            if pte & PTE_LEAF:
+                if level == 1:  # superpage: 2 MiB offset
+                    base = (pte >> PTE_PPN_SHIFT) * PAGE_SIZE
+                    return base + vaddr % SUPERPAGE_SIZE
+                if level == LEVELS - 1:
+                    return (pte >> PTE_PPN_SHIFT) * PAGE_SIZE \
+                        + vaddr % PAGE_SIZE
+                raise PageFault(f"unsupported giga-leaf for {vaddr:#x}")
+            if level == LEVELS - 1:
+                raise PageFault(f"invalid leaf PTE for {vaddr:#x}")
+            table = (pte >> PTE_PPN_SHIFT) * PAGE_SIZE
+        raise PageFault(f"no leaf for {vaddr:#x}")  # pragma: no cover
+
+    def walk_addresses(self, vaddr: int) -> List[int]:
+        """Physical addresses of the PTEs a hardware walk would read, in order.
+
+        Used by the page-table walker so its timing accesses touch the real
+        table locations (giving the PTW cache genuine locality in the upper
+        levels). Superpage walks stop at the level-1 leaf: one fewer access,
+        part of why §VII recommends superpages for large heaps.
+        """
+        indices = vpn_parts(vaddr)
+        addresses = []
+        table = self.root
+        for level in range(LEVELS):
+            pte_addr = table + indices[level] * PTE_BYTES
+            addresses.append(pte_addr)
+            pte = self.mem.read_word(pte_addr)
+            if not pte & PTE_VALID:
+                raise PageFault(f"walk hit invalid PTE for {vaddr:#x}")
+            if pte & PTE_LEAF:
+                break
+            if level < LEVELS - 1:
+                table = (pte >> PTE_PPN_SHIFT) * PAGE_SIZE
+        return addresses
+
+    def __repr__(self) -> str:
+        return f"PageTable(root={self.root:#x}, pages={self.pages_mapped})"

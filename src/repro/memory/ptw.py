@@ -1,0 +1,90 @@
+"""Hardware page-table walker (PTW).
+
+The prototype's PTW is *blocking*: one walk at a time, serializing TLB
+misses (§VI-A: "as the TLB and page table walker are blocking, TLB misses
+can serialize execution"). The paper calls a non-blocking walker out as
+future work ("introduce a non-blocking TLB that can perform multiple
+page-table walks concurrently while still serving requests that hit in the
+TLB") — ``max_concurrent > 1`` models that extension, used by the
+corresponding ablation bench.
+
+The walker is backed by a small cache (8 KB in the partitioned design)
+that holds the top levels of the page table (§V-C). Each walk performs up
+to three dependent PTE reads through that cache; the upper levels almost
+always hit, and superpage mappings stop a level early.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from repro.engine.simulator import Event, Simulator
+from repro.engine.stats import StatsRegistry
+from repro.memory.paging import PAGE_SIZE, PageTable
+from repro.memory.request import AccessKind, MemRequest
+
+
+class PageTableWalker:
+    """Table walker with a configurable number of concurrent walks."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        page_table: PageTable,
+        port,
+        source: str = "ptw",
+        stats: Optional[StatsRegistry] = None,
+        max_concurrent: int = 1,
+    ):
+        """``port`` is the timing path for PTE reads — usually a small
+        :class:`~repro.memory.cache.Cache`, or the memory model directly.
+        ``max_concurrent=1`` is the paper's blocking walker."""
+        if max_concurrent < 1:
+            raise ValueError("max_concurrent must be >= 1")
+        self.sim = sim
+        self.page_table = page_table
+        self.port = port
+        self.source = source
+        self.stats = stats if stats is not None else StatsRegistry()
+        self.max_concurrent = max_concurrent
+        self._active = 0
+        self._pending: Deque[Tuple[int, Event]] = deque()
+
+    def walk(self, vaddr: int) -> Event:
+        """Translate ``vaddr``; the event triggers with the physical address.
+
+        Walks queue behind ``max_concurrent`` in-flight walks.
+        """
+        event = self.sim.event(name="ptw.walk")
+        self._pending.append((vaddr, event))
+        self.stats.inc("ptw.walks")
+        self._start_walks()
+        return event
+
+    def _start_walks(self) -> None:
+        while self._pending and self._active < self.max_concurrent:
+            vaddr, event = self._pending.popleft()
+            self._active += 1
+            self.sim.process(self._do_walk(vaddr, event), name="ptw")
+
+    def _do_walk(self, vaddr: int, event: Event):
+        pte_addrs = self.page_table.walk_addresses(vaddr)
+        for pte_addr in pte_addrs:
+            req = MemRequest(
+                addr=pte_addr, size=8, kind=AccessKind.READ, source=self.source
+            )
+            self.stats.inc("ptw.pte_reads")
+            yield self.port.submit(req)
+        paddr = self.page_table.translate(vaddr)
+        self._active -= 1
+        event.trigger(paddr)
+        self._start_walks()
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._pending)
+
+    @property
+    def active_walks(self) -> int:
+        return self._active

@@ -1,0 +1,153 @@
+"""TLBs for the CPU and the GC unit's marker/tracer.
+
+The baseline GC-unit design has 32-entry TLBs per requester plus a 128-entry
+shared L2 TLB (§VI-A). TLB hits are free (translation is folded into the
+access); misses go to the shared L2 TLB and then to the page-table walker.
+
+Superpage support (§VII: "large heaps could use superpages instead of 4KB
+pages"): a 2 MiB mapping occupies one entry but covers 512 pages, which is
+how superpages relieve the TLB pressure the paper identifies as the unit's
+bottleneck.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from repro.engine.simulator import Event, Simulator
+from repro.engine.stats import StatsRegistry
+from repro.memory.config import TLBConfig
+from repro.memory.paging import PAGE_SIZE, SUPERPAGE_SIZE
+from repro.memory.ptw import PageTableWalker
+
+
+class _EntryStore:
+    """Shared-capacity LRU over 4 KiB and 2 MiB entries."""
+
+    def __init__(self, entries: int):
+        self.capacity = entries
+        # Keys: ("p", vpn) for pages, ("s", super-index) for superpages;
+        # values: base physical address of the page/superpage.
+        self._map: "OrderedDict[Tuple[str, int], int]" = OrderedDict()
+
+    def lookup(self, vaddr: int) -> Optional[int]:
+        """Physical address for vaddr, or None."""
+        super_key = ("s", vaddr // SUPERPAGE_SIZE)
+        if super_key in self._map:
+            self._map.move_to_end(super_key)
+            return self._map[super_key] + vaddr % SUPERPAGE_SIZE
+        page_key = ("p", vaddr // PAGE_SIZE)
+        if page_key in self._map:
+            self._map.move_to_end(page_key)
+            return self._map[page_key] + vaddr % PAGE_SIZE
+        return None
+
+    def insert(self, vaddr: int, paddr: int, superpage: bool) -> None:
+        if superpage:
+            key = ("s", vaddr // SUPERPAGE_SIZE)
+            base = paddr - paddr % SUPERPAGE_SIZE
+        else:
+            key = ("p", vaddr // PAGE_SIZE)
+            base = paddr - paddr % PAGE_SIZE
+        if key in self._map:
+            self._map.move_to_end(key)
+            return
+        if len(self._map) >= self.capacity:
+            self._map.popitem(last=False)
+        self._map[key] = base
+
+    def flush(self) -> None:
+        self._map.clear()
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+
+class SharedL2TLB:
+    """A passive second-level TLB shared by the unit's requesters."""
+
+    def __init__(self, entries: int = 128, latency: int = 2):
+        self.entries = entries
+        self.latency = latency
+        self._store = _EntryStore(entries)
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, vaddr: int) -> Optional[int]:
+        paddr = self._store.lookup(vaddr)
+        if paddr is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return paddr
+
+    def insert(self, vaddr: int, paddr: int, superpage: bool = False) -> None:
+        self._store.insert(vaddr, paddr, superpage)
+
+    def flush(self) -> None:
+        self._store.flush()
+
+
+class TLB:
+    """A fully-associative, LRU first-level TLB.
+
+    ``translate(vaddr)`` returns an event that triggers with the physical
+    address. Hits complete in the same cycle; misses consult the shared L2
+    TLB (if present) and then the PTW.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: TLBConfig,
+        ptw: PageTableWalker,
+        name: str = "tlb",
+        l2: Optional[SharedL2TLB] = None,
+        stats: Optional[StatsRegistry] = None,
+    ):
+        self.sim = sim
+        self.config = config
+        self.ptw = ptw
+        self.name = name
+        self.l2 = l2
+        self.stats = stats if stats is not None else StatsRegistry()
+        self._store = _EntryStore(config.entries)
+        self._k_hits = f"tlb.{name}.hits"
+        self._k_misses = f"tlb.{name}.misses"
+        self._k_l2_hits = f"tlb.{name}.l2_hits"
+
+    def translate(self, vaddr: int) -> Event:
+        """Translate a virtual address; event value is the physical address."""
+        event = self.sim.event(name=f"{self.name}.translate")
+        paddr = self._store.lookup(vaddr)
+        if paddr is not None:
+            self.stats.inc(self._k_hits)
+            event.trigger(paddr)
+            return event
+        self.stats.inc(self._k_misses)
+        if self.l2 is not None:
+            l2_paddr = self.l2.lookup(vaddr)
+            if l2_paddr is not None:
+                self.stats.inc(self._k_l2_hits)
+                superpage = self.ptw.page_table.is_superpage(vaddr)
+                self._store.insert(vaddr, l2_paddr, superpage)
+                self.sim.schedule(self.l2.latency, event.trigger, l2_paddr)
+                return event
+
+        def _walked(walked_paddr: int) -> None:
+            superpage = self.ptw.page_table.is_superpage(vaddr)
+            self._store.insert(vaddr, walked_paddr, superpage)
+            if self.l2 is not None:
+                self.l2.insert(vaddr, walked_paddr, superpage)
+            event.trigger(walked_paddr)
+
+        self.ptw.walk(vaddr).add_callback(_walked)
+        return event
+
+    def flush(self) -> None:
+        self._store.flush()
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._store)

@@ -1,0 +1,31 @@
+"""Area and energy models (§VI-C, Figs. 22-23).
+
+The paper estimates area/power with Synopsys DC on the SAED EDK 32/28
+standard-cell library and DRAM energy with Micron's DDR3 power-calculator
+methodology driven by DRAM-level activity counters. Neither tool exists
+here, so:
+
+* :mod:`repro.power.area` is a static component-level area model whose
+  constants are anchored to the paper's published ratios (GC unit = 18.5%
+  of Rocket ~= 64 KB of SRAM; mark queue dominates the unit) and scale
+  parametrically with the unit configuration for ablations;
+* :mod:`repro.power.dram_power` implements the Micron-style DDR3 power
+  equations (background, activate, read/write, refresh) over the activity
+  counters the simulation collects;
+* :mod:`repro.power.energy` combines core/unit power (the Design Compiler
+  numbers, as constants) with DRAM power and phase durations into the
+  per-benchmark energy comparison of Fig. 23.
+"""
+
+from repro.power.area import AreaModel, AREA_SAED32
+from repro.power.dram_power import DDR3PowerCalculator, DRAMPowerBreakdown
+from repro.power.energy import EnergyModel, EnergyReport
+
+__all__ = [
+    "AreaModel",
+    "AREA_SAED32",
+    "DDR3PowerCalculator",
+    "DRAMPowerBreakdown",
+    "EnergyModel",
+    "EnergyReport",
+]

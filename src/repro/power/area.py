@@ -1,0 +1,126 @@
+"""Component-level area model (Fig. 22).
+
+Anchored to the paper's published results on SAED EDK 32/28:
+
+* "our GC unit is 18.5% the size of the CPU, most of which is taken by the
+  mark queue. This is comparable to the area of 64KB of SRAM."
+* Fig. 22a compares Rocket, the GC unit (HWGC) and the 256 KB L2.
+* Fig. 22b splits Rocket into L1 DCache / Frontend / Other.
+* Fig. 22c splits the unit into Mark Queue / Tracer / Marker / PTW /
+  Sweeper / Other.
+
+SRAM-dominated components scale as ``mm2_per_kb x KB`` plus a logic
+constant, so the model responds to configuration changes (queue size,
+compression, mark-bit cache, sweeper count) — used by the area ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.config import GCUnitConfig
+
+
+@dataclass(frozen=True)
+class AreaConstants:
+    """Technology constants for one library (defaults: SAED EDK 32/28)."""
+
+    #: mm^2 per KB of SRAM, including array, tags and periphery. Anchored
+    #: so 64 KB of SRAM ~= the baseline unit's 0.42 mm^2.
+    sram_mm2_per_kb: float = 0.0066
+    #: mm^2 per KB of flop-based FIFO/CAM storage (queues, TLBs). Flop
+    #: arrays are ~3x less dense than compiled SRAM, which is why the mark
+    #: queue dominates the unit in Fig. 22c and why the paper suggests
+    #: "bigger multi-cycle TLBs ... as they can use sequential SRAMs".
+    fifo_mm2_per_kb: float = 0.0205
+    #: The educational SAED32 library yields low-density compiled L2 macros;
+    #: the paper's Fig. 22a shows the 256 KB L2 towering over Rocket.
+    l2_sram_mm2_per_kb: float = 0.0255
+    # Rocket (Table I configuration). "Note that Rocket is a small CPU."
+    rocket_l1d_mm2: float = 0.50  # 16 KB + tags + MSHRs
+    rocket_frontend_mm2: float = 0.46  # 16 KB ICache + fetch/branch
+    rocket_other_mm2: float = 1.31  # int/FP datapath, CSRs, PTW, TLBs
+    # GC-unit logic constants (non-SRAM portions of each block).
+    marker_logic_mm2: float = 0.030
+    tracer_logic_mm2: float = 0.038
+    sweeper_logic_mm2: float = 0.008  # per sweeper ("negligibly small")
+    unit_other_mm2: float = 0.020  # MMIO, crossbar, control
+    ptw_logic_mm2: float = 0.010
+
+
+AREA_SAED32 = AreaConstants()
+
+
+class AreaModel:
+    """Parametric area estimates for CPU, L2 and the GC unit."""
+
+    def __init__(self, constants: AreaConstants = AREA_SAED32):
+        self.constants = constants
+
+    # -- CPU and L2 ---------------------------------------------------------
+
+    def rocket_breakdown(self) -> Dict[str, float]:
+        c = self.constants
+        return {
+            "L1 DCache": c.rocket_l1d_mm2,
+            "Frontend": c.rocket_frontend_mm2,
+            "Other": c.rocket_other_mm2,
+        }
+
+    def rocket_total(self) -> float:
+        return sum(self.rocket_breakdown().values())
+
+    def l2_total(self, l2_kb: int = 256) -> float:
+        return l2_kb * self.constants.l2_sram_mm2_per_kb
+
+    # -- GC unit --------------------------------------------------------------
+
+    def unit_breakdown(
+        self, config: Optional[GCUnitConfig] = None
+    ) -> Dict[str, float]:
+        config = config if config is not None else GCUnitConfig()
+        c = self.constants
+        # Queues and TLBs are flop arrays; the PTW's backing cache is SRAM.
+        mark_queue_kb = config.mark_queue_bytes / 1024
+        tracer_queue_kb = config.tracer_queue_entries * 16 / 1024  # addr+count
+        mbc_kb = config.mark_bit_cache_entries * 8 / 1024
+        if config.cache_mode == "shared":
+            ptw_sram_kb = config.shared_cache.size_bytes / 1024
+        else:
+            ptw_sram_kb = config.ptw_cache.size_bytes / 1024
+        tlb_kb = (2 * config.tlb.entries + config.l2_tlb_entries) * 8 / 1024
+        return {
+            "Mark Q.": mark_queue_kb * c.fifo_mm2_per_kb + 0.004,
+            "Tracer": tracer_queue_kb * c.fifo_mm2_per_kb + c.tracer_logic_mm2,
+            "Marker": (config.marker_slots * 16 / 1024) * c.fifo_mm2_per_kb
+            + c.marker_logic_mm2
+            + mbc_kb * c.fifo_mm2_per_kb,
+            "PTW": ptw_sram_kb * c.sram_mm2_per_kb + c.ptw_logic_mm2
+            + tlb_kb * c.fifo_mm2_per_kb,
+            "Sweeper": config.n_sweepers * c.sweeper_logic_mm2,
+            "Other": c.unit_other_mm2,
+        }
+
+    def unit_total(self, config: Optional[GCUnitConfig] = None) -> float:
+        return sum(self.unit_breakdown(config).values())
+
+    def unit_to_rocket_ratio(
+        self, config: Optional[GCUnitConfig] = None
+    ) -> float:
+        """The paper's headline 18.5% figure for the baseline config."""
+        return self.unit_total(config) / self.rocket_total()
+
+    def totals(self, config: Optional[GCUnitConfig] = None) -> Dict[str, float]:
+        """Fig. 22a's three bars."""
+        return {
+            "Rocket": self.rocket_total(),
+            "HWGC": self.unit_total(config),
+            "L2 Cache": self.l2_total(),
+        }
+
+    def sram_equivalent_kb(
+        self, config: Optional[GCUnitConfig] = None
+    ) -> float:
+        """The unit's area expressed as KB of SRAM ("equivalent to 64KB")."""
+        return self.unit_total(config) / self.constants.sram_mm2_per_kb

@@ -1,0 +1,133 @@
+"""Micron-style DDR3 power calculator (§VI-C, Fig. 23).
+
+"To estimate energy, we collected DRAM-level counters for the GC pauses ...
+and ran them through MICRON's DDR3 Power Calculator spreadsheet."
+
+The calculator's structure (Micron TN-41-01, adapted to our counters):
+
+* **background** — all-banks-active standby: ``IDD3N x VDD`` per device;
+* **activate/precharge** — per-ACT energy derived from IDD0 minus the
+  standby current over one row cycle (tRC);
+* **read/write burst** — ``(IDD4R/W - IDD3N) x VDD`` scaled by data-bus
+  utilization;
+* **refresh** — ``(IDD5 - IDD3N) x VDD x tRFC/tREFI``.
+
+One single-rank DDR3-2000 DIMM of eight x8 2 Gb devices (Table I's 2 GiB
+rank). The interesting consequence the paper reports falls out of the
+equations: the GC unit's small random requests activate a row per 8-byte
+read, so its DRAM power is *much higher* than the CPU's — while its total
+energy is still lower because the pause is so much shorter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class DDR3Currents:
+    """Datasheet currents (mA) and voltages for one x8 DDR3-2000 device."""
+
+    vdd: float = 1.5
+    idd0: float = 95.0  # one-bank ACT->PRE cycling
+    idd2n: float = 42.0  # precharged standby
+    idd3n: float = 55.0  # active standby
+    idd4r: float = 180.0  # read burst
+    idd4w: float = 185.0  # write burst
+    idd5b: float = 215.0  # burst refresh
+    t_rc_ns: float = 61.0  # tRAS + tRP = 47 + 14
+    t_ras_ns: float = 47.0
+    t_rfc_ns: float = 160.0
+    t_refi_ns: float = 7800.0
+    devices_per_rank: int = 8
+    peak_bw_bytes_per_ns: float = 16.0  # DDR3-2000, 64-bit bus
+
+
+@dataclass
+class DRAMPowerBreakdown:
+    """Average power over a window, in milliwatts."""
+
+    background_mw: float
+    activate_mw: float
+    read_mw: float
+    write_mw: float
+    refresh_mw: float
+
+    @property
+    def dynamic_mw(self) -> float:
+        return self.activate_mw + self.read_mw + self.write_mw
+
+    @property
+    def total_mw(self) -> float:
+        return (self.background_mw + self.activate_mw + self.read_mw
+                + self.write_mw + self.refresh_mw)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "background": self.background_mw,
+            "activate": self.activate_mw,
+            "read": self.read_mw,
+            "write": self.write_mw,
+            "refresh": self.refresh_mw,
+            "total": self.total_mw,
+        }
+
+
+class DDR3PowerCalculator:
+    """Turns simulation activity counters into the Fig. 23 power numbers."""
+
+    def __init__(self, currents: Optional[DDR3Currents] = None):
+        self.c = currents if currents is not None else DDR3Currents()
+
+    # -- per-event energies ---------------------------------------------------
+
+    def activate_energy_nj(self) -> float:
+        """Energy of one ACT+PRE pair across the rank (Micron's IDD0 form)."""
+        c = self.c
+        # Subtract the standby current that would have flowed anyway.
+        standby = (c.idd3n * c.t_ras_ns
+                   + c.idd2n * (c.t_rc_ns - c.t_ras_ns)) / c.t_rc_ns
+        ma = c.idd0 - standby
+        return ma * 1e-3 * c.vdd * c.t_rc_ns * c.devices_per_rank
+
+    # -- window power -------------------------------------------------------------
+
+    def power(
+        self,
+        activates: int,
+        bytes_read: int,
+        bytes_written: int,
+        window_cycles: int,
+    ) -> DRAMPowerBreakdown:
+        """Average power over ``window_cycles`` (1 cycle = 1 ns at 1 GHz)."""
+        if window_cycles <= 0:
+            raise ValueError("window must be positive")
+        c = self.c
+        n = c.devices_per_rank
+        background_mw = c.idd3n * c.vdd * n
+        refresh_mw = ((c.idd5b - c.idd3n) * c.vdd * n
+                      * c.t_rfc_ns / c.t_refi_ns)
+        act_rate_per_ns = activates / window_cycles
+        activate_mw = self.activate_energy_nj() * act_rate_per_ns * 1e3
+        rd_util = min(1.0, bytes_read / (c.peak_bw_bytes_per_ns * window_cycles))
+        wr_util = min(1.0, bytes_written / (c.peak_bw_bytes_per_ns * window_cycles))
+        read_mw = (c.idd4r - c.idd3n) * c.vdd * n * rd_util
+        write_mw = (c.idd4w - c.idd3n) * c.vdd * n * wr_util
+        return DRAMPowerBreakdown(
+            background_mw=background_mw,
+            activate_mw=activate_mw,
+            read_mw=read_mw,
+            write_mw=write_mw,
+            refresh_mw=refresh_mw,
+        )
+
+    def power_from_stats(self, stats_delta: Dict[str, int],
+                         window_cycles: int) -> DRAMPowerBreakdown:
+        """Convenience: consume the per-phase stat deltas the GC runs emit."""
+        return self.power(
+            activates=stats_delta.get("dram.activates", 0),
+            bytes_read=stats_delta.get("dram.bytes_read", 0),
+            bytes_written=stats_delta.get("dram.bytes_written", 0),
+            window_cycles=window_cycles,
+        )

@@ -1,0 +1,125 @@
+"""Per-pause energy accounting (Fig. 23).
+
+Combines three terms over a GC pause:
+
+* compute power — the Rocket core running the software GC, or the GC unit
+  (Design Compiler estimates in the paper; constants here);
+* DRAM power from :class:`~repro.power.dram_power.DDR3PowerCalculator`;
+* duration — the pause's cycle count (1 cycle = 1 ns).
+
+"Due to its higher bandwidth, the GC Unit's DRAM power is much higher, but
+the overall energy is still lower (by 14.5% in our results)."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.power.dram_power import DDR3PowerCalculator, DRAMPowerBreakdown
+
+#: Design-Compiler-style average active power (mW) at 1 GHz, SAED 32/28:
+#: a small in-order core (Fig. 23 groups "Rocket / GC Unit Core" power in
+#: the low hundreds of mW).
+ROCKET_CORE_MW = 110.0
+#: The unit is a fraction of the core's area and mostly SRAM.
+GC_UNIT_MW = 45.0
+#: The rest of the SoC (uncore, L2) that stays powered during a pause is
+#: common to both configurations and excluded, as in the paper's figure.
+
+
+@dataclass
+class EnergyReport:
+    """Energy of one GC pause (or one phase of it)."""
+
+    label: str
+    duration_cycles: int
+    compute_mw: float
+    dram: DRAMPowerBreakdown
+
+    @property
+    def duration_ms(self) -> float:
+        return self.duration_cycles / 1e6
+
+    @property
+    def total_power_mw(self) -> float:
+        return self.compute_mw + self.dram.total_mw
+
+    @property
+    def compute_mj(self) -> float:
+        # mW x ns = 1e-12 J; report millijoules.
+        return self.compute_mw * self.duration_cycles * 1e-9
+
+    @property
+    def dram_mj(self) -> float:
+        return self.dram.total_mw * self.duration_cycles * 1e-9
+
+    @property
+    def dram_dynamic_mj(self) -> float:
+        """Activate + read + write energy — the work-proportional part."""
+        return self.dram.dynamic_mw * self.duration_cycles * 1e-9
+
+    @property
+    def total_mj(self) -> float:
+        return self.compute_mj + self.dram_mj
+
+    @property
+    def attributable_mj(self) -> float:
+        """Energy attributable to the GC itself: compute + dynamic DRAM.
+        Background/refresh power flows regardless of who is collecting and
+        is reported separately."""
+        return self.compute_mj + self.dram_dynamic_mj
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "label": self.label,
+            "duration_ms": self.duration_ms,
+            "compute_mw": self.compute_mw,
+            "dram_mw": self.dram.total_mw,
+            "total_mj": self.total_mj,
+        }
+
+
+class EnergyModel:
+    """Builds Fig. 23's per-benchmark power/energy comparison."""
+
+    def __init__(
+        self,
+        calculator: Optional[DDR3PowerCalculator] = None,
+        rocket_core_mw: float = ROCKET_CORE_MW,
+        gc_unit_mw: float = GC_UNIT_MW,
+    ):
+        self.calculator = calculator or DDR3PowerCalculator()
+        self.rocket_core_mw = rocket_core_mw
+        self.gc_unit_mw = gc_unit_mw
+
+    def pause_energy(
+        self,
+        label: str,
+        collector: str,  # "sw" or "hw"
+        duration_cycles: int,
+        stats_delta: Dict[str, int],
+    ) -> EnergyReport:
+        if collector not in ("sw", "hw"):
+            raise ValueError(f"unknown collector {collector!r}")
+        dram = self.calculator.power_from_stats(stats_delta, duration_cycles)
+        compute = self.rocket_core_mw if collector == "sw" else self.gc_unit_mw
+        return EnergyReport(
+            label=label,
+            duration_cycles=duration_cycles,
+            compute_mw=compute,
+            dram=dram,
+        )
+
+    @staticmethod
+    def savings(sw: EnergyReport, hw: EnergyReport,
+                attributable: bool = True) -> float:
+        """Fractional energy saving of the unit vs the CPU (positive =
+        the unit consumes less). By default compares GC-attributable
+        energy (compute + dynamic DRAM); pass ``attributable=False`` to
+        include background/refresh over the pause duration."""
+        sw_e = sw.attributable_mj if attributable else sw.total_mj
+        hw_e = hw.attributable_mj if attributable else hw.total_mj
+        if sw_e <= 0:
+            raise ValueError("software energy must be positive")
+        return 1.0 - hw_e / sw_e

@@ -1,0 +1,16 @@
+"""Software Mark & Sweep baseline on a Rocket-like in-order CPU model.
+
+This is the paper's CPU baseline (§VI-A): Jikes's Mark & Sweep GC rewritten
+in C (-O3), running on an in-order Rocket core at 1 GHz with 16 KB L1 caches
+and a 256 KB L2 (Table I). The model executes the *identical* algorithm the
+accelerator runs — the same header AMOs, the same reference-section walks,
+the same per-block cell sweeps — but as a stream of dependent operations
+through the CPU's cache hierarchy, with the control-flow and memory-level-
+parallelism limits §IV-A describes: a blocked in-order pipeline can't run
+ahead of a miss, and each newly discovered object costs a branch mispredict.
+"""
+
+from repro.swgc.cpu import CPUConfig, InOrderCPU
+from repro.swgc.marksweep import SoftwareCollector, SoftwareGCResult
+
+__all__ = ["CPUConfig", "InOrderCPU", "SoftwareCollector", "SoftwareGCResult"]

@@ -1,0 +1,145 @@
+"""In-order CPU timing model (Rocket-like, Table I).
+
+The model exposes the operations a compiled GC loop performs — ``exec``
+(ALU/control work), ``load``, ``store``, ``amo``, ``branch`` — as generator
+sub-routines that GC algorithms invoke with ``yield from``. Loads and AMOs
+are *blocking* (an in-order core stalls on use, which for a pointer-chasing
+loop is immediately); stores retire through a small store buffer and only
+stall when it fills; branches pay a pipeline-refill penalty when
+mispredicted.
+
+The paper justifies the in-order baseline: "A preliminary analysis of
+running heap snapshots on ... BOOM out-of-order core ... showed that it
+outperformed Rocket by only around 12% on average" (§VI). The optional
+``miss_overlap`` knob lets the ablation benches approximate that modest
+out-of-order benefit.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Optional
+
+from repro.engine.simulator import Event, Simulator
+from repro.engine.stats import StatsRegistry
+from repro.memory.cache import Cache
+from repro.memory.config import CacheConfig, TLBConfig
+from repro.memory.interconnect import MemorySystem
+from repro.memory.ptw import PageTableWalker
+from repro.memory.request import AccessKind, MemRequest
+from repro.memory.tlb import TLB
+
+
+@dataclass
+class CPUConfig:
+    """Rocket-like core and cache-hierarchy parameters (Table I)."""
+
+    l1d: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            size_bytes=16 * 1024, ways=4, hit_latency=2, mshrs=2
+        )
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            size_bytes=256 * 1024, ways=8, hit_latency=20, mshrs=8
+        )
+    )
+    dtlb: TLBConfig = field(default_factory=lambda: TLBConfig(entries=32))
+    branch_mispredict_penalty: int = 3
+    store_buffer_entries: int = 8
+    #: 1 = fully blocking in-order core. The BOOM-style ablation raises this.
+    miss_overlap: int = 1
+
+
+class InOrderCPU:
+    """Executes GC-algorithm operation streams with Rocket-like timing."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        memsys: MemorySystem,
+        config: Optional[CPUConfig] = None,
+        source: str = "cpu",
+    ):
+        self.sim = sim
+        self.memsys = memsys
+        self.config = config if config is not None else CPUConfig()
+        self.source = source
+        self.stats: StatsRegistry = memsys.stats
+        self.l2 = Cache(sim, self.config.l2, memsys.model, name="l2",
+                        stats=self.stats)
+        self.l1d = Cache(sim, self.config.l1d, self.l2, name="l1d",
+                         stats=self.stats)
+        # Rocket's PTW refills through the L1 data cache.
+        self.ptw = PageTableWalker(
+            sim, memsys.page_table, self.l1d, source=f"{source}.ptw",
+            stats=self.stats,
+        )
+        self.dtlb = TLB(sim, self.config.dtlb, self.ptw, name=f"{source}.dtlb",
+                        l2=None, stats=self.stats)
+        self._store_buffer: Deque[Event] = deque()
+        self.instructions = 0
+        self._k_loads = f"cpu.{source}.loads"
+        self._k_stores = f"cpu.{source}.stores"
+        self._k_amos = f"cpu.{source}.amos"
+        self._k_mispredicts = f"cpu.{source}.mispredicts"
+
+    # -- operation sub-routines (invoke with ``yield from``) -----------------
+
+    def exec_ops(self, n: int):
+        """``n`` cycles of non-memory work (ALU, address gen, loop control)."""
+        self.instructions += n
+        yield n
+
+    def load(self, vaddr: int, size: int = 8):
+        """Blocking load: translate, access the hierarchy, stall until data."""
+        self.instructions += 1
+        self.stats.inc(self._k_loads)
+        paddr = yield self.dtlb.translate(vaddr)
+        req = MemRequest(addr=paddr, size=size, kind=AccessKind.READ,
+                         source=self.source)
+        yield self.l1d.submit(req)
+
+    def amo(self, vaddr: int, size: int = 8):
+        """Atomic read-modify-write; blocking like a load."""
+        self.instructions += 1
+        self.stats.inc(self._k_amos)
+        paddr = yield self.dtlb.translate(vaddr)
+        req = MemRequest(addr=paddr, size=size, kind=AccessKind.AMO,
+                         source=self.source)
+        yield self.l1d.submit(req)
+
+    def store(self, vaddr: int, size: int = 8):
+        """Store through the store buffer; stalls only when the buffer fills."""
+        self.instructions += 1
+        self.stats.inc(self._k_stores)
+        paddr = yield self.dtlb.translate(vaddr)
+        req = MemRequest(addr=paddr, size=size, kind=AccessKind.WRITE,
+                         source=self.source)
+        completion = self.l1d.submit(req)
+        self._store_buffer.append(completion)
+        while len(self._store_buffer) > self.config.store_buffer_entries:
+            oldest = self._store_buffer.popleft()
+            if not oldest.triggered:
+                yield oldest
+        # Drop already-retired stores from the front.
+        while self._store_buffer and self._store_buffer[0].triggered:
+            self._store_buffer.popleft()
+        yield 1  # issue slot
+
+    def branch(self, mispredicted: bool):
+        """A conditional branch; mispredicts flush the short Rocket pipeline."""
+        self.instructions += 1
+        if mispredicted:
+            self.stats.inc(self._k_mispredicts)
+            yield self.config.branch_mispredict_penalty
+        else:
+            yield 1
+
+    def drain_stores(self):
+        """Wait for all buffered stores (end of a GC phase)."""
+        while self._store_buffer:
+            oldest = self._store_buffer.popleft()
+            if not oldest.triggered:
+                yield oldest

@@ -1,0 +1,261 @@
+"""Software Mark & Sweep collector, timed on the in-order CPU model.
+
+This is the baseline of Figs. 15–17 and 20: "we rewrote Jikes's GC in C,
+compiling it with -O3 and linking it into the JVM" (§VI-A). The algorithm
+is identical to the accelerator's — same bidirectional header encoding, same
+parity marking, same per-block cell sweep writing free lists — executed as
+the dependent load/store/branch stream a compiled loop produces.
+
+The software mark queue lives in real memory (we reuse the spill region,
+which the software collector owns when the unit is idle), so queue pushes
+and pops are genuine stores/loads that mostly hit in the L1 — matching the
+paper's observation that the only locality a CPU can exploit during marking
+is incidental.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.engine.simulator import Simulator
+from repro.heap.header import (
+    decode_refcount,
+    header_is_marked,
+    header_with_mark,
+    scan_word_is_object,
+)
+from repro.heap.heapimage import ManagedHeap
+from repro.memory.config import WORD_BYTES
+from repro.swgc.cpu import CPUConfig, InOrderCPU
+
+# Fixed instruction costs (cycles of non-memory work) for the compiled GC
+# loops. These model the -O3 C implementation: loop control, address
+# arithmetic, and field decoding around each memory operation.
+_MARK_LOOP_OVERHEAD = 3  # pop bookkeeping + dispatch
+_MARK_DECODE_OVERHEAD = 3  # extract mark bit / refcount from the header
+_PUSH_OVERHEAD = 2  # per-reference null check + enqueue arithmetic
+_SWEEP_CELL_OVERHEAD = 2  # cell-address arithmetic + loop control
+_SWEEP_BLOCK_OVERHEAD = 4  # per-block setup
+
+
+@dataclass
+class SoftwareGCResult:
+    """Timing and work counters for one software collection."""
+
+    mark_cycles: int
+    sweep_cycles: int
+    objects_marked: int
+    cells_freed: int
+    cells_live: int
+    queue_peak: int
+
+    @property
+    def total_cycles(self) -> int:
+        return self.mark_cycles + self.sweep_cycles
+
+    @property
+    def mark_ms(self) -> float:
+        return self.mark_cycles / 1e6  # 1 GHz: cycles are ns
+
+    @property
+    def sweep_ms(self) -> float:
+        return self.sweep_cycles / 1e6
+
+
+class _MajorityPredictor:
+    """A tiny branch predictor: predicts the running-majority outcome."""
+
+    def __init__(self) -> None:
+        self._bias = 0
+
+    def mispredicted(self, taken: bool) -> bool:
+        predicted_taken = self._bias >= 0
+        self._bias = min(8, self._bias + 1) if taken else max(-8, self._bias - 1)
+        return predicted_taken != taken
+
+
+class SoftwareCollector:
+    """Runs stop-the-world Mark & Sweep on the CPU model."""
+
+    def __init__(
+        self,
+        heap: ManagedHeap,
+        cpu: Optional[InOrderCPU] = None,
+        cpu_config: Optional[CPUConfig] = None,
+        layout: str = "bidirectional",
+    ):
+        if layout not in ("bidirectional", "conventional"):
+            raise ValueError(f"unknown layout {layout!r}")
+        self.heap = heap
+        self.sim: Simulator = heap.sim
+        #: "conventional" charges the TIB-indirection costs of Fig. 6a (two
+        #: extra accesses per object to find the reference offsets) — the
+        #: layout ablation of §IV-A idea I. The heap image itself stays
+        #: bidirectional; only the timing differs.
+        self.layout = layout
+        self.cpu = cpu if cpu is not None else InOrderCPU(
+            heap.sim, heap.memsys, config=cpu_config
+        )
+        # The software mark queue occupies the spill region.
+        self._queue_base = heap.memsys.address_map.spill[0]
+        self._queue_capacity = (
+            heap.memsys.address_map.spill[1] - self._queue_base
+        ) // WORD_BYTES
+        self.last_result: Optional[SoftwareGCResult] = None
+
+    # -- queue helpers (functional part of the timed queue ops) -------------
+
+    def _queue_slot_vaddr(self, index: int) -> int:
+        paddr = self._queue_base + (index % self._queue_capacity) * WORD_BYTES
+        return self.heap.to_virtual(paddr)
+
+    # -- phases ---------------------------------------------------------------
+
+    def mark_process(self, counters: Dict[str, int]):
+        """The compiled mark loop: BFS with header read-modify-writes."""
+        heap = self.heap
+        mem = heap.mem
+        cpu = self.cpu
+        parity = heap.mark_parity
+        predictor = _MajorityPredictor()
+        head = 0
+        tail = 0
+
+        # Enqueue the roots (reads from hwgc-space, writes to the queue).
+        yield from cpu.load(heap.to_virtual(heap.roots.base))
+        n_roots = heap.roots.count
+        for i in range(n_roots):
+            root_paddr = heap.roots.base + WORD_BYTES * (1 + i)
+            yield from cpu.load(heap.to_virtual(root_paddr))
+            ref = mem.read_word(root_paddr)
+            if ref == 0:
+                continue
+            slot = self._queue_slot_vaddr(tail)
+            mem.write_word(heap.to_physical(slot), ref)
+            yield from cpu.store(slot)
+            tail += 1
+
+        peak = tail - head
+        while head < tail:
+            yield from cpu.exec_ops(_MARK_LOOP_OVERHEAD)
+            slot = self._queue_slot_vaddr(head)
+            yield from cpu.load(slot)
+            ref = mem.read_word(heap.to_physical(slot))
+            head += 1
+
+            # Dependent header load, then the branch the paper calls out:
+            # "the outcome of the mark operation determines whether or not
+            # references need to be copied" (§IV-A).
+            yield from cpu.load(ref)
+            status_paddr = heap.to_physical(ref)
+            status = mem.read_word(status_paddr)
+            already = header_is_marked(status, parity)
+            yield from cpu.exec_ops(_MARK_DECODE_OVERHEAD)
+            yield from cpu.branch(predictor.mispredicted(not already))
+            if already:
+                continue
+
+            # Mark: store the updated header word.
+            mem.write_word(status_paddr, header_with_mark(status, parity))
+            yield from cpu.store(ref)
+            counters["objects_marked"] += 1
+
+            n_refs, _is_array = decode_refcount(status)
+            if self.layout == "conventional" and n_refs > 0:
+                # Fig. 6a: load the TIB pointer, then the TIB's offset list.
+                # Few distinct TIBs exist, so these mostly hit in the cache
+                # ("most TIBs are in the cache", §IV-A).
+                tib_base = heap.to_virtual(heap.plan.immortal.pstart)
+                tib_vaddr = tib_base + (n_refs % 32) * 64
+                yield from cpu.load(tib_vaddr)
+                yield from cpu.load(tib_vaddr + WORD_BYTES)
+            # Walk the reference section (unit-stride, below the header).
+            for i in range(n_refs):
+                field_vaddr = ref - WORD_BYTES * (n_refs - i)
+                yield from cpu.load(field_vaddr)
+                target = mem.read_word(heap.to_physical(field_vaddr))
+                yield from cpu.exec_ops(_PUSH_OVERHEAD)
+                if target == 0:
+                    continue
+                if tail - head >= self._queue_capacity:
+                    raise MemoryError("software mark queue overflow")
+                slot = self._queue_slot_vaddr(tail)
+                mem.write_word(heap.to_physical(slot), target)
+                yield from cpu.store(slot)
+                tail += 1
+                if tail - head > peak:
+                    peak = tail - head
+        yield from cpu.drain_stores()
+        counters["queue_peak"] = peak
+
+    def sweep_process(self, counters: Dict[str, int]):
+        """The compiled sweep loop over the global block list (§V-D)."""
+        heap = self.heap
+        mem = heap.mem
+        cpu = self.cpu
+        parity = heap.mark_parity
+        n_blocks = heap.block_list.count
+        for block_index in range(n_blocks):
+            yield from cpu.exec_ops(_SWEEP_BLOCK_OVERHEAD)
+            desc_paddr = heap.block_list.descriptor_addr(block_index)
+            yield from cpu.load(heap.to_virtual(desc_paddr), size=32)
+            desc = heap.block_list.read(block_index)
+            free_head = 0
+            for cell_i in range(desc.n_cells):
+                cell_vaddr = desc.base_vaddr + cell_i * desc.cell_bytes
+                cell_paddr = heap.to_physical(cell_vaddr)
+                yield from cpu.exec_ops(_SWEEP_CELL_OVERHEAD)
+                yield from cpu.load(cell_vaddr)
+                first_word = mem.read_word(cell_paddr)
+                if scan_word_is_object(first_word):
+                    n_refs, _ = decode_refcount(first_word)
+                    status_vaddr = cell_vaddr + WORD_BYTES * (1 + n_refs)
+                    yield from cpu.load(status_vaddr)
+                    status = mem.read_word(heap.to_physical(status_vaddr))
+                    live = header_is_marked(status, parity)
+                    yield from cpu.branch(False)
+                    if live:
+                        counters["cells_live"] += 1
+                        continue
+                    counters["cells_freed"] += 1
+                # Dead object or already-free cell: (re)link onto the list.
+                mem.write_word(cell_paddr, free_head)
+                yield from cpu.store(cell_vaddr)
+                free_head = cell_vaddr
+            head_paddr = desc_paddr + 3 * WORD_BYTES
+            mem.write_word(head_paddr, free_head)
+            yield from cpu.store(heap.to_virtual(head_paddr))
+        yield from cpu.drain_stores()
+
+    # -- driver -----------------------------------------------------------------
+
+    def collect(self) -> SoftwareGCResult:
+        """Run a full stop-the-world mark + sweep; returns timing/work stats.
+
+        The caller is responsible for ``heap.complete_gc_cycle()`` afterwards
+        (mirrors the runtime system finishing the pause).
+        """
+        counters = {
+            "objects_marked": 0, "cells_freed": 0, "cells_live": 0,
+            "queue_peak": 0,
+        }
+        start = self.sim.now
+        done = self.sim.process(self.mark_process(counters), name="sw-mark")
+        self.sim.run_until(done)
+        mark_cycles = self.sim.now - start
+
+        start = self.sim.now
+        done = self.sim.process(self.sweep_process(counters), name="sw-sweep")
+        self.sim.run_until(done)
+        sweep_cycles = self.sim.now - start
+
+        self.last_result = SoftwareGCResult(
+            mark_cycles=mark_cycles,
+            sweep_cycles=sweep_cycles,
+            objects_marked=counters["objects_marked"],
+            cells_freed=counters["cells_freed"],
+            cells_live=counters["cells_live"],
+            queue_peak=counters["queue_peak"],
+        )
+        return self.last_result

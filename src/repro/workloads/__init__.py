@@ -1,0 +1,33 @@
+"""Synthetic DaCapo-like workloads.
+
+The paper evaluates on six DaCapo benchmarks (avrora, luindex, lusearch,
+pmd, sunflow, xalan) running under JikesRVM with a 200 MB heap (§VI-A).
+DaCapo itself cannot run here, so :mod:`repro.workloads` provides synthetic
+heap generators parameterized per benchmark by the statistics that drive
+the paper's experiments: object counts, reference fan-out, array fraction,
+payload sizes, live fraction at collection time, hot-object skew (Fig. 21a)
+and allocation behaviour between collections (Fig. 1).
+
+``scale`` shrinks object counts proportionally so simulations finish in
+Python-appropriate time; all reported results are unit-vs-CPU ratios, which
+are insensitive to scale because both collectors traverse the same heap
+through the same memory system.
+"""
+
+from repro.workloads.profiles import BenchmarkProfile, DACAPO_PROFILES
+from repro.workloads.graphgen import HeapGraphBuilder, BuiltHeap
+from repro.workloads.mutator import MutatorModel, GCPauseRecord, MutatorRunResult
+from repro.workloads.latency import QuerySimulator, QueryRecord, latency_cdf
+
+__all__ = [
+    "BenchmarkProfile",
+    "DACAPO_PROFILES",
+    "HeapGraphBuilder",
+    "BuiltHeap",
+    "MutatorModel",
+    "GCPauseRecord",
+    "MutatorRunResult",
+    "QuerySimulator",
+    "QueryRecord",
+    "latency_cdf",
+]

@@ -1,0 +1,232 @@
+"""Synthetic object-graph generator.
+
+Builds a heap whose *statistics* match a :class:`~repro.workloads.profiles.
+BenchmarkProfile`: object size and fan-out distributions, array fraction,
+live fraction at collection time, root counts, immortal/static objects,
+large-object-space allocations, and the hot-object sharing skew behind
+Fig. 21a.
+
+Construction guarantees:
+
+* exactly the requested live objects are reachable from the roots (live
+  objects never reference garbage);
+* garbage has internal structure (garbage subgraphs reference each other
+  and may reference live objects — back-references are legal and common);
+* a small hot set receives a configured fraction of all cross-references,
+  so repeated mark attempts concentrate on few objects as in the paper.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.heap.heapimage import ManagedHeap
+from repro.heap.layout import ObjectShape
+from repro.heap.objectmodel import ObjectView
+from repro.memory.config import MemorySystemConfig
+from repro.workloads.profiles import BenchmarkProfile
+
+
+@dataclass
+class BuiltHeap:
+    """A generated heap plus the ground-truth sets used by tests/figures."""
+
+    heap: ManagedHeap
+    profile: BenchmarkProfile
+    scale: float
+    seed: int
+    live: Set[int]  # object addrs intended reachable
+    garbage: Set[int]  # MarkSweep-space addrs intended unreachable
+    hot: List[int]  # the hot shared objects (subset of live)
+    roots: List[int]
+    rng: random.Random = field(repr=False, default=None)
+
+    @property
+    def n_objects(self) -> int:
+        return len(self.live) + len(self.garbage)
+
+    def incoming_access_counts(self) -> Dict[int, int]:
+        """Mark-accesses per object in one full traversal: one per root
+        occurrence plus one per reference held by a live object. This is the
+        quantity histogrammed in Fig. 21a."""
+        counts: Dict[int, int] = {}
+        for root in self.roots:
+            counts[root] = counts.get(root, 0) + 1
+        for addr in self.live:
+            for ref in self.heap.view(addr).refs():
+                counts[ref] = counts.get(ref, 0) + 1
+        return counts
+
+
+class HeapGraphBuilder:
+    """Generates a heap for one benchmark profile."""
+
+    # Reference-count cap for MarkSweep-space objects (largest size class
+    # holds 256 words: scan + status + refs + payload).
+    _MAX_MS_REFS = 128
+    _LOS_REFS_RANGE = (128, 480)
+
+    def __init__(
+        self,
+        profile: BenchmarkProfile,
+        scale: float = 0.1,
+        seed: int = 0,
+        config: Optional[MemorySystemConfig] = None,
+    ):
+        self.profile = profile
+        self.scale = scale
+        self.seed = seed
+        self.config = config
+
+    # -- distribution helpers -------------------------------------------------
+
+    @staticmethod
+    def _geometric(rng: random.Random, mean: float) -> int:
+        """Geometric-ish non-negative integer with the given mean."""
+        if mean <= 0:
+            return 0
+        return min(int(rng.expovariate(1.0 / mean)), int(mean * 8) + 1)
+
+    def _sample_shape(self, rng: random.Random) -> ObjectShape:
+        p = self.profile
+        if rng.random() < p.array_fraction:
+            n_refs = max(1, self._geometric(rng, p.mean_array_refs))
+            n_refs = min(n_refs, self._MAX_MS_REFS)
+            return ObjectShape(n_refs=n_refs, n_payload_words=1, is_array=True)
+        n_refs = min(self._geometric(rng, p.mean_refs), 12)
+        payload = self._geometric(rng, p.mean_payload_words)
+        return ObjectShape(n_refs=n_refs, n_payload_words=payload)
+
+    # -- construction -------------------------------------------------------------
+
+    def build(self, heap: Optional[ManagedHeap] = None) -> BuiltHeap:
+        rng = random.Random(self.seed)
+        p = self.profile
+        n = p.scaled_objects(self.scale)
+        if heap is None:
+            heap = ManagedHeap(config=self.config or self._default_config(n))
+
+        # 1. Allocate MarkSweep-space objects.
+        views: List[ObjectView] = []
+        for _ in range(n):
+            views.append(heap.view(heap.alloc(self._sample_shape(rng))))
+
+        # 2. Large-object-space arrays.
+        n_los = max(0, int(n * p.los_fraction))
+        for _ in range(n_los):
+            refs = rng.randint(*self._LOS_REFS_RANGE)
+            views.append(
+                heap.view(heap.alloc(ObjectShape(refs, 2, is_array=True)))
+            )
+
+        # 3. Immortal statics (always roots: "static variables", Fig. 2).
+        n_statics = max(4, n // 500)
+        statics: List[ObjectView] = []
+        for _ in range(n_statics):
+            statics.append(heap.new_object(rng.randint(2, 4), 1,
+                                           space="immortal"))
+
+        # 4. Partition into live / garbage.
+        indices = list(range(len(views)))
+        rng.shuffle(indices)
+        n_live = max(1, int(len(views) * p.live_fraction))
+        live_views = [views[i] for i in indices[:n_live]]
+        garbage_views = [views[i] for i in indices[n_live:]]
+
+        hot = [v.addr for v in live_views[: p.hot_objects]]
+
+        # 5. Spanning structure over the live set.
+        roots = [s.addr for s in statics]
+        extra_roots = max(8, int(n_live * p.root_fraction))
+        free_slots: List[Tuple[ObjectView, int]] = []
+        for s in statics:
+            free_slots.extend((s, i) for i in range(s.n_refs))
+        connected: List[ObjectView] = []
+        for v in live_views:
+            if free_slots:
+                # Mix of uniform and recency-biased parents: shallow
+                # BFS-like fan-out plus deep chains, like real heaps.
+                if rng.random() < 0.5 and len(free_slots) > 32:
+                    slot_i = rng.randrange(len(free_slots) - 32,
+                                           len(free_slots))
+                else:
+                    slot_i = rng.randrange(len(free_slots))
+                parent, ref_i = free_slots.pop(slot_i)
+                parent.set_ref(ref_i, v.addr)
+            else:
+                roots.append(v.addr)
+            connected.append(v)
+            free_slots.extend((v, i) for i in range(v.n_refs))
+
+        # 6. Extra roots straight into the live set.
+        for _ in range(extra_roots):
+            roots.append(rng.choice(live_views).addr)
+
+        # 7. Fill remaining live slots: nulls, hot refs, or random live refs.
+        # Hot references are *bursty*: objects created around the same time
+        # tend to share the same hot target (a common class, table or
+        # registry object), which is what makes a small recently-marked
+        # cache effective (Fig. 21b).
+        live_addrs = [v.addr for v in live_views]
+        current_hot = rng.choice(hot) if hot else 0
+        for parent, ref_i in free_slots:
+            r = rng.random()
+            if r < p.null_ref_fraction:
+                continue  # stays null
+            if r < p.null_ref_fraction + p.hot_ref_fraction and hot:
+                if rng.random() < 0.2:
+                    current_hot = rng.choice(hot)
+                parent.set_ref(ref_i, current_hot)
+            else:
+                parent.set_ref(ref_i, rng.choice(live_addrs))
+
+        # 8. Garbage structure: spanning chains among garbage plus
+        # references into the live set (legal; never marked).
+        garbage_addrs = [v.addr for v in garbage_views]
+        for idx, v in enumerate(garbage_views):
+            for ref_i in range(v.n_refs):
+                r = rng.random()
+                if r < p.null_ref_fraction:
+                    continue
+                if r < 0.6 and idx > 0:
+                    v.set_ref(ref_i, garbage_views[rng.randrange(idx)].addr)
+                elif garbage_addrs:
+                    v.set_ref(ref_i, rng.choice(garbage_addrs))
+
+        heap.set_roots(roots)
+
+        built = BuiltHeap(
+            heap=heap,
+            profile=p,
+            scale=self.scale,
+            seed=self.seed,
+            live={v.addr for v in live_views} | {s.addr for s in statics},
+            garbage={v.addr for v in garbage_views},
+            hot=hot,
+            roots=roots,
+            rng=rng,
+        )
+        self._verify(built)
+        return built
+
+    def _default_config(self, n_objects: int) -> MemorySystemConfig:
+        """Size physical memory generously for the object count."""
+        # Mean cell ~96B, plus LOS pages, x4 headroom for mutator phases.
+        need = max(64, (n_objects * 96 * 4) // (1024 * 1024) + 32)
+        size = 1
+        while size < need:
+            size *= 2
+        return MemorySystemConfig(total_bytes=size * 1024 * 1024)
+
+    def _verify(self, built: BuiltHeap) -> None:
+        """Reachability must match the intended live set exactly."""
+        reachable = built.heap.reachable()
+        if reachable != built.live:
+            missing = built.live - reachable
+            extra = reachable - built.live
+            raise AssertionError(
+                f"graph generation broke reachability: {len(missing)} live "
+                f"objects unreachable, {len(extra)} garbage reachable"
+            )

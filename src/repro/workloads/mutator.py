@@ -1,0 +1,216 @@
+"""Mutator model: allocation churn between stop-the-world collections.
+
+Drives the repeated-GC experiments: "average across all GC pauses during
+the benchmark execution" (Fig. 15's methodology) and the CPU-time-in-GC
+fractions of Fig. 1a. A *phase* allocates new objects off the free lists
+the previous sweep produced, attaches some of them to the live graph
+(overwriting references, which disconnects old subtrees into garbage),
+drops and adds roots, then triggers a collection with the configured
+collector (software baseline or the GC unit).
+
+Mutator time is modeled analytically: ``allocated_bytes x
+profile.mutator_cycles_per_byte`` — the application work a benchmark does
+per byte it allocates, the knob that spreads benchmarks across Fig. 1a's
+10-35% range.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from repro.core.config import GCUnitConfig, HardwareGCResult
+from repro.core.unit import GCUnit
+from repro.heap.layout import ObjectShape
+from repro.swgc.cpu import CPUConfig
+from repro.swgc.marksweep import SoftwareCollector, SoftwareGCResult
+from repro.workloads.graphgen import BuiltHeap
+
+
+@dataclass
+class GCPauseRecord:
+    """One stop-the-world pause."""
+
+    index: int
+    start_cycle: int  # position on the run's virtual timeline
+    mark_cycles: int
+    sweep_cycles: int
+    objects_marked: int
+    cells_freed: int
+
+    @property
+    def pause_cycles(self) -> int:
+        return self.mark_cycles + self.sweep_cycles
+
+    @property
+    def pause_ms(self) -> float:
+        return self.pause_cycles / 1e6
+
+
+@dataclass
+class MutatorRunResult:
+    """Timeline of a whole benchmark run: mutator segments + GC pauses."""
+
+    collector: str
+    pauses: List[GCPauseRecord] = field(default_factory=list)
+    mutator_cycles: int = 0
+
+    @property
+    def gc_cycles(self) -> int:
+        return sum(p.pause_cycles for p in self.pauses)
+
+    @property
+    def total_cycles(self) -> int:
+        return self.gc_cycles + self.mutator_cycles
+
+    @property
+    def gc_time_fraction(self) -> float:
+        total = self.total_cycles
+        return self.gc_cycles / total if total else 0.0
+
+    @property
+    def mean_mark_cycles(self) -> float:
+        if not self.pauses:
+            return 0.0
+        return sum(p.mark_cycles for p in self.pauses) / len(self.pauses)
+
+    @property
+    def mean_sweep_cycles(self) -> float:
+        if not self.pauses:
+            return 0.0
+        return sum(p.sweep_cycles for p in self.pauses) / len(self.pauses)
+
+    def timeline(self) -> List[tuple]:
+        """[(kind, start, end), ...] alternating 'mutator'/'gc' segments."""
+        segments = []
+        cursor = 0
+        for pause in self.pauses:
+            if pause.start_cycle > cursor:
+                segments.append(("mutator", cursor, pause.start_cycle))
+            segments.append(
+                ("gc", pause.start_cycle, pause.start_cycle + pause.pause_cycles)
+            )
+            cursor = pause.start_cycle + pause.pause_cycles
+        return segments
+
+
+class MutatorModel:
+    """Alternates mutator churn phases with collections."""
+
+    def __init__(
+        self,
+        built: BuiltHeap,
+        collector: str = "sw",
+        unit_config: Optional[GCUnitConfig] = None,
+        cpu_config: Optional[CPUConfig] = None,
+        churn_fraction: float = 0.5,
+        attach_probability: float = 0.55,
+        seed: Optional[int] = None,
+    ):
+        if collector not in ("sw", "hw"):
+            raise ValueError(f"unknown collector {collector!r}")
+        self.built = built
+        self.heap = built.heap
+        self.collector = collector
+        self.unit_config = unit_config if unit_config is not None else GCUnitConfig()
+        self.cpu_config = cpu_config
+        self.churn_fraction = churn_fraction
+        self.attach_probability = attach_probability
+        self.rng = random.Random(seed if seed is not None else built.seed + 7)
+        self._sw: Optional[SoftwareCollector] = None
+        self.last_gc_result: Union[SoftwareGCResult, HardwareGCResult, None] = None
+
+    # -- one mutator phase -------------------------------------------------
+
+    def mutate_phase(self) -> int:
+        """Allocate/churn; returns the allocated byte count."""
+        heap = self.heap
+        profile = self.built.profile
+        rng = self.rng
+        bytes_before = heap.allocator.bytes_allocated
+        live_list = sorted(heap.live_marksweep_objects())
+        n_new = max(16, int(profile.scaled_objects(self.built.scale)
+                            * self.churn_fraction))
+        from repro.workloads.graphgen import HeapGraphBuilder
+        builder = HeapGraphBuilder(profile, self.built.scale, self.built.seed)
+        new_addrs = []
+        for _ in range(n_new):
+            shape = builder._sample_shape(rng)
+            addr = heap.alloc(shape)
+            new_addrs.append(addr)
+            view = heap.view(addr)
+            # Wire the new object's own fields to other new or live objects.
+            for i in range(view.n_refs):
+                r = rng.random()
+                if r < profile.null_ref_fraction:
+                    continue
+                pool = new_addrs if rng.random() < 0.7 else live_list
+                if pool:
+                    view.set_ref(i, rng.choice(pool))
+            # Attach to the live graph (or die young).
+            if live_list and rng.random() < self.attach_probability:
+                parent = heap.view(rng.choice(live_list))
+                if parent.n_refs > 0:
+                    # Overwriting a reference may orphan an old subtree —
+                    # exactly how real mutators create garbage.
+                    parent.set_ref(rng.randrange(parent.n_refs), addr)
+        # Root churn: drop a few roots, add a few fresh ones.
+        roots = [r for r in heap.roots.read_all()
+                 if rng.random() > 0.05]
+        roots.extend(rng.choice(new_addrs)
+                     for _ in range(max(1, len(new_addrs) // 200)))
+        heap.set_roots(roots)
+        return heap.allocator.bytes_allocated - bytes_before
+
+    # -- one collection ---------------------------------------------------------
+
+    def collect_once(self) -> GCPauseRecord:
+        heap = self.heap
+        if self.collector == "sw":
+            if self._sw is None:
+                self._sw = SoftwareCollector(heap, cpu_config=self.cpu_config)
+            result: Union[SoftwareGCResult, HardwareGCResult] = \
+                self._sw.collect()
+            cells_freed = result.cells_freed
+        else:
+            unit = GCUnit(heap, self.unit_config)
+            result = unit.collect()
+            cells_freed = result.cells_freed
+        self.last_gc_result = result
+        live = heap.reachable()
+        heap.prune_dead(live)
+        heap.complete_gc_cycle()
+        return GCPauseRecord(
+            index=heap.gc_count - 1,
+            start_cycle=0,  # placed on the timeline by run()
+            mark_cycles=result.mark_cycles,
+            sweep_cycles=result.sweep_cycles,
+            objects_marked=result.objects_marked,
+            cells_freed=cells_freed,
+        )
+
+    # -- full run -----------------------------------------------------------------
+
+    def run(self, n_gcs: int = 3) -> MutatorRunResult:
+        """Alternate churn phases and collections, building the timeline."""
+        profile = self.built.profile
+        result = MutatorRunResult(collector=self.collector)
+        cursor = 0
+        for i in range(n_gcs):
+            if i > 0:
+                allocated = self.mutate_phase()
+                mutator_cycles = int(allocated * profile.mutator_cycles_per_byte)
+            else:
+                # The initial heap was built before the first GC; charge its
+                # allocation the same way.
+                allocated = self.heap.allocator.bytes_allocated
+                mutator_cycles = int(allocated * profile.mutator_cycles_per_byte)
+            result.mutator_cycles += mutator_cycles
+            cursor += mutator_cycles
+            pause = self.collect_once()
+            pause.start_cycle = cursor
+            pause.index = i
+            result.pauses.append(pause)
+            cursor += pause.pause_cycles
+        return result

@@ -1,0 +1,176 @@
+"""Concurrent GC: write barrier, read barrier, relocation."""
+
+import pytest
+
+from repro.core import GCUnit, GCUnitConfig
+from repro.core.concurrent import (
+    BARRIER_MODELS,
+    BarrierKind,
+    ConcurrentMarkSimulation,
+    ForwardingTable,
+    MutatorBarriers,
+    RelocatingSweep,
+)
+from repro.core.concurrent.forwarding import BARRIER_BIT, barrier_shadow
+from repro.memory.paging import PAGE_SIZE
+
+from tests.conftest import make_random_heap
+
+
+class TestWriteBarrier:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_no_reachable_object_is_lost(self, seed):
+        """Property (Fig. 3's race, closed): with the write barrier on,
+        concurrent marking never misses a reachable object."""
+        heap, _views = make_random_heap(n_objects=250, seed=seed)
+        outcome = ConcurrentMarkSimulation(
+            heap, n_mutations=150, write_barrier_enabled=True, seed=seed
+        ).run()
+        assert outcome.lost_objects == set()
+        assert outcome.mutations > 0
+
+    def test_disabled_barrier_reproduces_the_race(self):
+        """Without the barrier some seed exhibits the hidden-object bug."""
+        lost_any = 0
+        for seed in range(6):
+            heap, _views = make_random_heap(n_objects=250, seed=seed)
+            outcome = ConcurrentMarkSimulation(
+                heap, n_mutations=250, write_barrier_enabled=False, seed=seed
+            ).run()
+            lost_any += len(outcome.lost_objects)
+        assert lost_any > 0, "the Fig. 3 race should manifest"
+
+    def test_barrier_publishes_old_values(self, small_heap):
+        a = small_heap.new_object(1)
+        b = small_heap.new_object(0)
+        a.set_ref(0, b.addr)
+        small_heap.set_roots([a.addr])
+        barriers = MutatorBarriers(small_heap)
+        barriers.marking_active = True
+        barriers.write_ref(a, 0, 0)
+        assert small_heap.roots.read_all()[-1] == b.addr
+        assert barriers.write_barrier_hits == 1
+
+    def test_barrier_idle_outside_marking(self, small_heap):
+        a = small_heap.new_object(1)
+        b = small_heap.new_object(0)
+        a.set_ref(0, b.addr)
+        small_heap.set_roots([a.addr])
+        barriers = MutatorBarriers(small_heap)  # marking_active = False
+        barriers.write_ref(a, 0, 0)
+        assert barriers.write_barrier_hits == 0
+
+
+class TestForwardingTable:
+    def test_resolve_and_delta(self):
+        table = ForwardingTable()
+        table.add(0x1000, 0x9000)
+        assert table.resolve(0x1000) == 0x9000
+        assert table.resolve(0x2000) == 0x2000
+        assert table.delta(0x1000) == 0x8000
+        assert table.delta(0x2000) == 0
+
+    def test_double_forward_rejected(self):
+        table = ForwardingTable()
+        table.add(0x1000, 0x9000)
+        with pytest.raises(ValueError):
+            table.add(0x1000, 0xA000)
+
+    def test_page_invalidation(self):
+        table = ForwardingTable()
+        table.add(0x1000, 0x9000)
+        assert table.is_relocated_page(0x1FF8)
+        assert not table.is_relocated_page(0x2000 + PAGE_SIZE)
+
+    def test_delta_line(self):
+        table = ForwardingTable()
+        table.add(0x1008, 0x9008)
+        deltas = table.delta_line(0x1000)
+        assert deltas[1] == 0x8000
+        assert deltas[0] == 0 and len(deltas) == 8
+
+    def test_barrier_shadow_flips_msb(self):
+        assert barrier_shadow(0x1000) == 0x1000 | BARRIER_BIT
+        assert barrier_shadow(barrier_shadow(0x1000)) == 0x1000
+
+
+class TestRelocation:
+    def _collected_heap(self, seed=3):
+        heap, _views = make_random_heap(n_objects=300, seed=seed)
+        GCUnit(heap, GCUnitConfig()).collect()
+        return heap
+
+    def test_evacuation_builds_forwardings(self):
+        heap = self._collected_heap()
+        sweep = RelocatingSweep(heap)
+        table = sweep.evacuate_blocks([0, 1])
+        assert len(table) == sweep.objects_moved > 0
+        for old in table.old_addresses():
+            new = table.lookup(old)
+            # The copy is byte-identical around the status word.
+            assert heap.mem.read_word(heap.to_physical(new)) == \
+                heap.mem.read_word(heap.to_physical(old))
+
+    def test_evacuated_blocks_become_fully_free(self):
+        heap = self._collected_heap()
+        sweep = RelocatingSweep(heap)
+        sweep.evacuate_blocks([0])
+        desc = heap.block_list.read(0)
+        head = desc.freelist_head
+        count = 0
+        while head:
+            count += 1
+            head = heap.mem.read_word(heap.to_physical(head))
+        assert count == desc.n_cells
+
+    def test_fixup_preserves_object_graph(self):
+        heap = self._collected_heap(seed=4)
+        reachable_before = heap.reachable()
+        sweep = RelocatingSweep(heap)
+        table = sweep.evacuate_blocks(range(min(4, len(heap.block_list))))
+        sweep.fixup_references(table)
+        expected = {table.resolve(a) for a in reachable_before}
+        assert heap.reachable() == expected
+
+    def test_read_barrier_returns_forwarded_address(self):
+        heap = self._collected_heap(seed=5)
+        sweep = RelocatingSweep(heap)
+        table = sweep.evacuate_blocks([0])
+        barriers = MutatorBarriers(heap, forwarding=table)
+        moved = dict((old, table.lookup(old))
+                     for old in table.old_addresses())
+        # Find a live field pointing at a moved object.
+        for addr in heap.reachable():
+            view = heap.view(addr)
+            for i in range(view.n_refs):
+                ref = view.get_ref(i)
+                if ref in moved:
+                    assert barriers.read_ref(view, i) == moved[ref]
+                    # Self-healing: the field now stores the new address.
+                    assert view.get_ref(i) == moved[ref]
+                    return
+        pytest.skip("no live reference to a moved object in this seed")
+
+
+class TestBarrierCostModels:
+    def test_all_kinds_modeled(self):
+        assert set(BARRIER_MODELS) == set(BarrierKind)
+
+    def test_slowdown_monotone_in_churn(self):
+        model = BARRIER_MODELS[BarrierKind.VM_TRAP]
+        low = model.slowdown(10**8, 4 * 10**6, 1e-4)
+        high = model.slowdown(10**8, 4 * 10**6, 1e-2)
+        assert high > low >= 1.0
+
+    def test_refload_beats_software_fast_path(self):
+        sw = BARRIER_MODELS[BarrierKind.SOFTWARE_CONDITIONAL]
+        rl = BARRIER_MODELS[BarrierKind.REFLOAD]
+        assert rl.slowdown(10**8, 4 * 10**6, 1e-3) < \
+            sw.slowdown(10**8, 4 * 10**6, 1e-3)
+
+    def test_validation(self):
+        model = BARRIER_MODELS[BarrierKind.SOFTWARE_CONDITIONAL]
+        with pytest.raises(ValueError):
+            model.overhead_cycles(100, slow_fraction=2.0)
+        with pytest.raises(ValueError):
+            model.slowdown(0, 100, 0.1)

@@ -1,0 +1,75 @@
+"""Mark-bit cache (recently-marked filter)."""
+
+from repro.core.markbitcache import MarkBitCache
+
+
+class TestDisabled:
+    def test_zero_entries_never_hits(self):
+        cache = MarkBitCache(0)
+        cache.insert(0x100)
+        assert not cache.contains(0x100)
+        assert not cache.enabled
+        assert cache.hit_rate == 0.0
+
+
+class TestFiltering:
+    def test_hit_after_insert(self):
+        cache = MarkBitCache(4)
+        cache.insert(0x100)
+        assert cache.contains(0x100)
+        assert cache.hits == 1
+
+    def test_miss_before_insert(self):
+        cache = MarkBitCache(4)
+        assert not cache.contains(0x100)
+        assert cache.lookups == 1 and cache.hits == 0
+
+    def test_lru_eviction(self):
+        cache = MarkBitCache(2)
+        cache.insert(1 * 8)
+        cache.insert(2 * 8)
+        cache.insert(3 * 8)  # evicts 1
+        assert not cache.contains(1 * 8)
+        assert cache.contains(2 * 8) and cache.contains(3 * 8)
+
+    def test_contains_refreshes_lru(self):
+        cache = MarkBitCache(2)
+        cache.insert(1 * 8)
+        cache.insert(2 * 8)
+        cache.contains(1 * 8)  # refresh 1
+        cache.insert(3 * 8)  # evicts 2, not 1
+        assert cache.contains(1 * 8)
+        assert not cache.contains(2 * 8)
+
+    def test_reinsert_is_refresh(self):
+        cache = MarkBitCache(2)
+        cache.insert(1 * 8)
+        cache.insert(2 * 8)
+        cache.insert(1 * 8)
+        cache.insert(3 * 8)  # evicts 2
+        assert cache.contains(1 * 8)
+
+    def test_clear(self):
+        cache = MarkBitCache(4)
+        cache.insert(8)
+        cache.clear()
+        assert not cache.contains(8)
+
+    def test_hit_rate(self):
+        cache = MarkBitCache(4)
+        cache.insert(8)
+        cache.contains(8)
+        cache.contains(16)
+        assert cache.hit_rate == 0.5
+
+    def test_hot_object_stream(self):
+        """A small cache filters a bursty hot-object stream (Fig. 21b)."""
+        cache = MarkBitCache(8)
+        hot = [i * 8 for i in range(4)]
+        for h in hot:
+            cache.insert(h)
+        hits_before = cache.hits
+        for _ in range(10):
+            for h in hot:
+                assert cache.contains(h)
+        assert cache.hits == hits_before + 40

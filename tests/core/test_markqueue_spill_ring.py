@@ -1,0 +1,100 @@
+"""Spill-ring edge cases: wraparound, interleaved operation, conservation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.markqueue import AddressCodec, MarkQueue
+from repro.engine.simulator import Simulator
+from repro.memory.config import AddressMap, MemorySystemConfig
+from repro.memory.interconnect import build_memory_system
+from repro.memory.paging import VIRT_OFFSET
+
+
+def make_queue_with_tiny_ring(ring_entries=64, compression=False):
+    """A mark queue whose spill ring holds only a few batches, forcing the
+    ring cursors to wrap."""
+    sim = Simulator()
+    ms = build_memory_system(sim, MemorySystemConfig(total_bytes=16 * 1024 * 1024))
+    codec = AddressCodec(compression)
+    spill_start = ms.address_map.spill[0]
+    region = (spill_start, spill_start + ring_entries * codec.entry_bytes)
+    mq = MarkQueue(
+        sim, ms.phys, ms.port("queue"), region,
+        entries=4, out_entries=16, in_entries=16, throttle_level=8,
+        codec=codec, stats=ms.stats,
+    )
+    return sim, mq
+
+
+@pytest.mark.parametrize("compression", [False, True])
+def test_ring_wraps_without_loss(compression):
+    """Repeated spill/drain bursts cycle the ring cursors past capacity.
+
+    Each burst exceeds on-chip capacity (spilling ~50 entries) but stays
+    below the 128-entry ring; across bursts the tail cursor passes the
+    ring size, exercising wraparound."""
+    sim, mq = make_queue_with_tiny_ring(ring_entries=128,
+                                        compression=compression)
+    next_ref = 0
+    for _burst in range(6):
+        expected = []
+        for _ in range(90):
+            ref = VIRT_OFFSET + next_ref * 8
+            next_ref += 1
+            expected.append(ref)
+            mq.enqueue(ref)
+        got = []
+
+        def drain(count=90):
+            for _ in range(count):
+                item = yield from mq.dequeue()
+                got.append(item)
+
+        proc = sim.process(drain())
+        sim.run_until(proc)
+        assert sorted(got) == sorted(expected)
+    assert mq._spill_tail > 128, "the ring actually wrapped"
+    assert mq.is_drained
+
+
+def test_ring_overflow_detected():
+    """Exceeding the static spill region raises, mirroring the driver's
+    fixed 4 MB allocation limit (§V-E)."""
+    sim, mq = make_queue_with_tiny_ring(ring_entries=32)
+    with pytest.raises(MemoryError):
+        # Never consume: everything beyond on-chip capacity must spill.
+        for i in range(4000):
+            mq.enqueue(VIRT_OFFSET + i * 8)
+            if i % 8 == 0:
+                sim.run(until=sim.now + 200)
+
+
+@given(
+    burst_sizes=st.lists(st.integers(1, 40), min_size=2, max_size=12),
+    compression=st.booleans(),
+)
+@settings(max_examples=25, deadline=None)
+def test_bursty_traffic_conserves_entries(burst_sizes, compression):
+    """Property: arbitrary produce bursts with full drains in between never
+    lose or duplicate a reference."""
+    sim, mq = make_queue_with_tiny_ring(ring_entries=512,
+                                        compression=compression)
+    next_ref = 0
+    for burst in burst_sizes:
+        expected = []
+        for _ in range(burst):
+            ref = VIRT_OFFSET + next_ref * 8
+            next_ref += 1
+            expected.append(ref)
+            mq.enqueue(ref)
+        got = []
+
+        def drain(count=burst):
+            for _ in range(count):
+                item = yield from mq.dequeue()
+                got.append(item)
+
+        proc = sim.process(drain())
+        sim.run_until(proc)
+        assert sorted(got) == sorted(expected)
+    assert mq.is_drained

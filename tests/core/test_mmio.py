@@ -1,0 +1,69 @@
+"""MMIO register file and driver protocol edge cases."""
+
+import pytest
+
+from repro.core.driver import HWGCDriver
+from repro.core.mmio import Command, MMIORegisterFile, Reg, Status
+
+from tests.conftest import make_random_heap
+
+
+class TestRegisterFile:
+    def test_all_registers_mapped(self):
+        mmio = MMIORegisterFile()
+        for reg in Reg:
+            assert mmio.read(reg) is not None
+
+    def test_initial_status_ready(self):
+        assert MMIORegisterFile().status == Status.READY
+
+    def test_write_read_roundtrip(self):
+        mmio = MMIORegisterFile()
+        mmio.write(Reg.SPILL_BASE, 0xDEAD000)
+        assert mmio.read(Reg.SPILL_BASE) == 0xDEAD000
+
+    def test_unmapped_offset_rejected(self):
+        mmio = MMIORegisterFile()
+        with pytest.raises(ValueError):
+            mmio.read(0x1000)
+        with pytest.raises(ValueError):
+            mmio.write(0x1000, 1)
+
+    def test_status_transitions(self):
+        mmio = MMIORegisterFile()
+        for status in (Status.MARKING, Status.SWEEPING, Status.DONE,
+                       Status.READY):
+            mmio.set_status(status)
+            assert mmio.status == status
+
+
+class TestDriverProtocol:
+    def test_registers_programmed_from_process_state(self):
+        heap, _views = make_random_heap(n_objects=60, seed=1)
+        driver = HWGCDriver(heap)
+        driver.init_device()
+        am = heap.memsys.address_map
+        assert driver.mmio.read(Reg.HWGC_BASE) == am.hwgc[0]
+        assert driver.mmio.read(Reg.SPILL_SIZE) == am.spill[1] - am.spill[0]
+        assert driver.mmio.read(Reg.BLOCK_LIST_BASE) == am.block_list[0]
+        assert driver.mmio.read(Reg.N_SWEEPERS) == 2
+
+    def test_gc_writes_parity_and_results(self):
+        heap, _views = make_random_heap(n_objects=60, seed=2)
+        driver = HWGCDriver(heap)
+        driver.init_device()
+        result = driver.run_gc()
+        assert driver.mmio.read(Reg.MARK_PARITY) == 1  # first GC
+        assert driver.mmio.read(Reg.CELLS_FREED) == result.cells_freed
+        assert driver.mmio.read(Reg.COMMAND) == int(Command.IDLE)
+
+    def test_repeated_gcs_through_driver(self):
+        heap, _views = make_random_heap(n_objects=100, seed=3)
+        driver = HWGCDriver(heap)
+        driver.init_device()
+        first = driver.run_gc()
+        heap.prune_dead(heap.reachable())
+        heap.complete_gc_cycle()
+        second = driver.run_gc()
+        assert second.objects_marked == first.objects_marked
+        assert driver.mmio.read(Reg.MARK_PARITY) == 0  # flipped

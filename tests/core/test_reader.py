@@ -1,0 +1,73 @@
+"""Root reader: streaming, alignment, concurrent polling."""
+
+import pytest
+
+from repro.core import GCUnitConfig
+from repro.core.unit import TraversalUnit
+
+from tests.conftest import make_random_heap
+
+
+def run_traversal(heap, concurrent=False, stop_after=None):
+    unit = TraversalUnit(heap, GCUnitConfig(), concurrent=concurrent)
+    done = unit.run()
+    if stop_after is not None:
+        heap.sim.schedule(stop_after, unit.request_stop)
+    heap.sim.run_until(done)
+    return unit
+
+
+class TestStopTheWorld:
+    def test_reads_all_roots(self):
+        heap, views = make_random_heap(n_objects=100, seed=1, root_count=37)
+        unit = run_traversal(heap)
+        assert unit.reader.roots_read == 37
+
+    def test_null_roots_not_enqueued(self, small_heap):
+        a = small_heap.new_object(0)
+        small_heap.set_roots([0, 0, a.addr])
+        unit = run_traversal(small_heap)
+        assert unit.reader.roots_read == 3
+        assert unit.marker.objects_marked == 1
+
+    def test_many_roots_stream_in_batches(self, small_heap):
+        objs = [small_heap.new_object(0) for _ in range(100)]
+        small_heap.set_roots([o.addr for o in objs])
+        unit = run_traversal(small_heap)
+        # 100 roots took far fewer than 100 transfers (64B batching).
+        queue_reads = small_heap.memsys.stats.get("mem.reads.queue")
+        assert queue_reads < 60
+        assert unit.marker.objects_marked == 100
+
+
+class TestConcurrentPolling:
+    def test_reader_picks_up_appended_roots(self, small_heap):
+        a = small_heap.new_object(0)
+        b = small_heap.new_object(0)  # appended mid-traversal
+        small_heap.set_roots([a.addr])
+        sim = small_heap.sim
+        sim.schedule(500, lambda: small_heap.roots.append(b.addr))
+        unit = run_traversal(small_heap, concurrent=True, stop_after=2_000)
+        assert unit.marker.objects_marked == 2
+
+    def test_appends_after_stop_are_still_drained(self, small_heap):
+        """The stop handshake re-reads the count before finishing."""
+        a = small_heap.new_object(0)
+        small_heap.set_roots([a.addr])
+        unit = TraversalUnit(small_heap, GCUnitConfig(), concurrent=True)
+        done = unit.run()
+        sim = small_heap.sim
+        b = small_heap.new_object(0)
+
+        def stop_with_late_append():
+            small_heap.roots.append(b.addr)
+            unit.request_stop()
+
+        sim.schedule(1_000, stop_with_late_append)
+        sim.run_until(done)
+        assert unit.marker.objects_marked == 2
+
+    def test_stw_mode_terminates_without_stop(self):
+        heap, _views = make_random_heap(n_objects=50, seed=2)
+        unit = run_traversal(heap, concurrent=False)
+        assert unit._done_event.triggered

@@ -1,0 +1,147 @@
+"""GC unit end-to-end: correctness against ground truth and the software
+collector, across the design space."""
+
+import pytest
+
+from repro.core import GCUnit, GCUnitConfig
+from repro.swgc import SoftwareCollector
+
+from tests.conftest import make_random_heap
+
+
+def assert_marks_match_truth(heap, views, result):
+    truth = heap.reachable()
+    assert result.objects_marked == len(truth)
+    parity = heap.mark_parity
+    for view in views:
+        assert view.is_marked(parity) == (view.addr in truth)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_marks_exactly_the_reachable_set(self, seed):
+        heap, views = make_random_heap(n_objects=300, seed=seed)
+        result = GCUnit(heap).collect()
+        assert_marks_match_truth(heap, views, result)
+        heap.check_free_lists()
+
+    def test_sweep_counts(self):
+        heap, _views = make_random_heap(n_objects=300, seed=4)
+        live_ms = len(heap.live_marksweep_objects())
+        result = GCUnit(heap).collect()
+        assert result.cells_live == live_ms
+        assert result.cells_freed == 300 - live_ms
+
+    def test_empty_heap(self, small_heap):
+        small_heap.new_object(1, 1)
+        small_heap.set_roots([])
+        result = GCUnit(small_heap).collect()
+        assert result.objects_marked == 0
+        assert result.cells_freed == 1
+
+    def test_single_object_cycle(self, small_heap):
+        a = small_heap.new_object(1)
+        a.set_ref(0, a.addr)
+        small_heap.set_roots([a.addr])
+        result = GCUnit(small_heap).collect()
+        assert result.objects_marked == 1
+        assert result.objects_requeued == 1  # the self-edge re-marks it
+
+    def test_duplicate_roots(self, small_heap):
+        a = small_heap.new_object(0)
+        small_heap.set_roots([a.addr] * 5)
+        result = GCUnit(small_heap).collect()
+        assert result.objects_marked == 1
+        assert result.objects_requeued == 4
+
+    def test_large_object_space_traced(self, small_heap):
+        big = small_heap.new_object(200, 100)  # LOS array
+        leaf = small_heap.new_object(0)
+        big.set_ref(7, leaf.addr)
+        small_heap.set_roots([big.addr])
+        result = GCUnit(small_heap).collect()
+        assert result.objects_marked == 2
+
+    def test_second_gc_flipped_parity(self):
+        heap, views = make_random_heap(n_objects=200, seed=6)
+        first = GCUnit(heap).collect()
+        live = heap.reachable()
+        heap.prune_dead(live)
+        heap.complete_gc_cycle()
+        second = GCUnit(heap).collect()
+        assert second.objects_marked == first.objects_marked
+        assert_marks_match_truth(heap, [heap.view(a) for a in heap.objects],
+                                 second)
+
+
+class TestEquivalenceWithSoftware:
+    @pytest.mark.parametrize("config", [
+        GCUnitConfig(),
+        GCUnitConfig(mark_queue_entries=8),  # heavy spilling
+        GCUnitConfig(address_compression=True, mark_queue_entries=8),
+        GCUnitConfig(mark_bit_cache_entries=64),
+        GCUnitConfig(tracer_queue_entries=2),
+        GCUnitConfig(marker_slots=1),
+        GCUnitConfig(n_sweepers=5),
+        GCUnitConfig(cache_mode="shared"),
+    ], ids=["baseline", "tiny-queue", "compressed", "mbc", "tiny-tq",
+            "one-slot", "5-sweepers", "shared-cache"])
+    def test_every_config_matches_software(self, config):
+        heap, _views = make_random_heap(n_objects=250, seed=8)
+        cp = heap.checkpoint()
+        sw = SoftwareCollector(heap).collect()
+        sw_free = heap.check_free_lists()
+        heap.restore(cp)
+        hw = GCUnit(heap, config).collect()
+        hw_free = heap.check_free_lists()
+        assert hw.objects_marked == sw.objects_marked
+        assert hw.cells_freed == sw.cells_freed
+        assert hw_free == sw_free
+
+
+class TestResultCounters:
+    def test_counters_consistent(self):
+        heap, _views = make_random_heap(n_objects=400, seed=9)
+        config = GCUnitConfig(mark_queue_entries=8, spill_out_entries=8,
+                              spill_in_entries=8, spill_throttle_level=4)
+        result = GCUnit(heap, config).collect()
+        # Every spilled entry is eventually read back (conservation).
+        assert result.spill_writes >= result.spill_reads > 0
+        assert result.counters["queue_peak_entries"] > 0
+        assert result.total_cycles == result.mark_cycles + result.sweep_cycles
+
+    def test_phase_stats_captured(self):
+        heap, _views = make_random_heap(n_objects=150, seed=10)
+        unit = GCUnit(heap)
+        unit.collect()
+        assert sum(v for k, v in unit.mark_stats.items()
+                   if k.startswith("mem.requests.")) > 0
+        assert unit.mark_window[1] <= unit.sweep_window[0]
+
+    def test_sweep_requires_mark(self):
+        heap, _views = make_random_heap(n_objects=100, seed=11)
+        unit = GCUnit(heap)
+        with pytest.raises(RuntimeError):
+            unit.sweep()
+
+
+class TestDriverPath:
+    def test_driver_runs_full_gc(self):
+        from repro.core.driver import HWGCDriver
+        from repro.core.mmio import Reg, Status
+        heap, _views = make_random_heap(n_objects=150, seed=12)
+        truth = len(heap.reachable())
+        driver = HWGCDriver(heap)
+        driver.init_device()
+        assert driver.mmio.read(Reg.PAGE_TABLE_BASE) == \
+            heap.memsys.page_table.root
+        result = driver.run_gc()
+        assert result.objects_marked == truth
+        assert driver.mmio.read(Reg.OBJECTS_MARKED) == truth
+        assert driver.mmio.status == Status.READY
+
+    def test_driver_requires_init(self):
+        heap, _views = make_random_heap(n_objects=80, seed=13)
+        from repro.core.driver import HWGCDriver
+        with pytest.raises(RuntimeError):
+            HWGCDriver(heap).run_gc()

@@ -1,0 +1,146 @@
+"""HWQueue semantics: FIFO order, blocking, backpressure."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.queues import HWQueue, QueueEmptyError, QueueFullError
+from repro.engine.simulator import Simulator
+
+
+class TestBasics:
+    def test_capacity_validation(self, sim):
+        with pytest.raises(Exception):
+            HWQueue(sim, 0)
+
+    def test_put_get_nowait_fifo(self, sim):
+        q = HWQueue(sim, 4)
+        for i in range(4):
+            q.put_nowait(i)
+        assert q.is_full
+        assert [q.get_nowait() for _ in range(4)] == [0, 1, 2, 3]
+        assert q.is_empty
+
+    def test_put_nowait_full_raises(self, sim):
+        q = HWQueue(sim, 1)
+        q.put_nowait("x")
+        with pytest.raises(QueueFullError):
+            q.put_nowait("y")
+
+    def test_get_nowait_empty_raises(self, sim):
+        q = HWQueue(sim, 1)
+        with pytest.raises(QueueEmptyError):
+            q.get_nowait()
+
+    def test_try_put(self, sim):
+        q = HWQueue(sim, 1)
+        assert q.try_put(1)
+        assert not q.try_put(2)
+        assert q.get_nowait() == 1
+
+    def test_occupancy_and_peak(self, sim):
+        q = HWQueue(sim, 8)
+        for i in range(5):
+            q.put_nowait(i)
+        q.get_nowait()
+        assert q.occupancy == 4
+        assert q.peak_occupancy == 5
+
+
+class TestBlocking:
+    def test_get_blocks_until_put(self, sim):
+        q = HWQueue(sim, 2)
+        got = []
+
+        def consumer():
+            item = yield q.get()
+            got.append((sim.now, item))
+
+        sim.process(consumer())
+        sim.schedule(30, lambda: q.put_nowait("late"))
+        sim.run()
+        assert got == [(30, "late")]
+
+    def test_put_blocks_while_full(self, sim):
+        q = HWQueue(sim, 1)
+        q.put_nowait("first")
+        done_at = []
+
+        def producer():
+            yield q.put("second")
+            done_at.append(sim.now)
+
+        sim.process(producer())
+        sim.schedule(50, q.get_nowait)
+        sim.run()
+        assert done_at == [50]
+        assert q.get_nowait() == "second"
+
+    def test_producer_consumer_pipeline(self, sim):
+        q = HWQueue(sim, 2)
+        received = []
+
+        def producer():
+            for i in range(10):
+                yield q.put(i)
+                yield 1
+
+        def consumer():
+            for _ in range(10):
+                item = yield q.get()
+                received.append(item)
+                yield 5  # slower than the producer: forces backpressure
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert received == list(range(10))
+        assert q.put_stall_count > 0
+
+    def test_waiting_getters_served_fifo(self, sim):
+        q = HWQueue(sim, 4)
+        order = []
+
+        def consumer(tag):
+            item = yield q.get()
+            order.append((tag, item))
+
+        for tag in range(3):
+            sim.process(consumer(tag))
+        sim.run()
+        for i in range(3):
+            q.put_nowait(i)
+        sim.run()
+        assert order == [(0, 0), (1, 1), (2, 2)]
+
+    def test_drain(self, sim):
+        q = HWQueue(sim, 4)
+        for i in range(3):
+            q.put_nowait(i)
+        assert q.drain() == [0, 1, 2]
+        assert q.is_empty
+
+
+@given(
+    ops=st.lists(
+        st.one_of(st.tuples(st.just("put"), st.integers(0, 1000)),
+                  st.tuples(st.just("get"), st.just(0))),
+        max_size=200,
+    ),
+    capacity=st.integers(1, 8),
+)
+@settings(max_examples=60, deadline=None)
+def test_queue_preserves_order_and_items(ops, capacity):
+    """Property: items come out exactly once, in FIFO order."""
+    sim = Simulator()
+    q = HWQueue(sim, capacity)
+    put_items = []
+    got_items = []
+    for op, value in ops:
+        if op == "put":
+            if q.try_put(value):
+                put_items.append(value)
+        else:
+            if not q.is_empty:
+                got_items.append(q.get_nowait())
+    got_items.extend(q.drain())
+    assert got_items == put_items

@@ -1,0 +1,178 @@
+"""Kernel semantics: scheduling order, processes, events, termination."""
+
+import pytest
+
+from repro.engine.simulator import Delay, Event, Simulator, SimulationError
+
+
+class TestScheduling:
+    def test_schedule_runs_in_time_order(self, sim):
+        order = []
+        sim.schedule(10, lambda: order.append("b"))
+        sim.schedule(5, lambda: order.append("a"))
+        sim.schedule(20, lambda: order.append("c"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+        assert sim.now == 20
+
+    def test_same_cycle_events_are_fifo(self, sim):
+        order = []
+        for i in range(5):
+            sim.schedule(7, lambda i=i: order.append(i))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-1, lambda: None)
+
+    def test_run_until_time(self, sim):
+        hits = []
+        sim.schedule(5, lambda: hits.append(5))
+        sim.schedule(50, lambda: hits.append(50))
+        sim.run(until=10)
+        assert hits == [5]
+        assert sim.now == 10
+        sim.run()
+        assert hits == [5, 50]
+
+    def test_run_advances_clock_to_until_even_if_idle(self, sim):
+        sim.run(until=123)
+        assert sim.now == 123
+
+    def test_at_absolute_time(self, sim):
+        sim.schedule(10, lambda: None)
+        hits = []
+        sim.at(30, lambda: hits.append(sim.now))
+        sim.run()
+        assert hits == [30]
+
+    def test_max_events_guard(self, sim):
+        def loop():
+            sim.schedule(1, loop)
+
+        sim.schedule(0, loop)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+
+
+class TestEvents:
+    def test_trigger_resumes_waiters_with_value(self, sim):
+        ev = sim.event()
+        got = []
+        ev.add_callback(got.append)
+        sim.schedule(3, ev.trigger, 42)
+        sim.run()
+        assert got == [42]
+
+    def test_double_trigger_is_error(self, sim):
+        ev = sim.event()
+        ev.trigger()
+        with pytest.raises(SimulationError):
+            ev.trigger()
+
+    def test_callback_after_trigger_fires_immediately(self, sim):
+        ev = sim.event()
+        ev.trigger("v")
+        got = []
+        ev.add_callback(got.append)
+        sim.run()
+        assert got == ["v"]
+
+
+class TestProcesses:
+    def test_process_delays(self, sim):
+        trace = []
+
+        def proc():
+            trace.append(sim.now)
+            yield 10
+            trace.append(sim.now)
+            yield Delay(5)
+            trace.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert trace == [0, 10, 15]
+
+    def test_process_waits_on_event(self, sim):
+        ev = sim.event()
+        out = []
+
+        def proc():
+            value = yield ev
+            out.append((sim.now, value))
+
+        sim.process(proc())
+        sim.schedule(25, ev.trigger, "data")
+        sim.run()
+        assert out == [(25, "data")]
+
+    def test_process_join(self, sim):
+        def child():
+            yield 10
+            return "result"
+
+        def parent():
+            value = yield sim.process(child())
+            return value
+
+        p = sim.process(parent())
+        sim.run()
+        assert p.triggered and p.value == "result"
+
+    def test_yield_from_subroutine(self, sim):
+        def sub():
+            yield 5
+            return 7
+
+        def proc():
+            value = yield from sub()
+            yield value
+            return sim.now
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.value == 12
+
+    def test_zero_delay_continues_same_cycle(self, sim):
+        def proc():
+            yield 0
+            yield 0
+            return sim.now
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.value == 0
+
+    def test_already_triggered_event_fast_path(self, sim):
+        ev = sim.event()
+        ev.trigger(99)
+
+        def proc():
+            value = yield ev
+            return value
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.value == 99
+
+    def test_bad_yield_type_raises(self, sim):
+        def proc():
+            yield "nope"
+
+        sim.process(proc())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_run_until_event(self, sim):
+        ev = sim.event()
+        sim.schedule(40, ev.trigger, "x")
+        sim.schedule(100, lambda: None)
+        assert sim.run_until(ev) == "x"
+        assert sim.now == 40
+
+    def test_run_until_deadlock_detected(self, sim):
+        ev = sim.event()
+        with pytest.raises(SimulationError, match="deadlock"):
+            sim.run_until(ev)

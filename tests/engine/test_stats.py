@@ -1,0 +1,138 @@
+"""Statistics collectors."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.stats import (
+    BandwidthTracker,
+    Counter,
+    Histogram,
+    IntervalTracker,
+    StatsRegistry,
+    TimeSeries,
+    geomean,
+    weighted_mean,
+)
+
+
+class TestRegistry:
+    def test_inc_get_total(self):
+        reg = StatsRegistry()
+        reg.inc("mem.reads.cpu", 3)
+        reg.inc("mem.reads.marker")
+        reg.inc("mem.writes.cpu", 2)
+        assert reg.get("mem.reads.cpu") == 3
+        assert reg.total("mem.reads") == 4
+        assert reg.with_prefix("mem.writes") == {"mem.writes.cpu": 2}
+
+    def test_merge_and_reset(self):
+        a, b = StatsRegistry(), StatsRegistry()
+        a.inc("x", 1)
+        b.inc("x", 2)
+        b.inc("y", 5)
+        a.merge(b)
+        assert a.get("x") == 3 and a.get("y") == 5
+        a.reset()
+        assert a.as_dict() == {}
+
+    def test_counter(self):
+        c = Counter("n")
+        c.inc()
+        c.inc(4)
+        assert int(c) == 5
+
+
+class TestHistogram:
+    def test_mean_and_percentile(self):
+        h = Histogram()
+        for v in [1, 1, 2, 3, 10]:
+            h.add(v)
+        assert h.mean() == pytest.approx(3.4)
+        assert h.percentile(50) == 2
+        assert h.percentile(100) == 10
+
+    def test_top(self):
+        h = Histogram()
+        h.add(5, count=10)
+        h.add(7, count=3)
+        assert h.top(1) == [(5, 10)]
+
+    def test_empty_percentile_raises(self):
+        with pytest.raises(ValueError):
+            Histogram().percentile(50)
+
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_percentile_bounds(self, values):
+        h = Histogram()
+        for v in values:
+            h.add(v)
+        assert min(values) <= h.percentile(50) <= max(values)
+        assert h.percentile(100) == max(values)
+
+
+class TestBandwidth:
+    def test_binned(self):
+        bw = BandwidthTracker()
+        bw.record(0, 64)
+        bw.record(50, 64)
+        bw.record(150, 128)
+        bins = bw.binned(100)
+        assert bins[0] == (0, 1.28)
+        assert bins[1] == (100, 1.28)
+
+    def test_binned_window(self):
+        bw = BandwidthTracker()
+        for t in range(0, 1000, 100):
+            bw.record(t, 100)
+        window = bw.binned_window(200, 600, 200)
+        assert len(window) == 2
+        assert bw.window_bytes(200, 600) == 400
+
+    def test_average_gbps(self):
+        bw = BandwidthTracker()
+        bw.record(0, 800)
+        bw.record(100, 800)
+        assert bw.average_gbps() == pytest.approx(16.0)
+
+    def test_bad_bin_raises(self):
+        bw = BandwidthTracker()
+        bw.record(0, 1)
+        with pytest.raises(ValueError):
+            bw.binned(0)
+
+
+class TestIntervals:
+    def test_mean_interval(self):
+        it = IntervalTracker()
+        for t in (0, 10, 20, 40):
+            it.record(t)
+        assert it.mean_interval() == pytest.approx(40 / 3)
+        assert it.span == 40
+
+    def test_single_sample(self):
+        it = IntervalTracker()
+        it.record(5)
+        assert it.mean_interval() == 0.0
+
+
+class TestTimeSeries:
+    def test_points(self):
+        ts = TimeSeries()
+        ts.sample(1, 2.0)
+        ts.sample(5, 3.0)
+        assert ts.points() == [(1, 2.0), (5, 3.0)]
+        assert len(ts) == 2
+
+
+class TestAggregates:
+    def test_geomean(self):
+        assert geomean([2, 8]) == pytest.approx(4.0)
+        with pytest.raises(ValueError):
+            geomean([])
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_weighted_mean(self):
+        assert weighted_mean([(10, 1), (20, 3)]) == pytest.approx(17.5)
+        assert weighted_mean([]) == 0.0

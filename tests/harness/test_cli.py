@@ -1,0 +1,36 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig15" in out and "avrora" in out
+
+    def test_run_experiment(self, capsys):
+        assert main(["run", "fig22"]) == 0
+        out = capsys.readouterr().out
+        assert "unit/Rocket ratio" in out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_compare(self, capsys):
+        assert main(["compare", "avrora", "--scale", "0.008"]) == 0
+        out = capsys.readouterr().out
+        assert "overall speedup" in out
+
+    def test_compare_unknown_benchmark(self, capsys):
+        assert main(["compare", "specjbb"]) == 2
+
+    def test_area(self, capsys):
+        assert main(["area"]) == 0
+        assert "Mark Q." in capsys.readouterr().out
+
+    def test_run_with_scale_and_seed(self, capsys):
+        assert main(["run", "abl_barriers"]) == 0

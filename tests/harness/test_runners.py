@@ -1,0 +1,55 @@
+"""Harness plumbing: comparisons are self-checking."""
+
+import pytest
+
+from repro.core.config import GCUnitConfig
+from repro.harness.runners import (
+    build_heap,
+    run_gc_comparison,
+    run_hardware,
+    run_software,
+    run_sweep_only,
+)
+from repro.workloads.profiles import DACAPO_PROFILES
+
+
+@pytest.fixture(scope="module")
+def prepared():
+    return build_heap(DACAPO_PROFILES["avrora"], scale=0.008, seed=31)
+
+
+class TestRunners:
+    def test_comparison_is_cross_checked(self, prepared):
+        comp = run_gc_comparison(DACAPO_PROFILES["avrora"], built=prepared)
+        assert comp.mark_speedup > 1.5
+        assert comp.sweep_speedup > 1.0
+        assert comp.overall_speedup > 1.0
+        assert "avrora" in comp.summary()
+
+    def test_run_software_returns_stat_delta(self, prepared):
+        built, cp = prepared
+        built.heap.restore(cp)
+        result, delta = run_software(built.heap)
+        assert result.objects_marked == len(built.heap.reachable())
+        assert any(k.startswith("mem.requests") for k in delta)
+
+    def test_run_hardware_phase_windows(self, prepared):
+        built, cp = prepared
+        built.heap.restore(cp)
+        result, unit = run_hardware(built.heap, GCUnitConfig())
+        assert unit.mark_window[1] - unit.mark_window[0] == result.mark_cycles
+        assert unit.sweep_window[1] - unit.sweep_window[0] == \
+            result.sweep_cycles
+
+    def test_sweep_only_matches_full_sweep(self, prepared):
+        built, cp = prepared
+        heap = built.heap
+        heap.restore(cp)
+        full, unit = run_hardware(heap, GCUnitConfig())
+        heap.restore(cp)
+        unit2 = __import__("repro.core.unit", fromlist=["GCUnit"]).GCUnit(
+            heap, GCUnitConfig())
+        unit2.mark()
+        cycles, recl = run_sweep_only(heap, GCUnitConfig())
+        assert recl.cells_freed == full.cells_freed
+        assert recl.cells_live == full.cells_live

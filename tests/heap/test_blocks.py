@@ -1,0 +1,60 @@
+"""Block descriptors and the in-memory global block list."""
+
+import pytest
+
+from repro.heap.blocks import BLOCK_BYTES, BlockList
+from repro.memory.memimage import PhysicalMemory
+
+
+@pytest.fixture
+def block_list():
+    mem = PhysicalMemory(1024 * 1024)
+    return BlockList(mem, (4096, 64 * 1024))
+
+
+class TestBlockList:
+    def test_starts_empty(self, block_list):
+        assert len(block_list) == 0
+
+    def test_append_and_read(self, block_list):
+        desc = block_list.append(0x4000_0000, 64, 128, 0x4000_0000)
+        assert desc.index == 0
+        back = block_list.read(0)
+        assert (back.base_vaddr, back.cell_bytes, back.n_cells) == \
+            (0x4000_0000, 64, 128)
+        assert back.freelist_head == 0x4000_0000
+
+    def test_descriptors_are_in_memory(self, block_list):
+        block_list.append(0x4000_0000, 64, 128, 0)
+        addr = block_list.descriptor_addr(0)
+        assert block_list.mem.read_word(addr) == 0x4000_0000
+
+    def test_freelist_head_update(self, block_list):
+        block_list.append(0x4000_0000, 64, 128, 0x4000_0040)
+        block_list.set_freelist_head(0, 0x4000_0080)
+        assert block_list.freelist_head(0) == 0x4000_0080
+        assert block_list.read(0).freelist_head == 0x4000_0080
+
+    def test_iteration_order(self, block_list):
+        for i in range(5):
+            block_list.append(0x4000_0000 + i * BLOCK_BYTES, 32, 256, 0)
+        bases = [d.base_vaddr for d in block_list]
+        assert bases == [0x4000_0000 + i * BLOCK_BYTES for i in range(5)]
+
+    def test_out_of_range_read(self, block_list):
+        with pytest.raises(IndexError):
+            block_list.read(0)
+
+    def test_region_exhaustion(self):
+        mem = PhysicalMemory(1024 * 1024)
+        tiny = BlockList(mem, (4096, 4096 + 8 + 2 * 32))  # room for 2
+        tiny.append(0x4000_0000, 64, 128, 0)
+        tiny.append(0x4000_2000, 64, 128, 0)
+        with pytest.raises(MemoryError):
+            tiny.append(0x4000_4000, 64, 128, 0)
+
+    def test_cell_vaddr(self, block_list):
+        desc = block_list.append(0x4000_0000, 64, 128, 0)
+        assert desc.cell_vaddr(2) == 0x4000_0080
+        with pytest.raises(IndexError):
+            desc.cell_vaddr(128)

@@ -1,0 +1,94 @@
+"""Header/status-word encoding (Fig. 11) and mark-parity logic."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.heap.header import (
+    ARRAY_FLAG,
+    MARK_BIT,
+    MAX_REFS,
+    SCAN_WORD_FLAGS,
+    TAG_BIT,
+    decode_refcount,
+    header_is_live,
+    header_is_marked,
+    header_with_mark,
+    make_header,
+    make_scan_word,
+    scan_word_is_object,
+)
+
+
+class TestEncoding:
+    def test_header_has_tag_bit(self):
+        assert make_header(0) & TAG_BIT
+
+    def test_scan_word_low_bits_are_101(self):
+        assert make_scan_word(3) & 0b111 == SCAN_WORD_FLAGS
+
+    def test_array_flag_is_msb(self):
+        assert make_header(5, is_array=True) & ARRAY_FLAG
+        assert decode_refcount(make_header(5, is_array=True)) == (5, True)
+
+    def test_refcount_range_checked(self):
+        with pytest.raises(ValueError):
+            make_header(-1)
+        with pytest.raises(ValueError):
+            make_header(MAX_REFS + 1)
+        with pytest.raises(ValueError):
+            make_scan_word(MAX_REFS + 1)
+
+    def test_mark_validated(self):
+        with pytest.raises(ValueError):
+            make_header(0, mark=2)
+
+    @given(n_refs=st.integers(0, MAX_REFS), is_array=st.booleans(),
+           mark=st.integers(0, 1))
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip(self, n_refs, is_array, mark):
+        header = make_header(n_refs, is_array, mark=mark)
+        assert decode_refcount(header) == (n_refs, is_array)
+        scan = make_scan_word(n_refs, is_array)
+        assert decode_refcount(scan) == (n_refs, is_array)
+        assert scan_word_is_object(scan)
+
+
+class TestParity:
+    def test_marked_under_parity_1(self):
+        header = make_header(2, mark=1)
+        assert header_is_marked(header, 1)
+        assert not header_is_marked(header, 0)
+
+    def test_marked_under_parity_0(self):
+        header = make_header(2, mark=0)
+        assert header_is_marked(header, 0)
+        assert not header_is_marked(header, 1)
+
+    @given(n_refs=st.integers(0, 100), start_mark=st.integers(0, 1),
+           parity=st.integers(0, 1))
+    @settings(max_examples=60, deadline=None)
+    def test_header_with_mark_drives_bit(self, n_refs, start_mark, parity):
+        header = make_header(n_refs, mark=start_mark)
+        marked = header_with_mark(header, parity)
+        assert header_is_marked(marked, parity)
+        # Marking never disturbs the refcount or tag.
+        assert decode_refcount(marked) == decode_refcount(header)
+        assert marked & TAG_BIT
+
+    def test_alternating_parity_needs_no_clear(self):
+        """The sweep never clears mark bits: surviving objects are simply
+        'unmarked' under the next (flipped) parity."""
+        header = header_with_mark(make_header(1, mark=0), 1)  # GC 1 marks it
+        next_parity = 0
+        assert not header_is_marked(header, next_parity)
+
+
+class TestSweepDiscrimination:
+    def test_free_cell_next_pointer_is_not_object(self):
+        # Free-list next pointers are 8-aligned: LSB 0.
+        assert not scan_word_is_object(0x40_0008)
+        assert not scan_word_is_object(0)  # terminator
+
+    def test_live_detection(self):
+        assert header_is_live(make_header(0))
+        assert not header_is_live(0x40_0008)

@@ -1,0 +1,126 @@
+"""ManagedHeap: allocation routing, reachability, checkpoints, parity."""
+
+import pytest
+
+from repro.heap.heapimage import ManagedHeap
+from repro.heap.layout import ObjectShape
+from repro.memory.config import MemorySystemConfig
+
+from tests.conftest import SMALL_MEM, make_random_heap
+
+
+class TestAllocationRouting:
+    def test_small_objects_go_to_marksweep(self, small_heap):
+        view = small_heap.new_object(2, 2)
+        assert small_heap.plan.marksweep.contains(view.status_paddr)
+
+    def test_huge_objects_go_to_los(self, small_heap):
+        view = small_heap.new_object(3, 400)
+        assert small_heap.plan.los.contains(view.status_paddr)
+        assert view.addr in small_heap.los_objects
+
+    def test_immortal_and_code(self, small_heap):
+        imm = small_heap.new_object(1, 0, space="immortal")
+        code = small_heap.new_object(0, 4, space="code")
+        assert small_heap.plan.immortal.contains(imm.status_paddr)
+        assert small_heap.plan.code.contains(code.status_paddr)
+
+    def test_unknown_space_rejected(self, small_heap):
+        with pytest.raises(ValueError):
+            small_heap.alloc(ObjectShape(1, 0), space="nursery")
+
+
+class TestReachability:
+    def test_simple_chain(self, small_heap):
+        a = small_heap.new_object(1)
+        b = small_heap.new_object(1)
+        c = small_heap.new_object(0)
+        a.set_ref(0, b.addr)
+        b.set_ref(0, c.addr)
+        small_heap.set_roots([a.addr])
+        assert small_heap.reachable() == {a.addr, b.addr, c.addr}
+
+    def test_cycles_terminate(self, small_heap):
+        a = small_heap.new_object(1)
+        b = small_heap.new_object(1)
+        a.set_ref(0, b.addr)
+        b.set_ref(0, a.addr)
+        small_heap.set_roots([a.addr])
+        assert small_heap.reachable() == {a.addr, b.addr}
+
+    def test_cross_space_tracing(self, small_heap):
+        static = small_heap.new_object(1, 0, space="immortal")
+        big = small_heap.new_object(1, 400)  # LOS
+        leaf = small_heap.new_object(0)
+        static.set_ref(0, big.addr)
+        big.set_ref(0, leaf.addr)
+        small_heap.set_roots([static.addr])
+        assert small_heap.reachable() == {static.addr, big.addr, leaf.addr}
+
+    def test_live_marksweep_filter(self, small_heap):
+        static = small_heap.new_object(1, 0, space="immortal")
+        obj = small_heap.new_object(0)
+        static.set_ref(0, obj.addr)
+        small_heap.set_roots([static.addr])
+        assert small_heap.live_marksweep_objects() == {obj.addr}
+
+
+class TestCheckpoint:
+    def test_restore_reverts_mutations(self):
+        heap, views = make_random_heap(n_objects=100, seed=3)
+        before = heap.reachable()
+        cp = heap.checkpoint()
+        views[0].set_ref(0, 0) if views[0].n_refs else None
+        heap.new_object(2, 2)
+        heap.set_roots([views[0].addr])
+        heap.restore(cp)
+        assert heap.reachable() == before
+
+    def test_restore_allocator_state(self, small_heap):
+        small_heap.new_object(1, 1)
+        cp = small_heap.checkpoint()
+        blocks = small_heap.allocator.blocks_in_use
+        small_heap.new_object(40, 40)  # new class: new block
+        small_heap.restore(cp)
+        assert small_heap.allocator.blocks_in_use == blocks
+
+
+class TestGCEpoch:
+    def test_parity_flip(self, small_heap):
+        assert small_heap.mark_parity == 1
+        assert small_heap.allocator.alloc_mark_value == 0
+        small_heap.complete_gc_cycle()
+        assert small_heap.mark_parity == 0
+        # Fresh objects must be "unmarked" for the next GC: bit == 1.
+        assert small_heap.allocator.alloc_mark_value == 1
+        view = small_heap.new_object(0)
+        assert not view.is_marked(small_heap.mark_parity)
+        assert small_heap.gc_count == 1
+
+    def test_prune_dead(self, small_heap):
+        a = small_heap.new_object(0)
+        _b = small_heap.new_object(0)
+        small_heap.set_roots([a.addr])
+        removed = small_heap.prune_dead(small_heap.reachable())
+        assert removed == 1
+        assert small_heap.objects == [a.addr]
+
+
+class TestIntegrity:
+    def test_check_free_lists_detects_corruption(self, small_heap):
+        small_heap.new_object(1, 1)
+        # Corrupt a free cell's next pointer to escape its block.
+        desc = small_heap.block_list.read(0)
+        head = desc.freelist_head
+        small_heap.mem.write_word(small_heap.to_physical(head),
+                                  desc.base_vaddr + desc.size_bytes + 64)
+        with pytest.raises(AssertionError):
+            small_heap.check_free_lists()
+
+    def test_object_view_payload(self, small_heap):
+        view = small_heap.new_object(1, 3)
+        view.set_payload(0, 0xABCD)
+        assert view.get_payload(0) == 0xABCD
+        assert view.refs() == []
+        view.set_ref(0, view.addr)  # self-reference
+        assert view.refs() == [view.addr]

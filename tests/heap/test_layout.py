@@ -1,0 +1,77 @@
+"""Bidirectional object layout: placement of scan word, refs, status word."""
+
+import pytest
+
+from repro.heap.header import decode_refcount, scan_word_is_object
+from repro.heap.layout import BidirectionalLayout, ConventionalLayout, ObjectShape
+from repro.memory.memimage import PhysicalMemory
+
+
+@pytest.fixture
+def mem():
+    return PhysicalMemory(64 * 1024)
+
+
+class TestShape:
+    def test_words_needed(self):
+        # scan word + refs + status word + payload
+        assert ObjectShape(3, 2).bidirectional_words == 2 + 3 + 2
+
+    def test_layout_words(self):
+        assert BidirectionalLayout.words_needed(ObjectShape(1, 0)) == 3
+
+
+class TestBidirectional:
+    def test_initialize_layout(self, mem):
+        cell = 0x400
+        shape = ObjectShape(n_refs=3, n_payload_words=2)
+        status_paddr = BidirectionalLayout.initialize(mem, cell, shape, mark=0)
+        # Scan word at cell start, status after the refs.
+        assert status_paddr == cell + 8 * (1 + 3)
+        scan = mem.read_word(cell)
+        assert scan_word_is_object(scan)
+        assert decode_refcount(scan) == (3, False)
+        assert decode_refcount(mem.read_word(status_paddr)) == (3, False)
+        # Reference fields initialized to null.
+        assert mem.read_words(cell + 8, 3) == [0, 0, 0]
+
+    def test_status_paddr_from_cell(self, mem):
+        cell = 0x800
+        shape = ObjectShape(n_refs=5)
+        status = BidirectionalLayout.initialize(mem, cell, shape, mark=1)
+        assert BidirectionalLayout.status_paddr_from_cell(mem, cell) == status
+
+    def test_ref_field_addresses(self):
+        obj = 0x1000  # status-word address
+        # Refs sit immediately below the status word.
+        assert BidirectionalLayout.ref_field_addr(obj, 3, 0) == obj - 24
+        assert BidirectionalLayout.ref_field_addr(obj, 3, 2) == obj - 8
+        with pytest.raises(IndexError):
+            BidirectionalLayout.ref_field_addr(obj, 3, 3)
+
+    def test_ref_section_is_unit_stride_below_header(self):
+        start, nbytes = BidirectionalLayout.ref_section(0x1000, 4)
+        assert start == 0x1000 - 32 and nbytes == 32
+
+    def test_cell_from_status_inverse(self, mem):
+        cell = 0xC00
+        shape = ObjectShape(n_refs=2, n_payload_words=1)
+        status = BidirectionalLayout.initialize(mem, cell, shape, mark=0)
+        assert BidirectionalLayout.cell_paddr_from_status(status, 2) == cell
+
+    def test_array_flag_propagates(self, mem):
+        cell = 0x1400
+        status = BidirectionalLayout.initialize(
+            mem, cell, ObjectShape(4, 0, is_array=True), mark=0)
+        assert decode_refcount(mem.read_word(cell)) == (4, True)
+        assert decode_refcount(mem.read_word(status)) == (4, True)
+
+
+class TestConventional:
+    def test_tib_registration(self, mem):
+        layout = ConventionalLayout()
+        layout.register_tib(mem, type_id=7, offsets=[2, 5, 9], paddr=0x2000)
+        assert layout.tib_addr(7) == 0x2000
+        assert layout.offsets(7) == [2, 5, 9]
+        assert mem.read_word(0x2000) == 3
+        assert mem.read_words(0x2008, 3) == [2, 5, 9]

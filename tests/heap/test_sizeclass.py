@@ -1,0 +1,40 @@
+"""Size-class table."""
+
+import pytest
+
+from repro.heap.sizeclass import SIZE_CLASSES_WORDS, SizeClassTable
+
+
+class TestTable:
+    def test_defaults_strictly_increasing(self):
+        assert list(SIZE_CLASSES_WORDS) == sorted(set(SIZE_CLASSES_WORDS))
+
+    def test_class_for_exact_and_between(self):
+        table = SizeClassTable()
+        assert table.cell_words(table.class_for(4)) == 4
+        assert table.cell_words(table.class_for(5)) == 8
+        assert table.cell_words(table.class_for(256)) == 256
+
+    def test_too_big_raises(self):
+        table = SizeClassTable()
+        with pytest.raises(ValueError):
+            table.class_for(257)
+        assert not table.fits(257)
+        assert table.fits(256)
+
+    def test_cell_bytes(self):
+        table = SizeClassTable()
+        assert table.cell_bytes(0) == SIZE_CLASSES_WORDS[0] * 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SizeClassTable([])
+        with pytest.raises(ValueError):
+            SizeClassTable([8, 4])
+        with pytest.raises(ValueError):
+            SizeClassTable([2, 4])  # cells must hold metadata + a field
+
+    def test_custom_classes(self):
+        table = SizeClassTable([4, 16, 64])
+        assert len(table) == 3
+        assert table.max_words == 64

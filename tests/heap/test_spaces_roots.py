@@ -1,0 +1,97 @@
+"""Spaces plan and the hwgc root region."""
+
+import pytest
+
+from repro.heap.roots import RootRegion
+from repro.heap.spaces import Space, SpaceKind, SpacePlan
+from repro.memory.memimage import PhysicalMemory
+from repro.memory.paging import PAGE_SIZE
+
+
+class TestSpacePlan:
+    def test_carves_disjoint_spaces(self):
+        plan = SpacePlan((PAGE_SIZE, 32 * 1024 * 1024))
+        spaces = list(plan)
+        for a, b in zip(spaces, spaces[1:]):
+            assert a.pend <= b.pstart
+        assert plan.marksweep.size_bytes > plan.los.size_bytes
+
+    def test_space_for(self):
+        plan = SpacePlan((PAGE_SIZE, 32 * 1024 * 1024))
+        assert plan.space_for(plan.los.pstart) is plan.los
+        assert plan.space_for(plan.marksweep.pend - 8) is plan.marksweep
+        assert plan.space_for(0) is None
+
+    def test_by_name(self):
+        plan = SpacePlan((PAGE_SIZE, 32 * 1024 * 1024))
+        assert plan.by_name("code").kind is SpaceKind.CODE
+        with pytest.raises(KeyError):
+            plan.by_name("nursery")
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            SpacePlan((PAGE_SIZE, 32 * 1024 * 1024), immortal_frac=0.5,
+                      code_frac=0.3, los_frac=0.2)
+
+
+class TestSpace:
+    def test_bump_alloc(self):
+        space = Space("s", SpaceKind.IMMORTAL, 4096, 8192)
+        a = space.bump_alloc(100)
+        b = space.bump_alloc(100)
+        assert b >= a + 100
+        assert space.bytes_used >= 200
+
+    def test_bump_alignment(self):
+        space = Space("s", SpaceKind.LARGE_OBJECT, 4096, 1024 * 1024)
+        addr = space.bump_alloc(10, align=PAGE_SIZE)
+        assert addr % PAGE_SIZE == 0
+
+    def test_exhaustion(self):
+        space = Space("s", SpaceKind.IMMORTAL, 4096, 4096 + 64)
+        space.bump_alloc(64)
+        with pytest.raises(MemoryError):
+            space.bump_alloc(8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Space("s", SpaceKind.CODE, 100, 200)  # unaligned
+        with pytest.raises(ValueError):
+            Space("s", SpaceKind.CODE, 4096, 4096)  # empty
+
+
+class TestRootRegion:
+    @pytest.fixture
+    def roots(self):
+        mem = PhysicalMemory(64 * 1024)
+        return RootRegion(mem, (4096, 4096 + 1024))
+
+    def test_write_and_read(self, roots):
+        roots.write_roots([0x10, 0x20, 0x30])
+        assert roots.count == 3
+        assert roots.read_all() == [0x10, 0x20, 0x30]
+
+    def test_append_is_barrier_write(self, roots):
+        roots.write_roots([0x10])
+        roots.append(0x99)
+        assert roots.read_all() == [0x10, 0x99]
+
+    def test_clear(self, roots):
+        roots.write_roots([1, 2])
+        roots.clear()
+        assert roots.read_all() == []
+
+    def test_capacity_enforced(self, roots):
+        with pytest.raises(MemoryError):
+            roots.write_roots(list(range(8, 8 * 200, 8)))
+
+    def test_append_overflow(self, roots):
+        roots.write_roots([8] * roots.capacity)
+        with pytest.raises(MemoryError):
+            roots.append(16)
+
+    def test_entry_addr(self, roots):
+        roots.write_roots([0x10, 0x20])
+        assert roots.mem.read_word(roots.entry_addr(1)) == 0x20
+        with pytest.raises(IndexError):
+            roots.entry_addr(2)

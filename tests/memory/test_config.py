@@ -1,0 +1,78 @@
+"""Configuration: Table I fidelity and address-map integrity."""
+
+import pytest
+
+from repro.memory.config import (
+    AddressMap,
+    CacheConfig,
+    DRAMConfig,
+    MemorySystemConfig,
+    TABLE_I,
+    TLBConfig,
+)
+
+
+class TestTableI:
+    """The reproduced configuration matches the paper's Table I."""
+
+    def test_documented_values(self):
+        assert TABLE_I["DRAM Latencies (ns)"] == "14-14-14-47"
+        assert "FR-FCFS" in TABLE_I["Memory Access Scheduler"]
+        assert TABLE_I["Page Policy"] == "Open-Page"
+
+    def test_dram_defaults_match(self):
+        dram = DRAMConfig()
+        assert (dram.t_cas, dram.t_rcd, dram.t_rp, dram.t_ras) == (14, 14, 14, 47)
+        assert dram.scheduler == "frfcfs"
+        assert (dram.read_window, dram.write_window) == (16, 8)
+        # DDR3-2000: 16 GB/s peak at a 1 GHz clock.
+        assert dram.bus_bytes_per_cycle == 16
+
+    def test_cpu_cache_defaults_match(self):
+        cfg = MemorySystemConfig()
+        assert cfg.l1d.size_bytes == 16 * 1024
+        assert cfg.l2.size_bytes == 256 * 1024
+        assert cfg.l2.ways == 8
+        assert cfg.dtlb.entries == 32  # 128 KiB reach with 4 KiB pages
+
+    def test_tlb_reach(self):
+        assert TLBConfig().entries * 4096 == 128 * 1024
+
+
+class TestAddressMap:
+    def test_regions_disjoint_and_ordered(self):
+        amap = AddressMap(total_bytes=64 * 1024 * 1024)
+        regions = [amap.page_tables, amap.spill, amap.hwgc, amap.block_list,
+                   amap.heap]
+        for (s1, e1), (s2, e2) in zip(regions, regions[1:]):
+            assert e1 == s2, "regions must tile the space"
+            assert s1 < e1
+        assert amap.heap[1] == 64 * 1024 * 1024
+
+    def test_null_page_reserved(self):
+        amap = AddressMap(total_bytes=64 * 1024 * 1024)
+        assert amap.page_tables[0] >= 4096, "address 0 stays unmapped (null)"
+
+    def test_spill_region_default_4mb(self):
+        """The driver 'currently allocate[s] a static 4MB range by default'
+        (§V-E)."""
+        amap = AddressMap(total_bytes=64 * 1024 * 1024)
+        assert amap.spill[1] - amap.spill[0] == 4 * 1024 * 1024
+
+    def test_too_small_memory_rejected(self):
+        with pytest.raises(ValueError):
+            AddressMap(total_bytes=4 * 1024 * 1024)
+
+
+class TestValidation:
+    def test_bad_model_rejected(self):
+        with pytest.raises(ValueError):
+            MemorySystemConfig(model="quantum")
+
+    def test_cache_geometry_validated(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=64, ways=4).n_sets
+
+    def test_dram_geometry_validated(self):
+        with pytest.raises(ValueError):
+            DRAMConfig(n_banks=0)

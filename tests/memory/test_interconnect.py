@@ -1,0 +1,80 @@
+"""Interconnect glue: ports, validation, system assembly."""
+
+import pytest
+
+from repro.engine.simulator import Simulator
+from repro.memory.config import MemorySystemConfig
+from repro.memory.interconnect import MemorySystem, TileLinkPort, build_memory_system
+from repro.memory.paging import VIRT_OFFSET
+from repro.memory.request import AccessKind, MemRequest
+
+
+@pytest.fixture
+def system():
+    sim = Simulator()
+    return sim, build_memory_system(
+        sim, MemorySystemConfig(total_bytes=16 * 1024 * 1024))
+
+
+class TestPorts:
+    def test_port_reads_writes_amos(self, system):
+        sim, ms = system
+        port = ms.port("unit")
+        events = [port.read(4096, 64), port.write(8192, 8), port.amo(0x4000, 8)]
+        sim.run()
+        assert all(e.triggered for e in events)
+        assert ms.stats.get("mem.requests.unit") == 3
+
+    def test_validating_port_rejects_bad_transfers(self, system):
+        _sim, ms = system
+        port = ms.port("unit")
+        with pytest.raises(ValueError):
+            port.read(4096, 24)
+        with pytest.raises(ValueError):
+            port.read(4100, 8)
+
+    def test_non_validating_port_allows_line_plus(self, system):
+        sim, ms = system
+        port = ms.port("cpu", validate=False)
+        event = port.read(4096, 128)
+        sim.run()
+        assert event.triggered
+
+    def test_submit_keeps_request_source(self, system):
+        sim, ms = system
+        port = ms.port("wrapper")
+        req = MemRequest(addr=4096, size=8, kind=AccessKind.READ,
+                         source="inner")
+        port.submit(req)
+        sim.run()
+        assert ms.stats.get("mem.requests.inner") == 1
+        assert ms.stats.get("mem.requests.wrapper") == 0
+
+
+class TestSystemAssembly:
+    def test_whole_memory_is_mapped(self, system):
+        _sim, ms = system
+        # First and last heap pages translate through the real page table.
+        start, end = ms.address_map.heap
+        assert ms.virt_to_phys(ms.to_virtual(start)) == start
+        assert ms.virt_to_phys(ms.to_virtual(end - 8)) == end - 8
+
+    def test_linear_mapping_helpers_are_inverse(self):
+        paddr = 0x123458
+        assert MemorySystem.to_physical_linear(
+            MemorySystem.to_virtual(paddr)) == paddr
+        assert MemorySystem.to_virtual(0) == VIRT_OFFSET
+
+    def test_pipe_model_selection(self):
+        sim = Simulator()
+        ms = build_memory_system(
+            sim, MemorySystemConfig(model="pipe",
+                                    total_bytes=16 * 1024 * 1024))
+        from repro.memory.pipe import LatencyBandwidthPipe
+        assert isinstance(ms.model, LatencyBandwidthPipe)
+
+    def test_bandwidth_shared_with_model(self, system):
+        sim, ms = system
+        ms.port("x").read(4096, 64)
+        sim.run()
+        assert ms.bandwidth.total_bytes == 64

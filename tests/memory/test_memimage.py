@@ -1,0 +1,106 @@
+"""Physical-memory image: word access, atomics, bulk ops, snapshots."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.memimage import PhysicalMemory
+
+U64 = (1 << 64) - 1
+
+
+@pytest.fixture
+def mem():
+    return PhysicalMemory(64 * 1024)
+
+
+class TestScalar:
+    def test_roundtrip(self, mem):
+        mem.write_word(0x100, 0xDEAD_BEEF_CAFE_F00D)
+        assert mem.read_word(0x100) == 0xDEAD_BEEF_CAFE_F00D
+
+    def test_wraps_to_64_bits(self, mem):
+        mem.write_word(8, (1 << 70) | 5)
+        assert mem.read_word(8) == 5
+
+    def test_unaligned_rejected(self, mem):
+        with pytest.raises(ValueError):
+            mem.read_word(3)
+        with pytest.raises(ValueError):
+            mem.write_word(12, 0)  # 12 is not 8-aligned
+
+    def test_out_of_range_rejected(self, mem):
+        with pytest.raises(IndexError):
+            mem.read_word(64 * 1024)
+
+    def test_size_must_be_word_aligned(self):
+        with pytest.raises(ValueError):
+            PhysicalMemory(100)
+
+
+class TestAtomics:
+    def test_fetch_or_returns_old(self, mem):
+        mem.write_word(0, 0b0101)
+        assert mem.fetch_or(0, 0b0010) == 0b0101
+        assert mem.read_word(0) == 0b0111
+
+    def test_fetch_and_returns_old(self, mem):
+        mem.write_word(0, 0b0111)
+        assert mem.fetch_and(0, ~0b0010 & U64) == 0b0111
+        assert mem.read_word(0) == 0b0101
+
+    def test_fetch_or_idempotent_on_set_bit(self, mem):
+        mem.fetch_or(0, 1)
+        old = mem.fetch_or(0, 1)
+        assert old == 1 and mem.read_word(0) == 1
+
+
+class TestBulk:
+    def test_read_write_words(self, mem):
+        mem.write_words(0x200, [1, 2, 3])
+        assert mem.read_words(0x200, 3) == [1, 2, 3]
+
+    def test_fill(self, mem):
+        mem.fill(0x300, 4, 9)
+        assert mem.read_words(0x300, 4) == [9, 9, 9, 9]
+
+    def test_bulk_bounds(self, mem):
+        with pytest.raises(IndexError):
+            mem.read_words(64 * 1024 - 8, 2)
+        with pytest.raises(IndexError):
+            mem.write_words(64 * 1024 - 8, [1, 2])
+
+
+class TestSnapshot:
+    def test_snapshot_restore(self, mem):
+        mem.write_word(0x80, 42)
+        snap = mem.snapshot()
+        mem.write_word(0x80, 0)
+        mem.restore(snap)
+        assert mem.read_word(0x80) == 42
+
+    def test_snapshot_is_a_copy(self, mem):
+        snap = mem.snapshot()
+        mem.write_word(0, 7)
+        assert snap[0] == 0
+
+    def test_shape_mismatch_rejected(self, mem):
+        with pytest.raises(ValueError):
+            mem.restore(np.zeros(3, dtype=np.uint64))
+
+
+@given(
+    writes=st.lists(
+        st.tuples(st.integers(0, 1023), st.integers(0, U64)),
+        max_size=50,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_last_write_wins(writes):
+    mem = PhysicalMemory(8 * 1024)
+    expected = {}
+    for word_index, value in writes:
+        mem.write_word(word_index * 8, value)
+        expected[word_index] = value
+    for word_index, value in expected.items():
+        assert mem.read_word(word_index * 8) == value

@@ -1,0 +1,97 @@
+"""Sv39-style page tables in simulated memory."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.memimage import PhysicalMemory
+from repro.memory.paging import (
+    LEVELS,
+    PAGE_SIZE,
+    PageFault,
+    PageTable,
+    VIRT_OFFSET,
+    vpn_parts,
+)
+
+
+def make_table(mem_bytes=8 * 1024 * 1024):
+    mem = PhysicalMemory(mem_bytes)
+    table = PageTable(mem, (4096, 2 * 1024 * 1024))
+    return mem, table
+
+
+class TestMapping:
+    def test_map_translate_roundtrip(self):
+        _mem, table = make_table()
+        table.map_page(VIRT_OFFSET, 0x30_0000)
+        assert table.translate(VIRT_OFFSET) == 0x30_0000
+        assert table.translate(VIRT_OFFSET + 0x123) == 0x30_0123
+
+    def test_unmapped_faults(self):
+        _mem, table = make_table()
+        with pytest.raises(PageFault):
+            table.translate(VIRT_OFFSET)
+
+    def test_unaligned_rejected(self):
+        _mem, table = make_table()
+        with pytest.raises(ValueError):
+            table.map_page(VIRT_OFFSET + 8, 0)
+
+    def test_map_linear(self):
+        _mem, table = make_table()
+        table.map_linear(VIRT_OFFSET, 0x40_0000, 4 * PAGE_SIZE)
+        for off in (0, PAGE_SIZE, 3 * PAGE_SIZE + 17):
+            assert table.translate(VIRT_OFFSET + off) == 0x40_0000 + off
+
+    def test_unmap(self):
+        _mem, table = make_table()
+        table.map_page(VIRT_OFFSET, 0x30_0000)
+        table.unmap_page(VIRT_OFFSET)
+        with pytest.raises(PageFault):
+            table.translate(VIRT_OFFSET)
+
+    def test_unmap_unmapped_raises(self):
+        _mem, table = make_table()
+        with pytest.raises(PageFault):
+            table.unmap_page(VIRT_OFFSET)
+
+
+class TestWalk:
+    def test_walk_addresses_are_real_ptes(self):
+        mem, table = make_table()
+        table.map_page(VIRT_OFFSET, 0x30_0000)
+        addrs = table.walk_addresses(VIRT_OFFSET)
+        assert len(addrs) == LEVELS
+        # All PTE reads land inside the page-table region.
+        for addr in addrs:
+            assert 4096 <= addr < 2 * 1024 * 1024
+        # The leaf PTE encodes the mapped PPN.
+        leaf = mem.read_word(addrs[-1])
+        assert (leaf >> 10) * PAGE_SIZE == 0x30_0000
+
+    def test_adjacent_pages_share_upper_levels(self):
+        _mem, table = make_table()
+        table.map_page(VIRT_OFFSET, 0)
+        table.map_page(VIRT_OFFSET + PAGE_SIZE, PAGE_SIZE)
+        a = table.walk_addresses(VIRT_OFFSET)
+        b = table.walk_addresses(VIRT_OFFSET + PAGE_SIZE)
+        assert a[:-1] == b[:-1]
+        assert a[-1] != b[-1]
+
+    def test_vpn_parts(self):
+        vaddr = (3 << (12 + 18)) | (5 << (12 + 9)) | (7 << 12) | 0x123
+        assert vpn_parts(vaddr) == (3, 5, 7)
+
+
+@given(page_indices=st.sets(st.integers(0, 4000), min_size=1, max_size=60))
+@settings(max_examples=30, deadline=None)
+def test_many_mappings_translate_correctly(page_indices):
+    _mem, table = make_table()
+    mapping = {}
+    for i, page in enumerate(sorted(page_indices)):
+        vaddr = VIRT_OFFSET + page * PAGE_SIZE
+        paddr = 0x280000 + i * PAGE_SIZE
+        table.map_page(vaddr, paddr)
+        mapping[vaddr] = paddr
+    for vaddr, paddr in mapping.items():
+        assert table.translate(vaddr + 8) == paddr + 8

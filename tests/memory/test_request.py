@@ -1,0 +1,85 @@
+"""Request validation and the tracer's aligned-transfer splitter."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.request import (
+    AccessKind,
+    MemRequest,
+    split_into_aligned_transfers,
+    validate_tilelink,
+)
+
+
+class TestMemRequest:
+    def test_basic_fields(self):
+        req = MemRequest(addr=0x100, size=8, kind=AccessKind.READ,
+                         source="marker")
+        assert not req.is_write
+        assert req.kind.needs_response_data
+
+    def test_write_is_posted(self):
+        req = MemRequest(addr=0, size=8, kind=AccessKind.WRITE)
+        assert req.is_write
+        assert not req.kind.needs_response_data
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            MemRequest(addr=0, size=0, kind=AccessKind.READ)
+        with pytest.raises(ValueError):
+            MemRequest(addr=-8, size=8, kind=AccessKind.READ)
+
+
+class TestTileLinkRules:
+    @pytest.mark.parametrize("size", [8, 16, 32, 64])
+    def test_aligned_sizes_pass(self, size):
+        validate_tilelink(MemRequest(addr=size * 3, size=size,
+                                     kind=AccessKind.READ))
+
+    @pytest.mark.parametrize("size", [4, 12, 24, 128])
+    def test_bad_sizes_fail(self, size):
+        with pytest.raises(ValueError):
+            validate_tilelink(MemRequest(addr=0, size=size,
+                                         kind=AccessKind.READ))
+
+    def test_misaligned_fails(self):
+        with pytest.raises(ValueError):
+            validate_tilelink(MemRequest(addr=8, size=16,
+                                         kind=AccessKind.READ))
+
+
+class TestSplitter:
+    def test_paper_example(self):
+        """§V-C: 15 refs at 0x1a18 -> sizes 8, 32, 64, 16 in this order."""
+        transfers = split_into_aligned_transfers(0x1A18, 15 * 8)
+        assert [size for _a, size in transfers] == [8, 32, 64, 16]
+
+    def test_aligned_full_lines(self):
+        transfers = split_into_aligned_transfers(0x1000, 128)
+        assert transfers == [(0x1000, 64), (0x1040, 64)]
+
+    def test_single_word(self):
+        assert split_into_aligned_transfers(0x18, 8) == [(0x18, 8)]
+
+    def test_unaligned_input_rejected(self):
+        with pytest.raises(ValueError):
+            split_into_aligned_transfers(0x1001, 8)
+        with pytest.raises(ValueError):
+            split_into_aligned_transfers(0x1000, 12)
+
+    @given(
+        start_words=st.integers(0, 4096),
+        n_words=st.integers(1, 200),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_split_properties(self, start_words, n_words):
+        """Every split covers the range exactly once with legal transfers."""
+        addr, nbytes = start_words * 8, n_words * 8
+        transfers = split_into_aligned_transfers(addr, nbytes)
+        cursor = addr
+        for t_addr, t_size in transfers:
+            assert t_addr == cursor, "transfers must be contiguous"
+            assert t_size in (8, 16, 32, 64)
+            assert t_addr % t_size == 0, "transfers must be naturally aligned"
+            cursor += t_size
+        assert cursor == addr + nbytes, "must cover the range exactly"

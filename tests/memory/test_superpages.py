@@ -1,0 +1,118 @@
+"""Superpage support (§VII) and walker concurrency (§VI-A future work)."""
+
+import pytest
+
+from repro.engine.simulator import Simulator
+from repro.memory.config import MemorySystemConfig, TLBConfig
+from repro.memory.interconnect import build_memory_system
+from repro.memory.memimage import PhysicalMemory
+from repro.memory.paging import (
+    PAGE_SIZE,
+    SUPERPAGE_SIZE,
+    PageTable,
+    VIRT_OFFSET,
+)
+from repro.memory.ptw import PageTableWalker
+from repro.memory.tlb import TLB, SharedL2TLB
+
+
+def make_table():
+    mem = PhysicalMemory(16 * 1024 * 1024)
+    return mem, PageTable(mem, (4096, 2 * 1024 * 1024))
+
+
+class TestSuperpageMapping:
+    def test_map_and_translate(self):
+        _mem, table = make_table()
+        table.map_superpage(VIRT_OFFSET, 0x40_0000)
+        assert table.translate(VIRT_OFFSET) == 0x40_0000
+        # Any 4 KiB page within the 2 MiB region translates.
+        assert table.translate(VIRT_OFFSET + 17 * PAGE_SIZE + 8) == \
+            0x40_0000 + 17 * PAGE_SIZE + 8
+        assert table.is_superpage(VIRT_OFFSET + PAGE_SIZE)
+
+    def test_alignment_enforced(self):
+        _mem, table = make_table()
+        with pytest.raises(ValueError):
+            table.map_superpage(VIRT_OFFSET + PAGE_SIZE, 0)
+
+    def test_walk_is_one_level_shorter(self):
+        _mem, table = make_table()
+        table.map_superpage(VIRT_OFFSET, 0x40_0000)
+        table.map_page(VIRT_OFFSET + SUPERPAGE_SIZE, 0x80_0000)
+        assert len(table.walk_addresses(VIRT_OFFSET)) == 2
+        assert len(table.walk_addresses(VIRT_OFFSET + SUPERPAGE_SIZE)) == 3
+
+    def test_conflict_with_existing_4k_mappings(self):
+        _mem, table = make_table()
+        table.map_page(VIRT_OFFSET, 0x40_0000)
+        with pytest.raises(ValueError):
+            table.map_superpage(VIRT_OFFSET, 0x80_0000)
+
+    def test_map_linear_mixes_sizes(self):
+        _mem, table = make_table()
+        # Start misaligned by one page: ragged head uses 4 KiB mappings.
+        start = VIRT_OFFSET + SUPERPAGE_SIZE - PAGE_SIZE
+        table.map_linear(start, SUPERPAGE_SIZE - PAGE_SIZE,
+                         SUPERPAGE_SIZE + 2 * PAGE_SIZE, superpages=True)
+        assert not table.is_superpage(start)
+        assert table.is_superpage(start + PAGE_SIZE)
+        for off in (0, PAGE_SIZE, SUPERPAGE_SIZE, SUPERPAGE_SIZE + PAGE_SIZE):
+            assert table.translate(start + off) == \
+                SUPERPAGE_SIZE - PAGE_SIZE + off
+
+    def test_memsys_superpage_config(self):
+        sim = Simulator()
+        ms = build_memory_system(
+            sim, MemorySystemConfig(total_bytes=16 * 1024 * 1024,
+                                    use_superpages=True))
+        assert ms.page_table.is_superpage(VIRT_OFFSET)
+        heap_start = ms.address_map.heap[0]
+        assert ms.virt_to_phys(ms.to_virtual(heap_start)) == heap_start
+
+
+class TestSuperpageTLB:
+    def test_one_entry_covers_the_whole_superpage(self):
+        sim = Simulator()
+        ms = build_memory_system(
+            sim, MemorySystemConfig(total_bytes=16 * 1024 * 1024,
+                                    use_superpages=True))
+        ptw = PageTableWalker(sim, ms.page_table,
+                              ms.port("ptw", validate=False), stats=ms.stats)
+        tlb = TLB(sim, TLBConfig(entries=2), ptw, stats=ms.stats)
+        tlb.translate(VIRT_OFFSET)
+        sim.run()
+        # 500 different 4 KiB pages of the same superpage: all TLB hits.
+        for page in range(1, 500, 37):
+            event = tlb.translate(VIRT_OFFSET + page * PAGE_SIZE)
+            assert event.triggered
+        assert ms.stats.get("tlb.tlb.misses") == 1
+
+
+class TestConcurrentWalker:
+    def test_concurrent_walks_overlap(self):
+        def run(max_concurrent):
+            sim = Simulator()
+            ms = build_memory_system(
+                sim, MemorySystemConfig(total_bytes=16 * 1024 * 1024))
+            ptw = PageTableWalker(sim, ms.page_table,
+                                  ms.port("ptw", validate=False),
+                                  stats=ms.stats,
+                                  max_concurrent=max_concurrent)
+            done = []
+            for i in range(6):
+                ptw.walk(VIRT_OFFSET + i * PAGE_SIZE).add_callback(
+                    lambda _p: done.append(sim.now))
+            sim.run()
+            assert len(done) == 6
+            return sim.now
+
+        assert run(4) < run(1)
+
+    def test_validation(self):
+        sim = Simulator()
+        ms = build_memory_system(
+            sim, MemorySystemConfig(total_bytes=16 * 1024 * 1024))
+        with pytest.raises(ValueError):
+            PageTableWalker(sim, ms.page_table, ms.port("p", validate=False),
+                            max_concurrent=0)

@@ -1,0 +1,118 @@
+"""TLBs and the blocking page-table walker."""
+
+import pytest
+
+from repro.engine.simulator import Simulator
+from repro.engine.stats import StatsRegistry
+from repro.memory.cache import Cache
+from repro.memory.config import CacheConfig, MemorySystemConfig, TLBConfig
+from repro.memory.interconnect import build_memory_system
+from repro.memory.paging import PAGE_SIZE, VIRT_OFFSET
+from repro.memory.ptw import PageTableWalker
+from repro.memory.tlb import TLB, SharedL2TLB
+
+
+@pytest.fixture
+def system():
+    sim = Simulator()
+    ms = build_memory_system(sim, MemorySystemConfig(total_bytes=16 * 1024 * 1024))
+    ptw = PageTableWalker(sim, ms.page_table, ms.port("ptw", validate=False),
+                          stats=ms.stats)
+    return sim, ms, ptw
+
+
+class TestPTW:
+    def test_walk_translates(self, system):
+        sim, ms, ptw = system
+        got = []
+        ptw.walk(VIRT_OFFSET + 0x1234).add_callback(got.append)
+        sim.run()
+        assert got == [0x1234]
+        assert ms.stats.get("ptw.pte_reads") == 3
+
+    def test_walks_serialize(self, system):
+        sim, ms, ptw = system
+        done_times = []
+        for i in range(3):
+            ptw.walk(VIRT_OFFSET + i * PAGE_SIZE).add_callback(
+                lambda _p: done_times.append(sim.now))
+        assert ptw.queue_depth >= 2  # queued behind the busy walker
+        sim.run()
+        assert len(done_times) == 3
+        assert done_times[0] < done_times[1] < done_times[2]
+
+    def test_ptw_cache_accelerates_upper_levels(self):
+        sim = Simulator()
+        ms = build_memory_system(sim, MemorySystemConfig(total_bytes=16 * 1024 * 1024))
+        cache = Cache(sim, CacheConfig(size_bytes=8 * 1024, ways=4,
+                                       hit_latency=1, mshrs=1),
+                      ms.model, name="ptwc", stats=ms.stats)
+        ptw = PageTableWalker(sim, ms.page_table, cache, stats=ms.stats)
+        ptw.walk(VIRT_OFFSET)
+        sim.run()
+        t0 = sim.now
+        ptw.walk(VIRT_OFFSET + PAGE_SIZE)  # upper levels now cached
+        sim.run()
+        assert sim.now - t0 < t0
+
+
+class TestTLB:
+    def test_hit_is_instant(self, system):
+        sim, ms, ptw = system
+        tlb = TLB(sim, TLBConfig(entries=4), ptw, stats=ms.stats)
+        tlb.translate(VIRT_OFFSET)
+        sim.run()
+        event = tlb.translate(VIRT_OFFSET + 8)
+        assert event.triggered and event.value == 8  # same-cycle hit
+        assert ms.stats.get("tlb.tlb.hits") == 1
+
+    def test_lru_eviction(self, system):
+        sim, ms, ptw = system
+        tlb = TLB(sim, TLBConfig(entries=2), ptw, stats=ms.stats)
+        for page in (0, 1, 2):  # page 0 evicted by page 2
+            tlb.translate(VIRT_OFFSET + page * PAGE_SIZE)
+            sim.run()
+        tlb.translate(VIRT_OFFSET)
+        sim.run()
+        assert ms.stats.get("tlb.tlb.misses") == 4
+
+    def test_l2_tlb_catches_l1_evictions(self, system):
+        sim, ms, ptw = system
+        l2 = SharedL2TLB(entries=64)
+        tlb = TLB(sim, TLBConfig(entries=2), ptw, l2=l2, stats=ms.stats)
+        for page in range(4):
+            tlb.translate(VIRT_OFFSET + page * PAGE_SIZE)
+            sim.run()
+        walks_before = ms.stats.get("ptw.walks")
+        tlb.translate(VIRT_OFFSET)  # evicted from L1 but in L2
+        sim.run()
+        assert ms.stats.get("ptw.walks") == walks_before
+        assert ms.stats.get("tlb.tlb.l2_hits") == 1
+
+    def test_flush(self, system):
+        sim, ms, ptw = system
+        tlb = TLB(sim, TLBConfig(entries=4), ptw, stats=ms.stats)
+        tlb.translate(VIRT_OFFSET)
+        sim.run()
+        tlb.flush()
+        assert tlb.occupancy == 0
+        tlb.translate(VIRT_OFFSET)
+        sim.run()
+        assert ms.stats.get("tlb.tlb.misses") == 2
+
+    def test_two_tlbs_share_one_walker(self, system):
+        sim, ms, ptw = system
+        l2 = SharedL2TLB()
+        marker = TLB(sim, TLBConfig(entries=4), ptw, name="marker", l2=l2,
+                     stats=ms.stats)
+        tracer = TLB(sim, TLBConfig(entries=4), ptw, name="tracer", l2=l2,
+                     stats=ms.stats)
+        got = []
+        marker.translate(VIRT_OFFSET).add_callback(got.append)
+        tracer.translate(VIRT_OFFSET + PAGE_SIZE).add_callback(got.append)
+        sim.run()
+        assert sorted(got) == [0, PAGE_SIZE]
+        # The second unit benefits from the shared L2 TLB for shared pages.
+        tracer.translate(VIRT_OFFSET + 8)
+        sim.run()
+        assert ms.stats.get("tlb.tracer.l2_hits") == 1

@@ -1,0 +1,62 @@
+"""Area model (Fig. 22)."""
+
+import pytest
+
+from repro.core.config import GCUnitConfig
+from repro.power.area import AreaModel
+
+
+@pytest.fixture
+def model():
+    return AreaModel()
+
+
+class TestHeadlineNumbers:
+    def test_unit_is_about_18_5_percent_of_rocket(self, model):
+        """The paper's headline: 18.5% of the Rocket CPU."""
+        assert model.unit_to_rocket_ratio() == pytest.approx(0.185, abs=0.02)
+
+    def test_unit_is_about_64kb_of_sram(self, model):
+        assert model.sram_equivalent_kb() == pytest.approx(64, abs=6)
+
+    def test_mark_queue_dominates_the_unit(self, model):
+        breakdown = model.unit_breakdown()
+        assert breakdown["Mark Q."] == max(breakdown.values())
+
+    def test_rocket_is_a_small_cpu(self, model):
+        # Fig. 22a: the 256 KB L2 dwarfs both Rocket and the unit.
+        totals = model.totals()
+        assert totals["L2 Cache"] > totals["Rocket"] > totals["HWGC"]
+
+
+class TestParametricScaling:
+    def test_bigger_queue_costs_area(self, model):
+        small = model.unit_total(GCUnitConfig(mark_queue_entries=256))
+        big = model.unit_total(GCUnitConfig(mark_queue_entries=4096))
+        assert big > small
+
+    def test_compression_halves_queue_area(self, model):
+        wide = model.unit_breakdown(GCUnitConfig())["Mark Q."]
+        narrow = model.unit_breakdown(
+            GCUnitConfig(address_compression=True))["Mark Q."]
+        assert narrow < 0.6 * wide
+
+    def test_sweepers_scale_linearly(self, model):
+        one = model.unit_breakdown(GCUnitConfig(n_sweepers=1))["Sweeper"]
+        four = model.unit_breakdown(GCUnitConfig(n_sweepers=4))["Sweeper"]
+        assert four == pytest.approx(4 * one)
+
+    def test_mark_bit_cache_adds_marker_area(self, model):
+        without = model.unit_breakdown(GCUnitConfig())["Marker"]
+        with_mbc = model.unit_breakdown(
+            GCUnitConfig(mark_bit_cache_entries=256))["Marker"]
+        assert with_mbc > without
+
+    def test_shared_cache_mode_counts_the_shared_l1(self, model):
+        shared = model.unit_breakdown(GCUnitConfig(cache_mode="shared"))
+        part = model.unit_breakdown(GCUnitConfig())
+        assert shared["PTW"] > part["PTW"]  # 16 KB beats 8 KB
+
+    def test_rocket_breakdown_sums(self, model):
+        assert sum(model.rocket_breakdown().values()) == \
+            pytest.approx(model.rocket_total())

@@ -1,0 +1,105 @@
+"""In-order CPU timing model."""
+
+import pytest
+
+from repro.engine.simulator import Simulator
+from repro.memory.config import MemorySystemConfig
+from repro.memory.interconnect import build_memory_system
+from repro.memory.paging import VIRT_OFFSET
+from repro.swgc.cpu import CPUConfig, InOrderCPU
+
+
+@pytest.fixture
+def cpu_system():
+    sim = Simulator()
+    ms = build_memory_system(sim, MemorySystemConfig(total_bytes=16 * 1024 * 1024))
+    cpu = InOrderCPU(sim, ms)
+    return sim, ms, cpu
+
+
+def run_op(sim, gen):
+    proc = sim.process(gen)
+    start = sim.now
+    sim.run_until(proc)
+    return sim.now - start
+
+
+class TestLoads:
+    def test_cold_load_pays_full_hierarchy(self, cpu_system):
+        sim, _ms, cpu = cpu_system
+        heap_va = VIRT_OFFSET + 8 * 1024 * 1024
+        cold = run_op(sim, cpu.load(heap_va))
+        warm = run_op(sim, cpu.load(heap_va))
+        assert cold > warm
+        assert warm <= cpu.config.l1d.hit_latency + 1
+
+    def test_loads_are_serialized_in_order(self, cpu_system):
+        sim, _ms, cpu = cpu_system
+        heap_va = VIRT_OFFSET + 8 * 1024 * 1024
+
+        def two_dependent_loads():
+            yield from cpu.load(heap_va)
+            yield from cpu.load(heap_va + 1024 * 1024)
+
+        t = run_op(sim, two_dependent_loads())
+        single = run_op(sim, cpu.load(heap_va + 2 * 1024 * 1024))
+        assert t > 1.5 * single  # no overlap between the two misses
+
+    def test_amo_counts(self, cpu_system):
+        sim, ms, cpu = cpu_system
+        run_op(sim, cpu.amo(VIRT_OFFSET + 4096))
+        assert ms.stats.get("cpu.cpu.amos") == 1
+
+
+class TestStores:
+    def test_stores_are_posted(self, cpu_system):
+        sim, _ms, cpu = cpu_system
+        heap_va = VIRT_OFFSET + 8 * 1024 * 1024
+        run_op(sim, cpu.load(heap_va + 4096))  # warm the dTLB's page walk
+        t = run_op(sim, cpu.store(heap_va + 4096 + 64))
+        # Far cheaper than a full miss: buffered (only TLB + issue cost).
+        assert t < 10
+
+    def test_store_buffer_fills_and_stalls(self, cpu_system):
+        sim, _ms, cpu = cpu_system
+
+        def storm():
+            for i in range(32):
+                # Distinct lines: every store misses.
+                yield from cpu.store(VIRT_OFFSET + 4 * 1024 * 1024 + i * 64)
+
+        t = run_op(sim, storm())
+        assert t > 32  # some stalls happened
+
+    def test_drain_stores_waits(self, cpu_system):
+        sim, _ms, cpu = cpu_system
+
+        def store_and_drain():
+            yield from cpu.store(VIRT_OFFSET + 6 * 1024 * 1024)
+            yield from cpu.drain_stores()
+
+        t = run_op(sim, store_and_drain())
+        assert t > 10  # had to wait for the miss
+
+
+class TestBranches:
+    def test_mispredict_penalty(self, cpu_system):
+        sim, ms, cpu = cpu_system
+        ok = run_op(sim, cpu.branch(False))
+        bad = run_op(sim, cpu.branch(True))
+        assert bad - ok == cpu.config.branch_mispredict_penalty - 1
+        assert ms.stats.get("cpu.cpu.mispredicts") == 1
+
+    def test_exec_ops(self, cpu_system):
+        sim, _ms, cpu = cpu_system
+        assert run_op(sim, cpu.exec_ops(7)) == 7
+        assert cpu.instructions >= 7
+
+
+class TestConfig:
+    def test_defaults_match_table_i(self):
+        cfg = CPUConfig()
+        assert cfg.l1d.size_bytes == 16 * 1024
+        assert cfg.l2.size_bytes == 256 * 1024
+        assert cfg.dtlb.entries == 32
+        assert cfg.miss_overlap == 1

@@ -1,0 +1,83 @@
+"""Graph generator: the live set is exactly the reachable set, by design."""
+
+import pytest
+
+from repro.workloads.graphgen import HeapGraphBuilder
+from repro.workloads.profiles import DACAPO_PROFILES
+
+
+SCALE = 0.006  # ~1-2k objects: fast but structurally representative
+
+
+class TestReachabilityContract:
+    @pytest.mark.parametrize("name", sorted(DACAPO_PROFILES))
+    def test_every_profile_builds_consistently(self, name):
+        built = HeapGraphBuilder(DACAPO_PROFILES[name], scale=SCALE,
+                                 seed=3).build()
+        # _verify already ran inside build(); double-check the partition.
+        reachable = built.heap.reachable()
+        assert reachable == built.live
+        assert not (built.garbage & reachable)
+
+    def test_live_fraction_approximates_profile(self):
+        profile = DACAPO_PROFILES["avrora"]
+        built = HeapGraphBuilder(profile, scale=0.01, seed=1).build()
+        ms_total = len(built.live) + len(built.garbage)
+        live_frac = (len(built.live) - len(built.roots)) / ms_total
+        assert abs(live_frac - profile.live_fraction) < 0.1
+
+    def test_hot_objects_are_live(self):
+        built = HeapGraphBuilder(DACAPO_PROFILES["luindex"], scale=SCALE,
+                                 seed=2).build()
+        assert set(built.hot) <= built.live
+
+    def test_hot_objects_receive_skewed_accesses(self):
+        built = HeapGraphBuilder(DACAPO_PROFILES["luindex"], scale=0.02,
+                                 seed=2).build()
+        counts = built.incoming_access_counts()
+        total = sum(counts.values())
+        top = sorted(counts.values(), reverse=True)[:len(built.hot)]
+        share = sum(top) / total
+        assert share > 0.04  # a small set draws a disproportionate share
+
+    def test_determinism(self):
+        a = HeapGraphBuilder(DACAPO_PROFILES["pmd"], scale=SCALE, seed=9).build()
+        b = HeapGraphBuilder(DACAPO_PROFILES["pmd"], scale=SCALE, seed=9).build()
+        assert a.roots == b.roots
+        assert a.live == b.live
+
+    def test_different_seeds_differ(self):
+        a = HeapGraphBuilder(DACAPO_PROFILES["pmd"], scale=SCALE, seed=1).build()
+        b = HeapGraphBuilder(DACAPO_PROFILES["pmd"], scale=SCALE, seed=2).build()
+        assert a.live != b.live
+
+    def test_statics_are_roots(self):
+        built = HeapGraphBuilder(DACAPO_PROFILES["avrora"], scale=SCALE,
+                                 seed=4).build()
+        immortal = built.heap.plan.immortal
+        static_roots = [r for r in built.roots
+                        if immortal.contains(built.heap.to_physical(r))]
+        assert static_roots
+
+    def test_los_objects_created(self):
+        built = HeapGraphBuilder(DACAPO_PROFILES["sunflow"], scale=0.02,
+                                 seed=5).build()
+        assert built.heap.los_objects
+
+    def test_scale_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            HeapGraphBuilder(DACAPO_PROFILES["avrora"], scale=1e-5).build()
+
+
+class TestProfiles:
+    def test_all_profiles_well_formed(self):
+        for name, profile in DACAPO_PROFILES.items():
+            assert profile.name == name
+            assert 0 < profile.live_fraction < 1
+            assert 0 <= profile.null_ref_fraction < 1
+            assert profile.hot_objects > 0
+            assert profile.gc_time_fraction_paper <= 0.40
+
+    def test_order_covers_all(self):
+        from repro.workloads.profiles import BENCHMARK_ORDER
+        assert set(BENCHMARK_ORDER) == set(DACAPO_PROFILES)

@@ -1,0 +1,92 @@
+"""Query-latency simulation: pause freezing and coordinated omission."""
+
+import pytest
+
+from repro.workloads.latency import QuerySimulator, latency_cdf, tail_ratio
+from repro.workloads.mutator import GCPauseRecord, MutatorRunResult
+
+
+def synthetic_run(pause_at=1_000_000, pause_len=500_000,
+                  total_mutator=10_000_000, n_pauses=1):
+    """A hand-built timeline with known pauses."""
+    run = MutatorRunResult(collector="sw")
+    cursor = 0
+    for i in range(n_pauses):
+        cursor += pause_at
+        run.pauses.append(GCPauseRecord(
+            index=i, start_cycle=cursor, mark_cycles=pause_len,
+            sweep_cycles=0, objects_marked=0, cells_freed=0,
+        ))
+        cursor += pause_len
+    run.mutator_cycles = n_pauses * pause_at
+    return run
+
+
+class TestPauseFreezing:
+    def test_query_before_pause_completes_normally(self):
+        run = synthetic_run()
+        sim = QuerySimulator(run, interval_cycles=100_000,
+                             service_mean_cycles=10_000, seed=1)
+        records = sim.run_queries(n_queries=5, warmup=0)
+        assert records[0].latency_cycles < 100_000
+        assert not records[0].near_gc
+
+    def test_query_overlapping_pause_absorbs_it(self):
+        run = synthetic_run(pause_at=1_000_000, pause_len=500_000)
+        sim = QuerySimulator(run, interval_cycles=990_000,
+                             service_mean_cycles=50_000, seed=1)
+        records = sim.run_queries(n_queries=3, warmup=0)
+        straggler = records[1]  # arrives at 990k, runs into the 1M pause
+        assert straggler.latency_cycles > 500_000
+        assert straggler.near_gc
+
+    def test_coordinated_omission_measured_from_intent(self):
+        """Queries queued behind a pause-delayed predecessor still measure
+        from their intended start."""
+        run = synthetic_run(pause_at=500_000, pause_len=2_000_000)
+        sim = QuerySimulator(run, interval_cycles=100_000,
+                             service_mean_cycles=50_000, seed=2)
+        records = sim.run_queries(n_queries=20, warmup=0)
+        # Several queries arrive during the pause; their latencies decrease
+        # roughly by the interval as their intended starts advance.
+        in_pause = [r for r in records if r.near_gc]
+        assert len(in_pause) >= 3
+        assert in_pause[0].latency_cycles > in_pause[2].latency_cycles
+        # The backlog queries measure from intent, not from issue.
+        assert in_pause[1].latency_cycles > 1_000_000
+
+    def test_pauses_tile_past_one_iteration(self):
+        run = synthetic_run()
+        sim = QuerySimulator(run, interval_cycles=3_000_000,
+                             service_mean_cycles=10_000, seed=3)
+        records = sim.run_queries(n_queries=30, warmup=0)
+        assert len(records) == 30  # timeline wrapped without error
+
+
+class TestAggregation:
+    def test_cdf_monotone(self):
+        run = synthetic_run()
+        sim = QuerySimulator(run, interval_cycles=150_000,
+                             service_mean_cycles=20_000, seed=4)
+        cdf = latency_cdf(sim.run_queries(n_queries=200, warmup=10))
+        xs = [x for x, _y in cdf]
+        ys = [y for _x, y in cdf]
+        assert xs == sorted(xs)
+        assert ys[-1] == pytest.approx(1.0)
+
+    def test_tail_ratio_reflects_pauses(self):
+        # Same GC duty cycle cannot saturate the open-loop system; only the
+        # pause length differs.
+        short = synthetic_run(pause_at=10_000_000, pause_len=100_000)
+        long = synthetic_run(pause_at=10_000_000, pause_len=1_200_000)
+        ratios = {}
+        for label, run in (("short", short), ("long", long)):
+            sim = QuerySimulator(run, interval_cycles=150_000,
+                                 service_mean_cycles=15_000, seed=5)
+            ratios[label] = tail_ratio(sim.run_queries(1000, warmup=0))
+        assert ratios["long"] > ratios["short"]
+
+    def test_empty_records(self):
+        assert latency_cdf([]) == []
+        with pytest.raises(ValueError):
+            tail_ratio([])

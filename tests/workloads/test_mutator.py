@@ -1,0 +1,68 @@
+"""Mutator model: churn phases, collections, timelines."""
+
+import pytest
+
+from repro.workloads.graphgen import HeapGraphBuilder
+from repro.workloads.mutator import MutatorModel
+from repro.workloads.profiles import DACAPO_PROFILES
+
+
+@pytest.fixture(scope="module")
+def built():
+    return HeapGraphBuilder(DACAPO_PROFILES["avrora"], scale=0.008,
+                            seed=21).build()
+
+
+class TestPhases:
+    def test_mutate_phase_allocates_and_creates_garbage(self, built):
+        built.heap.restore(built.heap.checkpoint())
+        model = MutatorModel(built, collector="sw")
+        model.collect_once()
+        live_before = len(built.heap.reachable())
+        allocated = model.mutate_phase()
+        assert allocated > 0
+        live_after = len(built.heap.reachable())
+        total = len(built.heap.objects)
+        assert total > live_after  # some of the new allocation died young
+        assert live_after != live_before
+
+    def test_collect_once_advances_epoch(self, built):
+        model = MutatorModel(built, collector="sw")
+        gc_before = built.heap.gc_count
+        pause = model.collect_once()
+        assert built.heap.gc_count == gc_before + 1
+        assert pause.pause_cycles > 0
+
+
+class TestRun:
+    @pytest.mark.parametrize("collector", ["sw", "hw"])
+    def test_run_produces_timeline(self, built, collector):
+        model = MutatorModel(built, collector=collector)
+        run = model.run(n_gcs=2)
+        assert len(run.pauses) == 2
+        assert 0 < run.gc_time_fraction < 1
+        segments = run.timeline()
+        kinds = [k for k, _s, _e in segments]
+        assert kinds == ["mutator", "gc", "mutator", "gc"]
+        for _k, start, end in segments:
+            assert end > start
+        # Segments tile without overlap.
+        for (_k1, _s1, e1), (_k2, s2, _e2) in zip(segments, segments[1:]):
+            assert e1 == s2
+
+    def test_hw_collector_spends_less_time(self, built):
+        sw = MutatorModel(built, collector="sw").run(n_gcs=2)
+        hw = MutatorModel(built, collector="hw").run(n_gcs=2)
+        assert hw.gc_cycles < sw.gc_cycles
+
+    def test_successive_gcs_remain_correct(self, built):
+        model = MutatorModel(built, collector="hw")
+        for _ in range(3):
+            model.mutate_phase()
+            truth = len(built.heap.reachable())
+            pause = model.collect_once()
+            assert pause.objects_marked == truth
+
+    def test_invalid_collector(self, built):
+        with pytest.raises(ValueError):
+            MutatorModel(built, collector="quantum")
