@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Engine microbenchmark: kernel events/sec + figure-suite wall time.
+
+Run:  PYTHONPATH=src python benchmarks/bench_engine.py [--out BENCH_engine.json]
+      [--full-suite]
+
+Measures, for each simulation kernel (``bucket`` and ``heapq``):
+
+* **raw event throughput** — a ping-pong process pair exchanging events
+  through zero-delay triggers and short fixed delays (the mix that
+  dominates the DRAM/cache models);
+* **end-to-end GC comparison time** — ``run_gc_comparison`` on a small
+  avrora heap, the unit of work behind every figure;
+
+plus (with ``--full-suite``) the wall time of ``run_suite(jobs=1)``. The
+results land in ``BENCH_engine.json`` so the perf trajectory is tracked
+across PRs. Cycle counts are recorded alongside timings: any cross-kernel
+divergence is a correctness bug and fails the script.
+"""
+
+import argparse
+import json
+import platform
+import sys
+import time
+
+
+def _make_kernel_workload(sim_module, n_events: int):
+    """A producer/consumer pair exercising the kernel's hot paths."""
+    sim = sim_module.Simulator()
+    queue_depth = {"remaining": n_events}
+
+    def producer():
+        while queue_depth["remaining"] > 0:
+            queue_depth["remaining"] -= 1
+            # Alternate zero-delay fast path and short wheel delays.
+            yield 0 if queue_depth["remaining"] % 2 else 3
+            event = sim.event()
+            sim.schedule(2, event.trigger, None)
+            yield event
+
+    sim.process(producer())
+    return sim
+
+
+def bench_kernel(engine: str, n_events: int = 200_000) -> dict:
+    """Events/sec for one kernel over a synthetic hot-path workload."""
+    import os
+
+    os.environ["REPRO_ENGINE"] = engine
+    # Re-import with the engine pinned; Simulator dispatches per instance,
+    # so setting the env var before construction is sufficient.
+    from repro.engine import simulator as sim_module
+
+    sim = _make_kernel_workload(sim_module, n_events)
+    t0 = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - t0
+    return {
+        "engine": engine,
+        "events_processed": sim.events_processed,
+        "seconds": round(elapsed, 4),
+        "events_per_sec": round(sim.events_processed / elapsed),
+        "final_cycle": sim.now,
+    }
+
+
+def bench_comparison(engine: str, scale: float = 0.02) -> dict:
+    """End-to-end GC comparison wall time under one kernel."""
+    import os
+
+    os.environ["REPRO_ENGINE"] = engine
+    from repro.harness.heapcache import reset_cache
+    from repro.harness.runners import run_gc_comparison
+    from repro.workloads.profiles import DACAPO_PROFILES
+
+    reset_cache()  # time the full build + both collectors, uncached
+    t0 = time.perf_counter()
+    comp = run_gc_comparison(DACAPO_PROFILES["avrora"], scale=scale, seed=1)
+    elapsed = time.perf_counter() - t0
+    return {
+        "engine": engine,
+        "seconds": round(elapsed, 3),
+        "cycles": {
+            "sw_mark": comp.sw.mark_cycles,
+            "sw_sweep": comp.sw.sweep_cycles,
+            "hw_mark": comp.hw.mark_cycles,
+            "hw_sweep": comp.hw.sweep_cycles,
+            "objects_marked": comp.sw.objects_marked,
+        },
+    }
+
+
+def bench_suite(jobs: int = 1) -> dict:
+    """Wall time of the full figure suite (minutes; opt-in)."""
+    from repro.harness.heapcache import reset_cache
+    from repro.harness.parallel import digests, run_suite
+
+    reset_cache()
+    t0 = time.perf_counter()
+    runs = run_suite(jobs=jobs, progress=lambda msg: print(msg, flush=True))
+    elapsed = time.perf_counter() - t0
+    return {
+        "jobs": jobs,
+        "seconds": round(elapsed, 1),
+        "per_figure_seconds": {r.exp_id: round(r.elapsed, 1) for r in runs},
+        "digests": digests(runs),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_engine.json")
+    parser.add_argument("--events", type=int, default=200_000)
+    parser.add_argument("--scale", type=float, default=0.02)
+    parser.add_argument("--full-suite", action="store_true",
+                        help="also time run_suite(jobs=1) — takes minutes")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="workers for --full-suite")
+    args = parser.parse_args()
+
+    report = {
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "kernel": [],
+        "gc_comparison": [],
+    }
+    for engine in ("bucket", "heapq"):
+        print(f"kernel bench: {engine} ...", flush=True)
+        report["kernel"].append(bench_kernel(engine, args.events))
+        print(f"gc comparison: {engine} ...", flush=True)
+        report["gc_comparison"].append(bench_comparison(engine, args.scale))
+
+    # Cross-kernel determinism gates the numbers: identical event counts
+    # and identical GC cycle counts, or the benchmark itself is invalid.
+    k0, k1 = report["kernel"]
+    if (k0["events_processed"], k0["final_cycle"]) != (
+            k1["events_processed"], k1["final_cycle"]):
+        print("FATAL: kernels disagree on the synthetic workload", file=sys.stderr)
+        return 1
+    c0, c1 = report["gc_comparison"]
+    if c0["cycles"] != c1["cycles"]:
+        print("FATAL: kernels disagree on GC cycle counts", file=sys.stderr)
+        return 1
+    speedup = c1["seconds"] / c0["seconds"]
+    report["bucket_vs_heapq_comparison_speedup"] = round(speedup, 3)
+
+    if args.full_suite:
+        print("full suite ...", flush=True)
+        report["suite"] = bench_suite(args.jobs)
+
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=1)
+        fh.write("\n")
+    for row in report["kernel"]:
+        print(f"  {row['engine']:7s} {row['events_per_sec']:>10,d} events/s")
+    for row in report["gc_comparison"]:
+        print(f"  {row['engine']:7s} comparison {row['seconds']:.2f}s")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,91 +1,28 @@
 #!/usr/bin/env python3
 """Regenerate EXPERIMENTS.md: run every experiment, record paper-vs-measured.
 
-Run:  python benchmarks/generate_experiments_md.py [output-path]
+Run:  python benchmarks/generate_experiments_md.py [output-path] [--jobs N]
 
-Takes ~10-20 minutes at the default scales. Each section contains the
-paper's claim, the regenerated table, and (where applicable) notes about
-scale sensitivity.
+Thin wrapper over ``python -m repro run-all``; the suite definition lives
+in ``repro.harness.suite`` and the parallel runner in
+``repro.harness.parallel``. Takes ~10-20 minutes serially at the default
+scales; pass ``--jobs N`` (or use the CLI directly) to fan experiments out
+across worker processes.
 """
 
-import sys
-import time
+import argparse
 
-from repro.harness import experiments as E
-
-#: (experiment id, callable, kwargs) — scales chosen for ~minutes total.
-RUNS = [
-    ("fig01a", E.fig01a, dict(scale=0.02, n_gcs=2)),
-    ("fig01b", E.fig01b, dict(scale=0.02, n_gcs=3)),
-    ("fig15", E.fig15, dict(scale=0.05)),
-    ("fig16", E.fig16, dict(scale=0.04)),
-    ("fig17", E.fig17, dict(scale=0.04)),
-    ("fig18", E.fig18, dict(scale=0.03)),
-    ("fig19", E.fig19, dict(scale=0.03)),
-    ("fig20", E.fig20, dict(scale=0.025)),
-    ("fig21", E.fig21, dict(scale=0.04)),
-    ("fig22", E.fig22, dict()),
-    ("fig23", E.fig23, dict(scale=0.05)),
-    ("abl_layout", E.abl_layout, dict(scale=0.03)),
-    ("abl_decoupling", E.abl_decoupling, dict(scale=0.03)),
-    ("abl_scheduler", E.abl_scheduler, dict(scale=0.03)),
-    ("abl_barriers", E.abl_barriers, dict()),
-    ("abl_superpages", E.abl_superpages, dict(scale=0.03)),
-    ("abl_nonblocking_ptw", E.abl_nonblocking_ptw, dict(scale=0.03)),
-    ("abl_throttle", E.abl_throttle, dict(scale=0.03)),
-]
-
-HEADER = """# EXPERIMENTS — paper vs. measured
-
-Generated by ``benchmarks/generate_experiments_md.py``. Every section
-regenerates one table/figure from *A Hardware Accelerator for Tracing
-Garbage Collection* (ISCA 2018); "Paper:" lines quote the published claim.
-
-Methodology: heaps are synthetic DaCapo-like object graphs (see
-``repro.workloads``), run at a fraction (``scale``) of the paper's 200 MB
-heaps; the reproduced quantities are unit-vs-CPU **ratios and curve
-shapes**, which are stable across scale. Where a quantity is
-scale-sensitive (noted inline), the direction and regime still match the
-paper. Timing comes from the cycle-approximate simulation documented in
-DESIGN.md; 1 cycle = 1 ns (1 GHz SoC clock, Table I).
-
-Known deviations (and why):
-
-* **fig19** — spilling is a larger *share* of memory requests here
-  (~5-16% vs the paper's ~2%) because a scaled-down heap has a
-  proportionally larger traversal frontier relative to the queue; the
-  conclusions the paper draws (mark time insensitive to queue size,
-  compression halves spill traffic) reproduce.
-* **fig21** — our synthetic hot-object skew yields a top-56 access share
-  of ~4-9% vs the paper's 10%, and correspondingly lower mark-bit-cache
-  filter rates; shape (filtering grows with cache size, mark time barely
-  moves) reproduces.
-* **fig23** — the paper estimates 14.5% energy savings; our Micron-style
-  model lands at ~20-40% depending on benchmark, with the same structure
-  (unit DRAM power 2-3x higher, energy lower because pauses shrink more).
-* **fig17** — the request cadence is denser than the paper's 8.66
-  cycles/request because scaled heaps are TLB-friendlier; port utilization
-  and the ~9x speedup match.
-
-"""
+from repro.harness.parallel import run_suite, write_report
 
 
 def main() -> None:
-    out_path = sys.argv[1] if len(sys.argv) > 1 else "EXPERIMENTS.md"
-    sections = [HEADER]
-    for exp_id, fn, kwargs in RUNS:
-        t0 = time.time()
-        print(f"running {exp_id} {kwargs} ...", flush=True)
-        result = fn(**kwargs)
-        elapsed = time.time() - t0
-        sections.append(result.render())
-        args = ", ".join(f"{k}={v}" for k, v in kwargs.items())
-        sections.append(f"\n*({args or 'static model'}; "
-                        f"regenerated in {elapsed:.0f}s)*\n")
-        print(f"  done in {elapsed:.0f}s")
-    with open(out_path, "w") as fh:
-        fh.write("\n".join(sections))
-    print(f"wrote {out_path}")
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("out", nargs="?", default="EXPERIMENTS.md")
+    parser.add_argument("--jobs", type=int, default=1)
+    args = parser.parse_args()
+    runs = run_suite(jobs=args.jobs, progress=lambda msg: print(msg, flush=True))
+    write_report(runs, args.out)
+    print(f"wrote {args.out}")
 
 
 if __name__ == "__main__":

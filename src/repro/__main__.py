@@ -7,6 +7,9 @@ Commands:
                                   (e.g. ``python -m repro run fig15 --scale 0.05``).
 * ``compare <benchmark> [opts]``— one SW-vs-HW collection on one profile.
 * ``area``                      — print the Fig. 22 area tables.
+* ``run-all [--jobs N] [--out EXPERIMENTS.md] [--only ids]``
+                                — regenerate the full figure set, fanning
+                                  experiments across worker processes.
 """
 
 from __future__ import annotations
@@ -66,6 +69,33 @@ def _cmd_area(_args) -> int:
     return 0
 
 
+def _cmd_run_all(args) -> int:
+    import time
+
+    from repro.harness.parallel import default_jobs, digests, run_suite, write_report
+
+    jobs = args.jobs if args.jobs else default_jobs()
+    only = args.only.split(",") if args.only else None
+    t0 = time.time()
+    try:
+        runs = run_suite(jobs=jobs, only=only,
+                         progress=lambda msg: print(msg, flush=True))
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    elapsed = time.time() - t0
+    if args.out:
+        write_report(runs, args.out)
+        print(f"wrote {args.out}")
+    if args.digests:
+        for exp_id, digest in digests(runs).items():
+            print(f"{exp_id:20s} {digest}")
+    busy = sum(run.elapsed for run in runs)
+    print(f"{len(runs)} experiments in {elapsed:.0f}s wall "
+          f"({busy:.0f}s of simulation on {jobs} worker(s))")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -83,12 +113,23 @@ def main(argv=None) -> int:
     cmp_parser.add_argument("--scale", type=float, default=None)
     cmp_parser.add_argument("--seed", type=int, default=None)
     sub.add_parser("area", help="print the area model (Fig. 22)")
+    all_parser = sub.add_parser(
+        "run-all", help="regenerate the full figure set (parallel)")
+    all_parser.add_argument("--jobs", type=int, default=1,
+                            help="worker processes (0 = all cores)")
+    all_parser.add_argument("--out", default=None, metavar="EXPERIMENTS.md",
+                            help="write the assembled report here")
+    all_parser.add_argument("--only", default=None,
+                            help="comma-separated experiment ids")
+    all_parser.add_argument("--digests", action="store_true",
+                            help="print per-figure determinism fingerprints")
     args = parser.parse_args(argv)
     return {
         "list": _cmd_list,
         "run": _cmd_run,
         "compare": _cmd_compare,
         "area": _cmd_area,
+        "run-all": _cmd_run_all,
     }[args.command](args)
 
 

@@ -41,6 +41,8 @@ class HWQueue:
         self._items: Deque[Any] = deque()
         self._getters: Deque[Event] = deque()
         self._putters: Deque[Tuple[Event, Any]] = deque()
+        self._ev_put = f"{name}.put"
+        self._ev_get = f"{name}.get"
         # Statistics.
         self.total_puts = 0
         self.total_gets = 0
@@ -85,7 +87,7 @@ class HWQueue:
 
     def put(self, item: Any) -> Event:
         """Yieldable put: completes when the item has been accepted."""
-        event = self.sim.event(name=f"{self.name}.put")
+        event = Event(self.sim, name=self._ev_put)
         if not self.is_full and not self._putters:
             self._accept(item)
             event.trigger()
@@ -96,7 +98,7 @@ class HWQueue:
 
     def get(self) -> Event:
         """Yieldable get: completes with the dequeued item."""
-        event = self.sim.event(name=f"{self.name}.get")
+        event = Event(self.sim, name=self._ev_get)
         if self._items:
             event.trigger(self._release())
         else:

@@ -11,11 +11,32 @@ Processes are Python generators that ``yield``:
 * another :class:`Process` — resume when that process finishes (a *join*).
 
 Sub-routines that follow the same protocol are invoked with ``yield from``.
+
+Two interchangeable kernels implement the event queue:
+
+* :class:`BucketSimulator` (the default) — a calendar/bucket queue tuned for
+  the short fixed latencies that dominate this simulation (DRAM timings,
+  cache hit latencies). Each occupied cycle owns one FIFO bucket; only the
+  *distinct* busy cycles go through a priority queue (a heap of plain
+  ints), so events sharing a cycle cost a dict lookup plus a list append —
+  no comparisons, no tuple construction, no sequence counter. Zero-delay
+  events (event triggers, same-cycle handshakes) append to the bucket
+  currently being drained, so they run this cycle without ever touching
+  the priority queue.
+* :class:`HeapqSimulator` — the original ``heapq`` kernel, kept as a
+  reference implementation for determinism cross-checks.
+
+Both kernels process same-cycle events in strict scheduling order (a stable
+FIFO within a cycle), so they produce *identical* simulations. Select the
+kernel with the ``REPRO_ENGINE`` environment variable (``bucket`` or
+``heapq``); instantiating :class:`Simulator` dispatches to the configured
+kernel.
 """
 
 from __future__ import annotations
 
 import heapq
+import os
 from typing import Any, Callable, Generator, List, Optional, Tuple
 
 
@@ -51,7 +72,9 @@ class Event:
         self.sim = sim
         self.triggered = False
         self.value: Any = None
-        self._waiters: List[Callable[[Any], None]] = []
+        # Created lazily on first waiter: most events (cache fills, queue
+        # handshakes) trigger with zero or one waiter.
+        self._waiters: Optional[List[Callable[[Any], None]]] = None
         self.name = name
 
     def trigger(self, value: Any = None) -> None:
@@ -60,14 +83,19 @@ class Event:
             raise SimulationError(f"event {self.name or id(self)} triggered twice")
         self.triggered = True
         self.value = value
-        waiters, self._waiters = self._waiters, []
-        for callback in waiters:
-            self.sim.schedule(0, callback, value)
+        waiters = self._waiters
+        if waiters:
+            self._waiters = None
+            schedule = self.sim.schedule
+            for callback in waiters:
+                schedule(0, callback, value)
 
     def add_callback(self, callback: Callable[[Any], None]) -> None:
         """Invoke ``callback(value)`` when the event fires (immediately if fired)."""
         if self.triggered:
             self.sim.schedule(0, callback, self.value)
+        elif self._waiters is None:
+            self._waiters = [callback]
         else:
             self._waiters.append(callback)
 
@@ -93,17 +121,20 @@ class Process(Event):
     def _step(self, value: Any) -> None:
         # Fast path: consume already-triggered events (e.g. TLB hits)
         # synchronously instead of bouncing through the event queue.
+        send = self._gen.send
+        sim = self.sim
         while True:
             try:
-                item = self._gen.send(value)
+                item = send(value)
             except StopIteration as stop:
                 self.trigger(stop.value)
                 return
-            if isinstance(item, int):
+            cls = item.__class__
+            if cls is int:
                 if item == 0:
                     value = None
                     continue
-                self.sim.schedule(item, self._step, None)
+                sim.schedule(item, self._step, None)
                 return
             if isinstance(item, Event):
                 if item.triggered:
@@ -111,8 +142,8 @@ class Process(Event):
                     continue
                 item.add_callback(self._step)
                 return
-            if isinstance(item, Delay):
-                self.sim.schedule(item.cycles, self._step, None)
+            if cls is Delay:
+                sim.schedule(item.cycles, self._step, None)
                 return
             raise SimulationError(
                 f"process {self.name!r} yielded unsupported item {item!r}"
@@ -120,24 +151,36 @@ class Process(Event):
 
 
 class Simulator:
-    """The event queue and clock.
+    """The event queue and clock (facade over the configured kernel).
 
-    Events scheduled for the same cycle run in scheduling order (a stable
-    FIFO within a cycle), which keeps hardware handshakes deterministic.
+    ``Simulator()`` instantiates the kernel selected by the ``REPRO_ENGINE``
+    environment variable (``bucket``, the default, or ``heapq``); both
+    subclasses share this public API. Events scheduled for the same cycle
+    run in scheduling order (a stable FIFO within a cycle), which keeps
+    hardware handshakes deterministic — and makes the two kernels produce
+    bit-identical simulations.
     """
 
-    def __init__(self) -> None:
-        self.now: int = 0
-        self._queue: List[Tuple[int, int, Callable, tuple]] = []
-        self._seq: int = 0
-        self.events_processed: int = 0
+    now: int
+    events_processed: int
+
+    def __new__(cls, *args: Any, **kwargs: Any) -> "Simulator":
+        if cls is Simulator:
+            engine = os.environ.get("REPRO_ENGINE", "bucket").strip().lower()
+            impl = ENGINES.get(engine)
+            if impl is None:
+                raise SimulationError(
+                    f"unknown REPRO_ENGINE {engine!r}; "
+                    f"expected one of {sorted(ENGINES)}"
+                )
+            return object.__new__(impl)
+        return object.__new__(cls)
+
+    # -- shared helpers ----------------------------------------------------
 
     def schedule(self, delay: int, callback: Callable, *args: Any) -> None:
         """Run ``callback(*args)`` ``delay`` cycles from now."""
-        if delay < 0:
-            raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        self._seq += 1
-        heapq.heappush(self._queue, (self.now + delay, self._seq, callback, args))
+        raise NotImplementedError
 
     def at(self, time: int, callback: Callable, *args: Any) -> None:
         """Run ``callback(*args)`` at absolute cycle ``time``."""
@@ -161,52 +204,281 @@ class Simulator:
         Returns the final simulation time. If ``until`` is given, the clock is
         advanced to exactly ``until`` even if the queue drains earlier.
         """
-        budget = max_events if max_events is not None else float("inf")
-        while self._queue and budget > 0:
-            time, _seq, callback, args = self._queue[0]
-            if until is not None and time > until:
-                break
-            heapq.heappop(self._queue)
-            self.now = time
-            callback(*args)
-            self.events_processed += 1
-            budget -= 1
-        if max_events is not None and budget <= 0 and self._queue:
-            raise SimulationError(
-                f"max_events={max_events} exhausted at cycle {self.now}; "
-                "simulation is likely livelocked"
-            )
-        if until is not None and self.now < until:
-            self.now = until
-        return self.now
+        raise NotImplementedError
 
     def run_until(self, event: Event, max_events: Optional[int] = None) -> Any:
         """Run until ``event`` triggers; returns its value.
 
         Raises :class:`SimulationError` if the queue drains first (deadlock).
         """
-        budget = max_events if max_events is not None else float("inf")
+        raise NotImplementedError
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events currently scheduled."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(now={self.now}, "
+            f"pending={self.pending_events})"
+        )
+
+
+class BucketSimulator(Simulator):
+    """Calendar-queue kernel: one FIFO bucket per occupied cycle.
+
+    Buckets live in a dict keyed by absolute time; a heap of plain ints
+    orders only the *distinct* occupied cycles. Scheduling into a busy
+    cycle is a dict lookup plus a list append (no comparisons, no tuple
+    construction); the heap is touched once per cycle, not once per event,
+    and its int comparisons are far cheaper than the ``(time, seq, ...)``
+    tuple comparisons of the heapq kernel. Draining iterates the bucket
+    with the C-level list iterator, which picks up entries appended
+    mid-drain — that is the zero-delay fast path: triggers and same-cycle
+    handshakes run this cycle without ever touching the priority queue.
+
+    Invariants: ``_times`` holds exactly the keys of ``_buckets`` (each
+    once), and every bucket's time is ``>= now``.
+    """
+
+    def __init__(self) -> None:
+        self.now = 0
+        self.events_processed = 0
+        self._buckets: dict = {}
+        self._times: List[int] = []
+
+    def schedule(self, delay: int, callback: Callable, *args: Any) -> None:
+        """Run ``callback(*args)`` ``delay`` cycles from now."""
+        time = self.now + delay
+        bucket = self._buckets.get(time)
+        if bucket is not None:
+            bucket.append((callback, args))
+        elif delay >= 0:
+            self._buckets[time] = [(callback, args)]
+            heapq.heappush(self._times, time)
+        else:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+
+    @property
+    def pending_events(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+    def _retire(self, time: int, bucket: list, executed: int) -> None:
+        """Account for a partial drain and keep the remainder queued."""
+        del bucket[:executed]
+        self.events_processed += executed
+        if bucket:
+            heapq.heappush(self._times, time)
+        else:
+            del self._buckets[time]
+
+    # -- run loops ---------------------------------------------------------
+
+    def run(
+        self,
+        until: Optional[int] = None,
+        max_events: Optional[int] = None,
+    ) -> int:
+        if until is not None and self.now > until:
+            return self.now
+        if max_events is not None:
+            self._run_budgeted(until, max_events)
+        else:
+            # Unbudgeted hot loop: no per-event bookkeeping at all.
+            buckets, times = self._buckets, self._times
+            pop = heapq.heappop
+            while times:
+                time = times[0]
+                if until is not None and time > until:
+                    break
+                pop(times)
+                self.now = time
+                bucket = buckets[time]
+                i = -1
+                try:
+                    for i, (callback, args) in enumerate(bucket):
+                        callback(*args)
+                except BaseException:
+                    # Parity with heapq: the failing event was dequeued but
+                    # not counted; later same-cycle events stay queued.
+                    self._retire(time, bucket, i + 1)
+                    self.events_processed -= 1
+                    raise
+                self.events_processed += len(bucket)
+                del buckets[time]
+        if until is not None and self.now < until:
+            self.now = until
+        return self.now
+
+    def _run_budgeted(self, until: Optional[int], max_events: int) -> None:
+        budget = max_events
+        buckets, times = self._buckets, self._times
+        while times and budget > 0:
+            time = times[0]
+            if until is not None and time > until:
+                return
+            heapq.heappop(times)
+            self.now = time
+            bucket = buckets[time]
+            i = 0
+            try:
+                while i < len(bucket) and budget > 0:
+                    callback, args = bucket[i]
+                    i += 1
+                    budget -= 1
+                    callback(*args)
+            finally:
+                self._retire(time, bucket, i)
+        if budget <= 0 and self._times:
+            raise SimulationError(
+                f"max_events={max_events} exhausted at cycle {self.now}; "
+                "simulation is likely livelocked"
+            )
+
+    def run_until(self, event: Event, max_events: Optional[int] = None) -> Any:
+        if max_events is not None:
+            return self._run_until_budgeted(event, max_events)
+        buckets, times = self._buckets, self._times
+        pop = heapq.heappop
+        while not event.triggered:
+            if not times:
+                raise SimulationError(
+                    f"deadlock: event queue empty at cycle {self.now} while "
+                    f"waiting for {event!r}"
+                )
+            time = pop(times)
+            self.now = time
+            bucket = buckets[time]
+            i = -1
+            try:
+                for i, (callback, args) in enumerate(bucket):
+                    if event.triggered:
+                        self._retire(time, bucket, i)
+                        return event.value
+                    callback(*args)
+            except BaseException:
+                self._retire(time, bucket, i + 1)
+                self.events_processed -= 1
+                raise
+            self.events_processed += len(bucket)
+            del buckets[time]
+        return event.value
+
+    def _run_until_budgeted(self, event: Event, max_events: int) -> Any:
+        budget = max_events
+        buckets, times = self._buckets, self._times
+        while not event.triggered:
+            if not times:
+                raise SimulationError(
+                    f"deadlock: event queue empty at cycle {self.now} while "
+                    f"waiting for {event!r}"
+                )
+            time = heapq.heappop(times)
+            self.now = time
+            bucket = buckets[time]
+            i = 0
+            try:
+                while i < len(bucket):
+                    if event.triggered:
+                        break
+                    if budget <= 0:
+                        raise SimulationError(
+                            f"max_events={max_events} exhausted at "
+                            f"cycle {self.now}"
+                        )
+                    budget -= 1
+                    callback, args = bucket[i]
+                    i += 1
+                    callback(*args)
+            finally:
+                self._retire(time, bucket, i)
+        return event.value
+
+
+class HeapqSimulator(Simulator):
+    """The original global-``heapq`` kernel (determinism reference).
+
+    Kept selectable via ``REPRO_ENGINE=heapq`` so the bucket kernel can be
+    cross-checked: both must produce identical cycle counts and
+    ``events_processed`` for the same workload.
+    """
+
+    def __init__(self) -> None:
+        self.now = 0
+        self._queue: List[Tuple[int, int, Callable, tuple]] = []
+        self._seq = 0
+        self.events_processed = 0
+
+    def schedule(self, delay: int, callback: Callable, *args: Any) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._queue, (self.now + delay, self._seq, callback, args))
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)
+
+    def run(
+        self,
+        until: Optional[int] = None,
+        max_events: Optional[int] = None,
+    ) -> int:
+        queue = self._queue
+        if max_events is None:
+            # Unbudgeted hot loop: no per-event budget bookkeeping.
+            while queue:
+                time = queue[0][0]
+                if until is not None and time > until:
+                    break
+                _time, _seq, callback, args = heapq.heappop(queue)
+                self.now = time
+                callback(*args)
+                self.events_processed += 1
+        else:
+            budget = max_events
+            while queue and budget > 0:
+                time = queue[0][0]
+                if until is not None and time > until:
+                    break
+                _time, _seq, callback, args = heapq.heappop(queue)
+                self.now = time
+                callback(*args)
+                self.events_processed += 1
+                budget -= 1
+            if budget <= 0 and queue:
+                raise SimulationError(
+                    f"max_events={max_events} exhausted at cycle {self.now}; "
+                    "simulation is likely livelocked"
+                )
+        if until is not None and self.now < until:
+            self.now = until
+        return self.now
+
+    def run_until(self, event: Event, max_events: Optional[int] = None) -> Any:
+        budget = max_events
         while not event.triggered:
             if not self._queue:
                 raise SimulationError(
                     f"deadlock: event queue empty at cycle {self.now} while "
                     f"waiting for {event!r}"
                 )
-            if budget <= 0:
-                raise SimulationError(
-                    f"max_events={max_events} exhausted at cycle {self.now}"
-                )
+            if budget is not None:
+                if budget <= 0:
+                    raise SimulationError(
+                        f"max_events={max_events} exhausted at cycle {self.now}"
+                    )
+                budget -= 1
             time, _seq, callback, args = heapq.heappop(self._queue)
             self.now = time
             callback(*args)
             self.events_processed += 1
-            budget -= 1
         return event.value
 
-    @property
-    def pending_events(self) -> int:
-        """Number of events currently scheduled."""
-        return len(self._queue)
 
-    def __repr__(self) -> str:
-        return f"Simulator(now={self.now}, pending={len(self._queue)})"
+#: Kernel registry for the ``REPRO_ENGINE`` environment variable.
+ENGINES = {
+    "bucket": BucketSimulator,
+    "heapq": HeapqSimulator,
+}

@@ -1,0 +1,243 @@
+"""Memoized heap builds keyed by (profile, scale, seed, memory config).
+
+Many figures sweep unit configurations over the *same* generated heap
+(e.g. Fig. 15 and the energy model of Fig. 23 use identical heaps, the
+ablations re-run avrora at one scale repeatedly). Heap generation is pure:
+``HeapGraphBuilder.build`` consumes only ``(profile, scale, seed, config)``
+and never advances the simulator, and the page table is linear-mapped
+deterministically at construction. That makes a build fully reproducible
+from its checkpoint, so this module caches builds:
+
+* an **in-process LRU** (always on, ``REPRO_HEAP_CACHE_ENTRIES`` entries,
+  default 8) holding zlib-compressed pickles — the words snapshot is mostly
+  zeros and compresses ~50x, keeping the resident cost a few MB per entry;
+* an optional **on-disk layer** enabled by ``REPRO_HEAP_CACHE`` (``1`` for
+  ``~/.cache/repro-heaps``, any other value is used as the directory;
+  ``0``/``off`` disables). Disk entries survive across processes, which is
+  what makes the parallel figure pipeline's workers share builds.
+
+A cache hit never returns a previously-handed-out object: the entry is
+unpickled into a **fresh** ``ManagedHeap`` (new simulator, cold memory
+system) plus a fresh ``HeapCheckpoint``, so callers may mutate the result
+freely — exactly as if they had rebuilt from scratch.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pickle
+import random
+import tempfile
+import zlib
+from collections import OrderedDict
+from pathlib import Path
+from typing import Optional, Tuple
+
+from repro.heap.heapimage import HeapCheckpoint, ManagedHeap
+from repro.memory.config import MemorySystemConfig
+from repro.workloads.graphgen import BuiltHeap, HeapGraphBuilder
+from repro.workloads.profiles import BenchmarkProfile
+
+DEFAULT_ENTRIES = 8
+_COMPRESS_LEVEL = 1  # the words array is mostly zeros; level 1 is plenty
+
+
+def _canonical(value):
+    """A deterministic plain-data projection for fingerprinting."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _canonical(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return sorted((repr(k), _canonical(v)) for k, v in value.items())
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    return repr(value)
+
+
+def fingerprint(
+    profile: BenchmarkProfile,
+    scale: float,
+    seed: int,
+    config: Optional[MemorySystemConfig],
+) -> str:
+    """Stable key over everything a build depends on."""
+    payload = repr((
+        _canonical(profile),
+        repr(float(scale)),
+        int(seed),
+        _canonical(config) if config is not None else None,
+    ))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def _effective_config(
+    profile: BenchmarkProfile, scale: float, config: Optional[MemorySystemConfig]
+) -> MemorySystemConfig:
+    if config is not None:
+        return config
+    builder = HeapGraphBuilder(profile, scale=scale)
+    return builder._default_config(profile.scaled_objects(scale))
+
+
+def _cache_dir_from_env() -> Optional[Path]:
+    raw = os.environ.get("REPRO_HEAP_CACHE", "")
+    if raw in ("", "0", "off", "no"):
+        return None
+    if raw == "1":
+        return Path.home() / ".cache" / "repro-heaps"
+    return Path(raw)
+
+
+class HeapBuildCache:
+    """LRU of compressed build results, with an optional disk layer."""
+
+    def __init__(
+        self,
+        entries: int = DEFAULT_ENTRIES,
+        disk_dir: Optional[Path] = None,
+    ):
+        self.entries = max(1, entries)
+        self.disk_dir = Path(disk_dir) if disk_dir is not None else None
+        self._mem: "OrderedDict[str, bytes]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.disk_hits = 0
+
+    # -- public interface --------------------------------------------------
+
+    def get_or_build(
+        self,
+        profile: BenchmarkProfile,
+        scale: float,
+        seed: int,
+        config: Optional[MemorySystemConfig] = None,
+    ) -> Tuple[BuiltHeap, HeapCheckpoint]:
+        key = fingerprint(profile, scale, seed, config)
+        blob = self._mem.get(key)
+        if blob is not None:
+            self._mem.move_to_end(key)
+        else:
+            blob = self._disk_read(key)
+            if blob is not None:
+                self.disk_hits += 1
+                self._mem_store(key, blob)
+        if blob is not None:
+            self.hits += 1
+            return self._reconstruct(blob, profile, scale, seed)
+
+        self.misses += 1
+        built = HeapGraphBuilder(profile, scale=scale, seed=seed,
+                                 config=config).build()
+        checkpoint = built.heap.checkpoint()
+        entry = {
+            "config": _effective_config(profile, scale, config),
+            "checkpoint": checkpoint,
+            "live": sorted(built.live),
+            "garbage": sorted(built.garbage),
+            "hot": list(built.hot),
+            "roots": list(built.roots),
+            "rng_state": built.rng.getstate() if built.rng is not None else None,
+        }
+        blob = zlib.compress(
+            pickle.dumps(entry, protocol=pickle.HIGHEST_PROTOCOL),
+            _COMPRESS_LEVEL,
+        )
+        self._mem_store(key, blob)
+        self._disk_write(key, blob)
+        return built, checkpoint
+
+    def clear(self) -> None:
+        self._mem.clear()
+
+    @property
+    def stats(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "disk_hits": self.disk_hits,
+            "entries": len(self._mem),
+        }
+
+    # -- internals ---------------------------------------------------------
+
+    def _reconstruct(
+        self, blob: bytes, profile: BenchmarkProfile, scale: float, seed: int
+    ) -> Tuple[BuiltHeap, HeapCheckpoint]:
+        entry = pickle.loads(zlib.decompress(blob))
+        heap = ManagedHeap(config=entry["config"])
+        checkpoint: HeapCheckpoint = entry["checkpoint"]
+        heap.restore(checkpoint)
+        rng = None
+        if entry["rng_state"] is not None:
+            rng = random.Random()
+            rng.setstate(entry["rng_state"])
+        built = BuiltHeap(
+            heap=heap,
+            profile=profile,
+            scale=scale,
+            seed=seed,
+            live=set(entry["live"]),
+            garbage=set(entry["garbage"]),
+            hot=list(entry["hot"]),
+            roots=list(entry["roots"]),
+            rng=rng,
+        )
+        return built, checkpoint
+
+    def _mem_store(self, key: str, blob: bytes) -> None:
+        self._mem[key] = blob
+        self._mem.move_to_end(key)
+        while len(self._mem) > self.entries:
+            self._mem.popitem(last=False)
+
+    def _disk_read(self, key: str) -> Optional[bytes]:
+        if self.disk_dir is None:
+            return None
+        try:
+            return (self.disk_dir / f"{key}.heap").read_bytes()
+        except OSError:
+            return None
+
+    def _disk_write(self, key: str, blob: bytes) -> None:
+        """Atomic write (tmp + rename) so concurrent workers never see a
+        torn entry."""
+        if self.disk_dir is None:
+            return
+        try:
+            self.disk_dir.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.disk_dir, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(blob)
+                os.replace(tmp, self.disk_dir / f"{key}.heap")
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            # The cache is an optimization; never let disk trouble fail a run.
+            pass
+
+
+_GLOBAL: Optional[HeapBuildCache] = None
+
+
+def get_cache() -> HeapBuildCache:
+    """The process-wide cache, configured from the environment on first use."""
+    global _GLOBAL
+    if _GLOBAL is None:
+        entries = int(os.environ.get("REPRO_HEAP_CACHE_ENTRIES", DEFAULT_ENTRIES))
+        _GLOBAL = HeapBuildCache(entries=entries, disk_dir=_cache_dir_from_env())
+    return _GLOBAL
+
+
+def reset_cache() -> None:
+    """Drop the process-wide cache (tests; also re-reads the environment)."""
+    global _GLOBAL
+    _GLOBAL = None

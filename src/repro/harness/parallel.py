@@ -1,0 +1,85 @@
+"""Parallel figure pipeline: fan the suite across worker processes.
+
+``run_suite(jobs=N)`` runs every entry of :data:`repro.harness.suite.SUITE`
+(or a subset) and merges results deterministically:
+
+* **jobs=1** runs inline — no pool, no pickling, and the in-process heap
+  cache is shared across figures (fig15/fig23 and the avrora ablations
+  reuse each other's builds).
+* **jobs>1** fans entries out over a ``multiprocessing`` pool (``fork``
+  start method where available, ``spawn`` otherwise). Workers return
+  pickled :class:`FigureRun` records; completion order is arbitrary but
+  the merge sorts by suite index, so the output document and the
+  per-figure digests are independent of scheduling. Set
+  ``REPRO_HEAP_CACHE`` to share heap builds across workers via the disk
+  cache.
+
+Every figure's rendered table is hashed into ``FigureRun.digest`` — the
+fingerprint the determinism tests compare across kernels
+(``REPRO_ENGINE=bucket`` vs ``heapq``) and across ``--jobs`` settings.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.harness.suite import FigureRun, render_report, run_entry, select
+
+
+def _run_indexed(task) -> FigureRun:
+    """Module-level worker entry so it pickles under spawn."""
+    index, exp_id, kwargs = task
+    return run_entry(index, exp_id, kwargs)
+
+
+def _pool_context():
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - platforms without fork
+        return multiprocessing.get_context("spawn")
+
+
+def run_suite(
+    jobs: int = 1,
+    only: Optional[Sequence[str]] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[FigureRun]:
+    """Run the figure suite with ``jobs`` workers; results in suite order."""
+    entries = select(only)
+    tasks = [(i, exp_id, kwargs) for i, (exp_id, kwargs) in enumerate(entries)]
+    jobs = max(1, min(jobs, len(tasks) or 1))
+    say = progress if progress is not None else (lambda msg: None)
+
+    runs: List[FigureRun] = []
+    if jobs == 1:
+        for task in tasks:
+            say(f"running {task[1]} {task[2]} ...")
+            run = _run_indexed(task)
+            say(f"  {run.exp_id} done in {run.elapsed:.0f}s")
+            runs.append(run)
+    else:
+        ctx = _pool_context()
+        with ctx.Pool(processes=jobs) as pool:
+            say(f"running {len(tasks)} experiments on {jobs} workers ...")
+            for run in pool.imap_unordered(_run_indexed, tasks):
+                say(f"  {run.exp_id} done in {run.elapsed:.0f}s")
+                runs.append(run)
+    runs.sort(key=lambda r: r.index)
+    return runs
+
+
+def digests(runs: Sequence[FigureRun]) -> Dict[str, str]:
+    """Per-figure determinism fingerprints, keyed by experiment id."""
+    return {run.exp_id: run.digest for run in runs}
+
+
+def default_jobs() -> int:
+    """A sensible worker count when the user passes ``--jobs 0``."""
+    return max(1, os.cpu_count() or 1)
+
+
+def write_report(runs: Sequence[FigureRun], out_path: str) -> None:
+    with open(out_path, "w") as fh:
+        fh.write(render_report(runs))

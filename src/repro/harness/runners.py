@@ -32,10 +32,16 @@ def build_heap(
     seed: int = 1,
     config: Optional[MemorySystemConfig] = None,
 ) -> Tuple[BuiltHeap, HeapCheckpoint]:
-    """Generate a heap and checkpoint it for repeated collections."""
-    built = HeapGraphBuilder(profile, scale=scale, seed=seed,
-                             config=config).build()
-    return built, built.heap.checkpoint()
+    """Generate a heap and checkpoint it for repeated collections.
+
+    Builds are memoized through :mod:`repro.harness.heapcache`: repeated
+    requests for the same ``(profile, scale, seed, config)`` reconstruct a
+    fresh heap from the cached checkpoint instead of regenerating the
+    object graph. Set ``REPRO_HEAP_CACHE`` to also persist builds on disk.
+    """
+    from repro.harness.heapcache import get_cache
+
+    return get_cache().get_or_build(profile, scale, seed, config)
 
 
 def run_software(

@@ -48,6 +48,10 @@ class HeapCheckpoint:
     space_cursors: Dict[str, int]
     objects: List[int]
     los_objects: List[int]
+    # Allocator lifetime counters (mutator-time accounting depends on them;
+    # restoring into a fresh heap must reproduce them exactly).
+    objects_allocated: int = 0
+    bytes_allocated: int = 0
 
 
 class ManagedHeap:
@@ -208,6 +212,8 @@ class ManagedHeap:
             space_cursors={s.name: s.cursor for s in self.plan},
             objects=list(self.objects),
             los_objects=list(self.los_objects),
+            objects_allocated=self.allocator.objects_allocated,
+            bytes_allocated=self.allocator.bytes_allocated,
         )
 
     def restore(self, checkpoint: HeapCheckpoint) -> None:
@@ -221,6 +227,8 @@ class ManagedHeap:
             space.cursor = checkpoint.space_cursors[space.name]
         self.objects = list(checkpoint.objects)
         self.los_objects = list(checkpoint.los_objects)
+        self.allocator.objects_allocated = checkpoint.objects_allocated
+        self.allocator.bytes_allocated = checkpoint.bytes_allocated
 
     # -- integrity checks (used by tests and debug harnesses) ----------------------------
 

@@ -55,6 +55,12 @@ class Cache:
         self._k_coalesced = f"cache.{name}.mshr_coalesced"
         self._k_stalls = f"cache.{name}.mshr_stalls"
         self._k_writebacks = f"cache.{name}.writebacks"
+        # Precomputed event names and hot config fields (building f-strings
+        # and chasing config attributes per access is measurable at millions
+        # of simulated operations).
+        self._ev_access = f"{name}.access"
+        self._line_bytes = config.line_bytes
+        self._hit_latency = config.hit_latency
 
     # -- lookup helpers ------------------------------------------------------
 
@@ -82,12 +88,15 @@ class Cache:
         every constituent line access has completed.
         """
         self.stats.inc(self._k_requests + req.source)
-        first = self._line_addr(req.addr)
-        last = self._line_addr(req.addr + req.size - 1)
+        line_bytes = self._line_bytes
+        addr = req.addr
+        first = addr - (addr % line_bytes)
+        last_addr = addr + req.size - 1
+        last = last_addr - (last_addr % line_bytes)
         if first == last:
             return self._access_line(first, req)
         done = self.sim.event(name=f"{self.name}.multi")
-        lines = list(range(first, last + 1, self.config.line_bytes))
+        lines = list(range(first, last + 1, line_bytes))
         remaining = [len(lines)]
 
         def _one_done(_value) -> None:
@@ -104,15 +113,15 @@ class Cache:
         return done
 
     def _access_line(self, line: int, req: MemRequest) -> Event:
-        event = self.sim.event(name=f"{self.name}.access")
-        cache_set = self._sets[self._set_index(line)]
-        wants_dirty = req.kind in (AccessKind.WRITE, AccessKind.AMO)
+        event = Event(self.sim, name=self._ev_access)
+        cache_set = self._sets[(line // self._line_bytes) % self._n_sets]
+        wants_dirty = req.kind is not AccessKind.READ
         if line in cache_set:
             cache_set.move_to_end(line)
             if wants_dirty:
                 cache_set[line] = True
             self.stats.inc(self._k_hits)
-            self.sim.schedule(self.config.hit_latency, event.trigger, None)
+            self.sim.schedule(self._hit_latency, event.trigger, None)
             return event
         self.stats.inc(self._k_misses)
         if line in self._mshrs:

@@ -54,19 +54,29 @@ class DRAMController:
         self.request_intervals = IntervalTracker("dram.requests")
         self._banks = [_Bank() for _ in range(config.n_banks)]
         self._bus_free_at = 0
-        self._reads: Deque[Tuple[MemRequest, Event]] = deque()
-        self._writes: Deque[Tuple[MemRequest, Event]] = deque()
+        # Queue entries are (request, completion event, bank, row): the
+        # bank/row decode is done once at submit so the scheduler's scans
+        # never recompute it.
+        self._reads: Deque[Tuple[MemRequest, Event, _Bank, int]] = deque()
+        self._writes: Deque[Tuple[MemRequest, Event, _Bank, int]] = deque()
         self._next_pump_at: Optional[int] = None
         self._submit_keys: dict = {}
+        self._ev_names: dict = {}
 
     # -- public interface --------------------------------------------------
 
     def submit(self, req: MemRequest) -> Event:
         """Enqueue a request; the returned event triggers at completion."""
         req.issue_time = self.sim.now
-        event = self.sim.event(name=f"dram.{req.source}")
+        name = self._ev_names.get(req.source)
+        if name is None:
+            name = self._ev_names[req.source] = f"dram.{req.source}"
+        event = Event(self.sim, name=name)
+        row_index = req.addr // self.config.row_bytes
+        bank = self._banks[row_index % self.config.n_banks]
+        row = row_index // self.config.n_banks
         queue = self._writes if req.kind is AccessKind.WRITE else self._reads
-        queue.append((req, event))
+        queue.append((req, event, bank, row))
         self.request_intervals.record(self.sim.now)
         self._record_submit(req)
         self._schedule_pump(0)
@@ -83,40 +93,49 @@ class DRAMController:
         row_index = addr // self.config.row_bytes
         return row_index % self.config.n_banks, row_index // self.config.n_banks
 
-    def _visible(self) -> List[Tuple[int, bool, MemRequest, Event]]:
-        """The scheduler's visibility window: (queue_pos, is_write, req, ev)."""
-        window = []
-        for pos, (req, ev) in enumerate(self._reads):
-            if pos >= self.config.read_window:
-                break
-            window.append((pos, False, req, ev))
-        for pos, (req, ev) in enumerate(self._writes):
-            if pos >= self.config.write_window:
-                break
-            window.append((pos, True, req, ev))
-        return window
+    @staticmethod
+    def _scan(queue, limit: int, now: int):
+        """Oldest ready entry and oldest ready row-hit in one window.
 
-    def _pick(self, now: int) -> Optional[Tuple[int, bool, MemRequest, Event]]:
-        """Choose the next request to dispatch, or None if none is ready."""
-        ready = []
-        for entry in self._visible():
-            _pos, _is_write, req, _ev = entry
-            bank_id, row = self._bank_and_row(req.addr)
-            bank = self._banks[bank_id]
+        Queue position order *is* issue-time order (requests are appended at
+        submit time), so the first ready entry found is the oldest — no sort
+        needed. Returns ``((pos, entry) or None)`` twice: (ready, hit).
+        """
+        first_ready = None
+        pos = 0
+        for entry in queue:
+            if pos >= limit:
+                break
+            bank = entry[2]
             if bank.busy_until <= now:
-                ready.append((entry, bank.open_row == row))
-        if not ready:
-            return None
-        if self.config.scheduler == "fifo":
-            # Strict arrival order: oldest by issue time, reads tie-break first.
-            ready.sort(key=lambda item: (item[0][2].issue_time, item[0][1]))
-            return ready[0][0]
-        # FR-FCFS: row hits first (oldest hit), then oldest; reads before
-        # writes at equal age.
-        hits = [item for item in ready if item[1]]
-        pool = hits if hits else ready
-        pool.sort(key=lambda item: (item[0][2].issue_time, item[0][1]))
-        return pool[0][0]
+                if first_ready is None:
+                    first_ready = (pos, entry)
+                if bank.open_row == entry[3]:
+                    return first_ready, (pos, entry)
+            pos += 1
+        return first_ready, None
+
+    def _pick(self, now: int) -> Optional[Tuple[bool, int, tuple]]:
+        """The next request to dispatch as (is_write, pos, entry), or None.
+
+        FR-FCFS prefers row hits (oldest first), then the oldest ready
+        request; FIFO is strict arrival order. Reads beat writes at equal
+        age in both policies.
+        """
+        cfg = self.config
+        read_ready, read_hit = self._scan(self._reads, cfg.read_window, now)
+        write_ready, write_hit = self._scan(self._writes, cfg.write_window, now)
+        if cfg.scheduler == "fifo" or (read_hit is None and write_hit is None):
+            read, write = read_ready, write_ready
+        else:
+            read, write = read_hit, write_hit
+        if read is None:
+            if write is None:
+                return None
+            return (True,) + write
+        if write is None or read[1][0].issue_time <= write[1][0].issue_time:
+            return (False,) + read
+        return (True,) + write
 
     def _pump(self) -> None:
         if self._next_pump_at is not None and self._next_pump_at <= self.sim.now:
@@ -126,15 +145,14 @@ class DRAMController:
             choice = self._pick(now)
             if choice is None:
                 break
-            _pos, is_write, req, event = choice
+            is_write, pos, entry = choice
             queue = self._writes if is_write else self._reads
-            queue.remove((req, event))
-            self._dispatch(req, event, now)
+            del queue[pos]
+            self._dispatch(entry, now)
         self._schedule_next_wakeup()
 
-    def _dispatch(self, req: MemRequest, event: Event, now: int) -> None:
-        bank_id, row = self._bank_and_row(req.addr)
-        bank = self._banks[bank_id]
+    def _dispatch(self, entry: tuple, now: int) -> None:
+        req, event, bank, row = entry
         cfg = self.config
         if bank.open_row == row:
             access_latency = cfg.t_cas
@@ -174,12 +192,18 @@ class DRAMController:
         if not self._reads and not self._writes:
             return
         now = self.sim.now
+        cfg = self.config
         wake = None
-        for _pos, _is_write, req, _ev in self._visible():
-            bank_id, _row = self._bank_and_row(req.addr)
-            t = self._banks[bank_id].busy_until
-            if t > now and (wake is None or t < wake):
-                wake = t
+        for queue, limit in ((self._reads, cfg.read_window),
+                             (self._writes, cfg.write_window)):
+            pos = 0
+            for entry in queue:
+                if pos >= limit:
+                    break
+                t = entry[2].busy_until
+                if t > now and (wake is None or t < wake):
+                    wake = t
+                pos += 1
         if wake is None:
             # All visible banks are free but nothing was picked: cannot
             # happen unless the window is empty; guard anyway.

@@ -116,10 +116,11 @@ class TLB:
         self._k_hits = f"tlb.{name}.hits"
         self._k_misses = f"tlb.{name}.misses"
         self._k_l2_hits = f"tlb.{name}.l2_hits"
+        self._ev_translate = f"{name}.translate"
 
     def translate(self, vaddr: int) -> Event:
         """Translate a virtual address; event value is the physical address."""
-        event = self.sim.event(name=f"{self.name}.translate")
+        event = Event(self.sim, name=self._ev_translate)
         paddr = self._store.lookup(vaddr)
         if paddr is not None:
             self.stats.inc(self._k_hits)

@@ -92,6 +92,7 @@ class TestSuperpageGC:
         sw = SoftwareCollector(heap).collect()
         assert sw.objects_marked == truth
 
+    @pytest.mark.slow
     def test_superpages_cut_ptw_traffic(self):
         from repro.harness.runners import build_heap, run_hardware
         from repro.harness.experiments import _scaled_tlb_unit

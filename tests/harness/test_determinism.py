@@ -1,0 +1,130 @@
+"""Determinism guarantees: kernels and worker counts must not change results.
+
+The simulation is only trustworthy if the same ``(profile, scale, seed)``
+produces bit-identical cycle counts and ``events_processed`` regardless of
+
+* which event-queue kernel runs it (``REPRO_ENGINE=bucket`` vs ``heapq``),
+* whether figures are regenerated serially or fanned out across worker
+  processes (``run-all --jobs 1`` vs ``--jobs N``).
+"""
+
+import pytest
+
+from repro.engine.simulator import (
+    BucketSimulator,
+    HeapqSimulator,
+    SimulationError,
+    Simulator,
+)
+from repro.harness import heapcache
+from repro.harness.parallel import digests, run_suite
+from repro.harness.runners import build_heap, run_hardware, run_software
+from repro.harness.suite import run_entry
+from repro.workloads.profiles import DACAPO_PROFILES
+
+SCALE = 0.008
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache(monkeypatch):
+    """Each test builds through a pristine in-process cache, no disk layer."""
+    monkeypatch.delenv("REPRO_HEAP_CACHE", raising=False)
+    heapcache.reset_cache()
+    yield
+    heapcache.reset_cache()
+
+
+def _collect_fingerprint(profile, scale, seed):
+    """Everything a GC run reports, plus the kernel's event count."""
+    built, checkpoint = build_heap(profile, scale=scale, seed=seed)
+    sw, _delta = run_software(built.heap)
+    sw_events = built.heap.sim.events_processed
+    built.heap.restore(checkpoint)
+    hw, _unit = run_hardware(built.heap)
+    return (
+        sw.mark_cycles, sw.sweep_cycles, sw.objects_marked, sw_events,
+        hw.mark_cycles, hw.sweep_cycles, hw.objects_marked,
+        built.heap.sim.events_processed,
+    )
+
+
+class TestKernelSelection:
+    def test_default_is_bucket(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        assert isinstance(Simulator(), BucketSimulator)
+
+    def test_env_selects_heapq(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "heapq")
+        assert isinstance(Simulator(), HeapqSimulator)
+
+    def test_unknown_engine_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "quantum")
+        with pytest.raises(SimulationError, match="REPRO_ENGINE"):
+            Simulator()
+
+    def test_direct_instantiation_bypasses_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "heapq")
+        assert isinstance(BucketSimulator(), BucketSimulator)
+
+
+class TestKernelDeterminism:
+    @pytest.mark.slow
+    def test_kernels_bit_identical(self, monkeypatch):
+        """Both kernels must agree on every cycle count and event count."""
+        profile = DACAPO_PROFILES["avrora"]
+        prints = {}
+        for engine in ("bucket", "heapq"):
+            monkeypatch.setenv("REPRO_ENGINE", engine)
+            heapcache.reset_cache()  # rebuild under this kernel
+            prints[engine] = _collect_fingerprint(profile, SCALE, seed=1)
+        assert prints["bucket"] == prints["heapq"]
+
+    @pytest.mark.slow
+    def test_same_seed_same_result(self):
+        profile = DACAPO_PROFILES["luindex"]
+        first = _collect_fingerprint(profile, SCALE, seed=3)
+        heapcache.reset_cache()
+        second = _collect_fingerprint(profile, SCALE, seed=3)
+        assert first == second
+
+    def test_synthetic_workload_event_parity(self):
+        """A mixed zero-delay / short-delay workload, kernel by kernel."""
+
+        def pinger(sim, n):
+            for i in range(n):
+                yield i % 3  # exercises 0-delay and wheel delays
+                event = sim.event()
+                sim.schedule(2, event.trigger, i)
+                got = yield event
+                assert got == i
+
+        outcomes = []
+        for kernel in (BucketSimulator, HeapqSimulator):
+            sim = kernel()
+            sim.process(pinger(sim, 500))
+            sim.run()
+            outcomes.append((sim.now, sim.events_processed))
+        assert outcomes[0] == outcomes[1]
+
+
+class TestParallelDeterminism:
+    def test_jobs_merge_is_deterministic(self):
+        """--jobs 1 and --jobs 4 must yield identical per-figure digests."""
+        only = ["fig22", "abl_barriers"]  # static models: instant
+        serial = run_suite(jobs=1, only=only)
+        fanned = run_suite(jobs=4, only=only)
+        assert [r.exp_id for r in serial] == [r.exp_id for r in fanned]
+        assert digests(serial) == digests(fanned)
+
+    @pytest.mark.slow
+    def test_worker_process_matches_inline(self):
+        """A simulated figure digests identically in-process and in a pool."""
+        import multiprocessing
+
+        kwargs = dict(scale=SCALE, seed=1, n_gcs=1, benchmarks=["avrora"])
+        inline = run_entry(0, "fig01a", kwargs)
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(processes=2) as pool:
+            remote = pool.apply(run_entry, (0, "fig01a", kwargs))
+        assert inline.digest == remote.digest
+        assert inline.rendered == remote.rendered

@@ -14,6 +14,7 @@ TINY = dict(scale=0.008, seed=5)
 
 
 class TestMotivation:
+    @pytest.mark.slow
     def test_fig01a_rows(self):
         result = E.fig01a(scale=0.008, seed=5, n_gcs=2,
                           benchmarks=["avrora", "xalan"])
@@ -40,6 +41,7 @@ class TestHeadline:
         assert mark_x > 1.5
         assert sweep_x > 1.0
 
+    @pytest.mark.slow
     def test_fig17_pipe_is_faster_than_ddr3(self):
         ddr3 = E.fig15(scale=0.008, seed=5, benchmarks=["avrora"])
         pipe = E.fig17(scale=0.008, seed=5, benchmarks=["avrora"])
@@ -49,6 +51,7 @@ class TestHeadline:
 
 
 class TestDesignSpace:
+    @pytest.mark.slow
     def test_fig18_partitioning_shifts_traffic(self):
         result = E.fig18(scale=0.01, seed=5)
         shares = {row[0]: (row[2], row[4]) for row in result.rows[:-1]}
@@ -57,6 +60,7 @@ class TestDesignSpace:
         # Partitioned: marker+tracer dominate what reaches memory.
         assert shares["marker"][1] + shares["tracer"][1] > 50.0
 
+    @pytest.mark.slow
     def test_fig19_spilling_small(self):
         result = E.fig19(scale=0.01, seed=5, queue_entries=(64, 2048))
         by_config = {}
@@ -76,6 +80,7 @@ class TestDesignSpace:
         assert s2 > s1  # near-linear at first
         assert (s4 / s2) < (s2 / s1)  # diminishing beyond
 
+    @pytest.mark.slow
     def test_fig21_hot_objects(self):
         result = E.fig21(scale=0.01, seed=5, n_warm_gcs=1,
                          cache_sizes=(0, 256), benchmark="luindex")
@@ -91,6 +96,7 @@ class TestStaticModels:
         values = {row[0]: row[1] for row in result.rows}
         assert values["unit/Rocket ratio %"] == pytest.approx(18.5, abs=2)
 
+    @pytest.mark.slow
     def test_fig23_energy_direction(self):
         # Needs a heap comfortably larger than the CPU caches (like the
         # paper's 200 MB heaps); tiny scales flip the comparison.
@@ -115,6 +121,7 @@ class TestAblations:
         result = E.abl_layout(scale=0.008, seed=5, benchmarks=("avrora",))
         assert result.rows[0][3] > 1.0  # conventional is slower
 
+    @pytest.mark.slow
     def test_abl_scheduler(self):
         result = E.abl_scheduler(scale=0.008, seed=5)
         by_label = {row[0]: row[3] for row in result.rows}

@@ -46,6 +46,7 @@ recipe_strategy = st.lists(
 
 @given(recipe=recipe_strategy)
 @settings(max_examples=25, deadline=None)
+@pytest.mark.slow
 def test_both_collectors_mark_exactly_reachable(recipe):
     heap, views = build_heap_from_recipe(recipe)
     truth = heap.reachable()

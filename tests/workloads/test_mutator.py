@@ -50,11 +50,13 @@ class TestRun:
         for (_k1, _s1, e1), (_k2, s2, _e2) in zip(segments, segments[1:]):
             assert e1 == s2
 
+    @pytest.mark.slow
     def test_hw_collector_spends_less_time(self, built):
         sw = MutatorModel(built, collector="sw").run(n_gcs=2)
         hw = MutatorModel(built, collector="hw").run(n_gcs=2)
         assert hw.gc_cycles < sw.gc_cycles
 
+    @pytest.mark.slow
     def test_successive_gcs_remain_correct(self, built):
         model = MutatorModel(built, collector="hw")
         for _ in range(3):
