@@ -11,6 +11,9 @@ Measures, for each simulation kernel (``bucket`` and ``heapq``):
   dominates the DRAM/cache models);
 * **end-to-end GC comparison time** — ``run_gc_comparison`` on a small
   avrora heap, the unit of work behind every figure;
+* **trace-bus overhead** — the same comparison with no bus attached
+  (the shipping configuration; must stay within a few percent of the
+  pre-trace baseline) and with a live bus capturing every event;
 
 plus (with ``--full-suite``) the wall time of ``run_suite(jobs=1)``. The
 results land in ``BENCH_engine.json`` so the perf trajectory is tracked
@@ -91,6 +94,52 @@ def bench_comparison(engine: str, scale: float = 0.02) -> dict:
     }
 
 
+def bench_trace_overhead(scale: float = 0.02, repeats: int = 3) -> dict:
+    """Disabled-path vs live-bus cost of the trace layer.
+
+    ``disabled`` times the default configuration — no bus attached, every
+    emission site paying only an attribute load and a ``None`` check. It is
+    the number gated against regression. ``enabled`` attaches a live
+    :class:`TraceBus` through the capture harness and reports the full
+    cost of recording (events/sec of emission included for context).
+    """
+    from repro.harness.heapcache import reset_cache
+    from repro.harness.runners import run_gc_comparison
+    from repro.harness.tracing import trace_collection
+    from repro.workloads.profiles import DACAPO_PROFILES
+
+    profile = DACAPO_PROFILES["avrora"]
+
+    def timed(fn):
+        best = None
+        for _ in range(repeats):
+            reset_cache()
+            fn()  # warm build outside the timed region
+            t0 = time.perf_counter()
+            fn()
+            elapsed = time.perf_counter() - t0
+            best = elapsed if best is None else min(best, elapsed)
+        return best
+
+    disabled = timed(lambda: run_gc_comparison(profile, scale=scale, seed=1))
+    captured = {}
+
+    def traced():
+        captured["n"] = len(
+            trace_collection("avrora", scale=scale, seed=1).bus
+        )
+
+    enabled = timed(traced)
+    return {
+        "scale": scale,
+        "repeats": repeats,
+        "disabled_seconds": round(disabled, 3),
+        "enabled_seconds": round(enabled, 3),
+        "events_captured": captured["n"],
+        "enabled_overhead_pct": round(100.0 * (enabled / disabled - 1.0), 1),
+    }
+
+
 def bench_suite(jobs: int = 1) -> dict:
     """Wall time of the full figure suite (minutes; opt-in)."""
     from repro.harness.heapcache import reset_cache
@@ -146,6 +195,9 @@ def main() -> int:
     speedup = c1["seconds"] / c0["seconds"]
     report["bucket_vs_heapq_comparison_speedup"] = round(speedup, 3)
 
+    print("trace overhead ...", flush=True)
+    report["trace_overhead"] = bench_trace_overhead(args.scale)
+
     if args.full_suite:
         print("full suite ...", flush=True)
         report["suite"] = bench_suite(args.jobs)
@@ -157,6 +209,11 @@ def main() -> int:
         print(f"  {row['engine']:7s} {row['events_per_sec']:>10,d} events/s")
     for row in report["gc_comparison"]:
         print(f"  {row['engine']:7s} comparison {row['seconds']:.2f}s")
+    to = report["trace_overhead"]
+    print(f"  tracing off {to['disabled_seconds']:.2f}s / on "
+          f"{to['enabled_seconds']:.2f}s "
+          f"({to['events_captured']:,} events, "
+          f"+{to['enabled_overhead_pct']:.0f}%)")
     print(f"wrote {args.out}")
     return 0
 

@@ -10,6 +10,9 @@ Commands:
 * ``run-all [--jobs N] [--out EXPERIMENTS.md] [--only ids]``
                                 — regenerate the full figure set, fanning
                                   experiments across worker processes.
+* ``trace <figure|profile> [opts]``
+                                — capture a cycle-stamped trace of one GC
+                                  and export it (Chrome trace / JSONL / CSV).
 """
 
 from __future__ import annotations
@@ -96,6 +99,34 @@ def _cmd_run_all(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from repro.engine.trace import write_chrome_trace, write_csv, write_jsonl
+    from repro.harness.tracing import render_summary, trace_collection
+
+    try:
+        capture = trace_collection(args.target, scale=args.scale,
+                                   seed=args.seed, collectors=args.collector)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    print(render_summary(capture))
+    if args.out:
+        if args.format == "chrome":
+            write_chrome_trace(capture.events, args.out, meta={
+                "target": capture.target, "profile": capture.profile,
+                "scale": capture.scale, "seed": capture.seed,
+                "digest": capture.digest,
+            })
+        elif args.format == "jsonl":
+            write_jsonl(capture.events, args.out)
+        else:
+            write_csv(capture.events, args.out)
+        print(f"wrote {args.out} ({args.format}, {len(capture.bus)} events)")
+    if args.digest:
+        print(capture.digest)
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -123,6 +154,23 @@ def main(argv=None) -> int:
                             help="comma-separated experiment ids")
     all_parser.add_argument("--digests", action="store_true",
                             help="print per-figure determinism fingerprints")
+    trace_parser = sub.add_parser(
+        "trace", help="capture a cycle-stamped trace of one collection")
+    trace_parser.add_argument("target",
+                              help="figure id (fig16) or profile (avrora)")
+    trace_parser.add_argument("--scale", type=float, default=None)
+    trace_parser.add_argument("--seed", type=int, default=1)
+    trace_parser.add_argument("--out", default=None, metavar="FILE",
+                              help="write the event stream here")
+    trace_parser.add_argument("--format", default="chrome",
+                              choices=("chrome", "jsonl", "csv"),
+                              help="export format (chrome://tracing JSON, "
+                              "JSONL, or CSV)")
+    trace_parser.add_argument("--collector", default="both",
+                              choices=("both", "hw", "sw"),
+                              help="which collector(s) to trace")
+    trace_parser.add_argument("--digest", action="store_true",
+                              help="print the stream's sha256 fingerprint")
     args = parser.parse_args(argv)
     return {
         "list": _cmd_list,
@@ -130,6 +178,7 @@ def main(argv=None) -> int:
         "compare": _cmd_compare,
         "area": _cmd_area,
         "run-all": _cmd_run_all,
+        "trace": _cmd_trace,
     }[args.command](args)
 
 

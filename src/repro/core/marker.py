@@ -76,6 +76,9 @@ class Marker:
             if self.mark_bit_cache.contains(ref):
                 # Known already-marked: no memory traffic at all.
                 self.filtered += 1
+                trace = self.stats.trace
+                if trace is not None:
+                    trace.emit(self.sim.now, "mark", "filtered", ref)
                 self.unit.retire_ref()
                 continue
             tag = yield self._slots.get()
@@ -100,10 +103,13 @@ class Marker:
         """Handle a returning mark access (any order, matched by tag)."""
         parity = self.unit.mark_parity
         status = self.mem.read_word(paddr)
+        trace = self.stats.trace
         if header_is_marked(status, parity):
             # Already marked: elide the write-back, free the slot.
             self.already_marked += 1
             self.writebacks_elided += 1
+            if trace is not None:
+                trace.emit(self.sim.now, "mark", "already", ref)
             self._slots.put_nowait(tag)
             self.unit.retire_ref()
             return
@@ -111,6 +117,8 @@ class Marker:
         self.mem.write_word(paddr, header_with_mark(status, parity))
         self.port.write(paddr, 8)
         self.objects_marked += 1
+        if trace is not None:
+            trace.emit(self.sim.now, "mark", "marked", ref)
         self.mark_bit_cache.insert(ref)
         n_refs, _is_array = decode_refcount(status)
         if n_refs == 0:

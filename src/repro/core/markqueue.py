@@ -146,6 +146,9 @@ class MarkQueue:
         else:
             self._outq.append(ref)
             self._balance()
+        trace = self.stats.trace
+        if trace is not None:
+            trace.emit(self.sim.now, "queue", "markq", self.total_entries)
         if self.total_entries > self.peak_entries:
             self.peak_entries = self.total_entries
         if len(self._outq) > self.out_capacity:
@@ -161,6 +164,9 @@ class MarkQueue:
         self._balance()
         item = yield self.main.get()
         self._balance()
+        trace = self.stats.trace
+        if trace is not None:
+            trace.emit(self.sim.now, "queue", "markq", self.total_entries)
         return item
 
     # -- the spill state machine ---------------------------------------------------
@@ -249,6 +255,9 @@ class MarkQueue:
         self.spill_writes += 1
         self.spilled_entries += count
         self.stats.inc("markq.spill_write_bytes", nbytes)
+        trace = self.stats.trace
+        if trace is not None:
+            trace.emit(self.sim.now, "spill", "write", count, nbytes)
         aligned = self._aligned_span(start_addr, nbytes)
         self.port.write(aligned[0], aligned[1]).add_callback(
             lambda _v, c=count: self._finish_spill_write(c)
@@ -280,6 +289,9 @@ class MarkQueue:
         self._read_pending = True
         self.spill_reads += 1
         self.stats.inc("markq.spill_read_bytes", nbytes)
+        trace = self.stats.trace
+        if trace is not None:
+            trace.emit(self.sim.now, "spill", "read", count, nbytes)
         aligned = self._aligned_span(start_addr, nbytes)
         self.port.read(aligned[0], aligned[1]).add_callback(
             lambda _v, r=tuple(refs): self._finish_spill_read(r)

@@ -75,6 +75,8 @@ class BlockSweeper:
             self.blocks_swept += 1
 
     def _sweep_block(self, desc: BlockDescriptor):
+        freed_before = self.cells_freed
+        live_before = self.cells_live
         base_paddr = self.unit.to_physical(desc.base_vaddr)
         span = desc.cell_bytes * desc.n_cells
         # One translation per page of the block (shared TLB; the blocking
@@ -111,6 +113,11 @@ class BlockSweeper:
             + 3 * WORD_BYTES
         self.mem.write_word(head_paddr, free_head)
         yield self.port.write(head_paddr, 8)
+        trace = self.unit.stats.trace
+        if trace is not None:
+            trace.emit(self.sim.now, "sweep", desc.index,
+                       self.cells_freed - freed_before,
+                       self.cells_live - live_before)
 
 
 class ReclamationUnit:

@@ -70,6 +70,9 @@ class Tracer:
         """Walk the reference section ``[obj - 8R, obj)`` with maximal
         aligned transfers, splitting at page boundaries."""
         self.objects_traced += 1
+        trace = self.stats.trace
+        if trace is not None:
+            trace.emit(self.sim.now, "tracer", obj_addr, n_refs)
         section_start = obj_addr - WORD_BYTES * n_refs
         section_bytes = WORD_BYTES * n_refs
         # ``remaining`` counts outstanding transfers for this object; the

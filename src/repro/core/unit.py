@@ -242,12 +242,17 @@ class GCUnit:
     def mark(self) -> int:
         """Run the mark phase; returns its cycle count."""
         self.traversal = TraversalUnit(self.heap, self.config)
-        before = self.heap.memsys.stats.as_dict()
+        stats = self.heap.memsys.stats
+        before = stats.as_dict()
         start = self.sim.now
+        trace = stats.trace
+        if trace is not None:
+            trace.emit(start, "phase", "hw.mark", "B")
         done = self.traversal.run()
         self.sim.run_until(done)
-        self.mark_stats = self._stats_delta(before,
-                                            self.heap.memsys.stats.as_dict())
+        if trace is not None:
+            trace.emit(self.sim.now, "phase", "hw.mark", "E")
+        self.mark_stats = self._stats_delta(before, stats.as_dict())
         self.mark_window = (start, self.sim.now)
         return self.sim.now - start
 
@@ -267,12 +272,17 @@ class GCUnit:
             sweeper_slots=self.config.sweeper_slots,
             stats=self.heap.memsys.stats,
         )
-        before = self.heap.memsys.stats.as_dict()
+        stats = self.heap.memsys.stats
+        before = stats.as_dict()
         start = self.sim.now
+        trace = stats.trace
+        if trace is not None:
+            trace.emit(start, "phase", "hw.sweep", "B")
         done = self.reclamation.sweep()
         self.sim.run_until(done)
-        self.sweep_stats = self._stats_delta(before,
-                                             self.heap.memsys.stats.as_dict())
+        if trace is not None:
+            trace.emit(self.sim.now, "phase", "hw.sweep", "E")
+        self.sweep_stats = self._stats_delta(before, stats.as_dict())
         self.sweep_window = (start, self.sim.now)
         return self.sim.now - start
 

@@ -37,7 +37,18 @@ class StatsRegistry:
 
     Components attribute activity to keys like ``"mem.reads.marker"``; the
     harness slices by prefix when regenerating the paper's breakdowns.
+
+    The registry doubles as the attachment point for the structured trace
+    bus (:mod:`repro.engine.trace`): every instrumented component already
+    holds a registry, so ``stats.trace = TraceBus()`` enables tracing
+    system-wide and ``stats.trace = None`` disables it. The class-level
+    default keeps registries unpickled from older heap-cache entries (and
+    every untouched hot path) on the zero-cost disabled path: one attribute
+    load plus a ``None`` check.
     """
+
+    #: The attached :class:`~repro.engine.trace.TraceBus`, or ``None``.
+    trace = None
 
     def __init__(self) -> None:
         self._counters: Dict[str, int] = {}
@@ -79,6 +90,14 @@ class Histogram:
         self.n = 0
 
     def add(self, value: int, count: int = 1) -> None:
+        if isinstance(value, float):
+            if not math.isfinite(value):
+                raise ValueError(f"non-finite histogram sample: {value}")
+            value = int(value)
+        if count < 0:
+            raise ValueError(f"negative sample count: {count}")
+        if count == 0:
+            return
         self._counts[value] += count
         self.n += count
 
@@ -90,12 +109,20 @@ class Histogram:
             return 0.0
         return sum(v * c for v, c in self._counts.items()) / self.n
 
-    def percentile(self, p: float) -> int:
-        """p in [0, 100]; nearest-rank percentile."""
-        if self.n == 0:
-            raise ValueError("empty histogram")
+    def percentile(self, p: float, default: Optional[int] = None) -> int:
+        """p in [0, 100]; nearest-rank percentile.
+
+        An empty histogram raises :class:`ValueError` unless ``default``
+        is given (the NaN-safe path for optional series: callers rendering
+        sparse figures pass ``default=0`` instead of special-casing).
+        A single-sample histogram returns that sample for every ``p``.
+        """
         if not 0 <= p <= 100:
             raise ValueError(f"percentile out of range: {p}")
+        if self.n == 0:
+            if default is not None:
+                return default
+            raise ValueError("empty histogram")
         rank = max(1, math.ceil(p / 100.0 * self.n))
         seen = 0
         for value in sorted(self._counts):
@@ -121,6 +148,8 @@ class TimeSeries:
         self.values: List[float] = []
 
     def sample(self, time: int, value: float) -> None:
+        if isinstance(value, float) and not math.isfinite(value):
+            raise ValueError(f"non-finite time-series sample: {value}")
         self.times.append(time)
         self.values.append(value)
 
@@ -232,10 +261,16 @@ class BandwidthTracker:
 
 
 def weighted_mean(pairs: Iterable[Tuple[float, float]]) -> float:
-    """Mean of (value, weight) pairs; 0.0 when total weight is zero."""
+    """Mean of (value, weight) pairs; 0.0 when total weight is zero.
+
+    NaN-safe: pairs with a non-finite value or weight are skipped (a
+    figure with one degenerate series should not poison the aggregate).
+    """
     total = 0.0
     weight_sum = 0.0
     for value, weight in pairs:
+        if not (math.isfinite(value) and math.isfinite(weight)):
+            continue
         total += value * weight
         weight_sum += weight
     return total / weight_sum if weight_sum else 0.0
@@ -246,6 +281,7 @@ def geomean(values: Iterable[float]) -> float:
     values = list(values)
     if not values:
         raise ValueError("geomean of empty sequence")
-    if any(v <= 0 for v in values):
-        raise ValueError("geomean requires positive values")
+    # NaN compares false against 0, so check finiteness explicitly.
+    if any(not math.isfinite(v) or v <= 0 for v in values):
+        raise ValueError("geomean requires positive finite values")
     return math.exp(sum(math.log(v) for v in values) / len(values))

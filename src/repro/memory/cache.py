@@ -121,9 +121,15 @@ class Cache:
             if wants_dirty:
                 cache_set[line] = True
             self.stats.inc(self._k_hits)
+            trace = self.stats.trace
+            if trace is not None:
+                trace.emit(self.sim.now, "cache", self.name, "hit")
             self.sim.schedule(self._hit_latency, event.trigger, None)
             return event
         self.stats.inc(self._k_misses)
+        trace = self.stats.trace
+        if trace is not None:
+            trace.emit(self.sim.now, "cache", self.name, "miss")
         if line in self._mshrs:
             dirty, waiters = self._mshrs[line]
             self._mshrs[line] = (dirty or wants_dirty, waiters)

@@ -233,3 +233,7 @@ class DRAMController:
         else:
             self.stats.inc("dram.bytes_read", req.size)
         self.bandwidth.record(done, req.size, busy_cycles=transfer)
+        trace = self.stats.trace
+        if trace is not None:
+            trace.emit(self.sim.now, "req", req.source, req.kind.value,
+                       req.addr, req.size, req.issue_time, done)

@@ -59,6 +59,9 @@ class PageTableWalker:
         event = self.sim.event(name="ptw.walk")
         self._pending.append((vaddr, event))
         self.stats.inc("ptw.walks")
+        trace = self.stats.trace
+        if trace is not None:
+            trace.emit(self.sim.now, "ptw", "walk", vaddr)
         self._start_walks()
         return event
 

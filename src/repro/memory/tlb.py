@@ -122,15 +122,22 @@ class TLB:
         """Translate a virtual address; event value is the physical address."""
         event = Event(self.sim, name=self._ev_translate)
         paddr = self._store.lookup(vaddr)
+        trace = self.stats.trace
         if paddr is not None:
             self.stats.inc(self._k_hits)
+            if trace is not None:
+                trace.emit(self.sim.now, "tlb", self.name, "hit")
             event.trigger(paddr)
             return event
         self.stats.inc(self._k_misses)
+        if trace is not None:
+            trace.emit(self.sim.now, "tlb", self.name, "miss")
         if self.l2 is not None:
             l2_paddr = self.l2.lookup(vaddr)
             if l2_paddr is not None:
                 self.stats.inc(self._k_l2_hits)
+                if trace is not None:
+                    trace.emit(self.sim.now, "tlb", self.name, "l2_hit")
                 superpage = self.ptw.page_table.is_superpage(vaddr)
                 self._store.insert(vaddr, l2_paddr, superpage)
                 self.sim.schedule(self.l2.latency, event.trigger, l2_paddr)

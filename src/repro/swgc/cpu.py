@@ -96,6 +96,9 @@ class InOrderCPU:
         """Blocking load: translate, access the hierarchy, stall until data."""
         self.instructions += 1
         self.stats.inc(self._k_loads)
+        trace = self.stats.trace
+        if trace is not None:
+            trace.emit(self.sim.now, "cpu", "load", vaddr)
         paddr = yield self.dtlb.translate(vaddr)
         req = MemRequest(addr=paddr, size=size, kind=AccessKind.READ,
                          source=self.source)
@@ -105,6 +108,9 @@ class InOrderCPU:
         """Atomic read-modify-write; blocking like a load."""
         self.instructions += 1
         self.stats.inc(self._k_amos)
+        trace = self.stats.trace
+        if trace is not None:
+            trace.emit(self.sim.now, "cpu", "amo", vaddr)
         paddr = yield self.dtlb.translate(vaddr)
         req = MemRequest(addr=paddr, size=size, kind=AccessKind.AMO,
                          source=self.source)
@@ -114,6 +120,9 @@ class InOrderCPU:
         """Store through the store buffer; stalls only when the buffer fills."""
         self.instructions += 1
         self.stats.inc(self._k_stores)
+        trace = self.stats.trace
+        if trace is not None:
+            trace.emit(self.sim.now, "cpu", "store", vaddr)
         paddr = yield self.dtlb.translate(vaddr)
         req = MemRequest(addr=paddr, size=size, kind=AccessKind.WRITE,
                          source=self.source)

@@ -240,14 +240,23 @@ class SoftwareCollector:
             "objects_marked": 0, "cells_freed": 0, "cells_live": 0,
             "queue_peak": 0,
         }
+        trace = self.heap.memsys.stats.trace
         start = self.sim.now
+        if trace is not None:
+            trace.emit(start, "phase", "sw.mark", "B")
         done = self.sim.process(self.mark_process(counters), name="sw-mark")
         self.sim.run_until(done)
+        if trace is not None:
+            trace.emit(self.sim.now, "phase", "sw.mark", "E")
         mark_cycles = self.sim.now - start
 
         start = self.sim.now
+        if trace is not None:
+            trace.emit(start, "phase", "sw.sweep", "B")
         done = self.sim.process(self.sweep_process(counters), name="sw-sweep")
         self.sim.run_until(done)
+        if trace is not None:
+            trace.emit(self.sim.now, "phase", "sw.sweep", "E")
         sweep_cycles = self.sim.now - start
 
         self.last_result = SoftwareGCResult(

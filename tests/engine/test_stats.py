@@ -61,6 +61,49 @@ class TestHistogram:
         with pytest.raises(ValueError):
             Histogram().percentile(50)
 
+    def test_empty_percentile_default(self):
+        assert Histogram().percentile(50, default=0) == 0
+        assert Histogram().percentile(99, default=-1) == -1
+
+    def test_single_sample_every_percentile(self):
+        h = Histogram()
+        h.add(42)
+        for p in (0, 1, 50, 99, 100):
+            assert h.percentile(p) == 42
+
+    def test_percentile_out_of_range(self):
+        h = Histogram()
+        h.add(1)
+        with pytest.raises(ValueError):
+            h.percentile(-1)
+        with pytest.raises(ValueError):
+            h.percentile(100.5)
+        # The range check fires before the emptiness check/default.
+        with pytest.raises(ValueError):
+            Histogram().percentile(101, default=0)
+
+    def test_add_rejects_non_finite(self):
+        h = Histogram()
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ValueError):
+                h.add(bad)
+        assert h.n == 0
+
+    def test_add_finite_float_truncates(self):
+        h = Histogram()
+        h.add(3.7)
+        assert h.counts() == {3: 1}
+
+    def test_add_zero_and_negative_count(self):
+        h = Histogram()
+        h.add(5, count=0)
+        assert h.n == 0 and h.counts() == {}
+        with pytest.raises(ValueError):
+            h.add(5, count=-1)
+
+    def test_empty_mean(self):
+        assert Histogram().mean() == 0.0
+
     @given(st.lists(st.integers(0, 100), min_size=1, max_size=200))
     @settings(max_examples=50, deadline=None)
     def test_percentile_bounds(self, values):
@@ -124,6 +167,13 @@ class TestTimeSeries:
         assert ts.points() == [(1, 2.0), (5, 3.0)]
         assert len(ts) == 2
 
+    def test_sample_rejects_non_finite(self):
+        ts = TimeSeries()
+        for bad in (float("nan"), float("inf")):
+            with pytest.raises(ValueError):
+                ts.sample(0, bad)
+        assert len(ts) == 0
+
 
 class TestAggregates:
     def test_geomean(self):
@@ -136,3 +186,15 @@ class TestAggregates:
     def test_weighted_mean(self):
         assert weighted_mean([(10, 1), (20, 3)]) == pytest.approx(17.5)
         assert weighted_mean([]) == 0.0
+
+    def test_weighted_mean_skips_non_finite(self):
+        nan, inf = float("nan"), float("inf")
+        assert weighted_mean([(10, 1), (nan, 5)]) == pytest.approx(10.0)
+        assert weighted_mean([(10, 1), (20, inf)]) == pytest.approx(10.0)
+        assert weighted_mean([(nan, 1)]) == 0.0
+
+    def test_geomean_rejects_non_finite(self):
+        with pytest.raises(ValueError):
+            geomean([2.0, float("nan")])
+        with pytest.raises(ValueError):
+            geomean([2.0, float("inf")])

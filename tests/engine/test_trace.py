@@ -1,0 +1,183 @@
+"""The trace bus, derived metrics, and exporters."""
+
+import csv
+import json
+
+import pytest
+
+from repro.engine.stats import StatsRegistry
+from repro.engine.trace import (
+    TraceBus,
+    TraceMetrics,
+    to_chrome_trace,
+    trace_digest,
+    write_chrome_trace,
+    write_csv,
+    write_jsonl,
+)
+
+
+def make_events():
+    """A small hand-built stream exercising every category shape."""
+    return [
+        (0, "phase", "hw.mark", "B"),
+        (1, "queue", "markq", 3),
+        (2, "req", "marker", "read", 0x1000, 8, 2, 12),
+        (3, "mark", "marked", 0x2000),
+        (4, "tlb", "marker", "hit"),
+        (5, "req", "tracer", "read", 0x2000, 64, 5, 40),
+        (6, "spill", "write", 8, 64),
+        (7, "queue", "markq", 1),
+        (50, "phase", "hw.mark", "E"),
+        (50, "phase", "hw.sweep", "B"),
+        (60, "req", "sweeper", "write", 0x3000, 8, 55, 60),
+        (70, "sweep", 0, 4, 2),
+        (80, "phase", "hw.sweep", "E"),
+    ]
+
+
+class TestBus:
+    def test_emit_and_filter(self):
+        bus = TraceBus()
+        bus.emit(5, "queue", "markq", 2)
+        bus.emit(6, "mark", "marked", 0x100)
+        assert len(bus) == 2
+        assert bus.by_category("queue") == [(5, "queue", "markq", 2)]
+        assert list(bus) == bus.events
+        bus.clear()
+        assert len(bus) == 0
+
+    def test_registry_attachment_defaults_to_none(self):
+        # The zero-cost disabled path: the class attribute resolves for
+        # fresh registries and for registries unpickled from old caches.
+        assert StatsRegistry().trace is None
+        reg = StatsRegistry()
+        reg.trace = TraceBus()
+        assert StatsRegistry().trace is None  # instance attr, not class-wide
+
+
+class TestDigest:
+    def test_equal_streams_equal_digest(self):
+        assert trace_digest(make_events()) == trace_digest(make_events())
+
+    def test_order_sensitivity(self):
+        events = make_events()
+        assert trace_digest(events) != trace_digest(list(reversed(events)))
+
+    def test_boundary_shifts_change_digest(self):
+        # Concatenation must not alias across event boundaries.
+        assert trace_digest([(1, "a"), (2, "b")]) != trace_digest([(1, "a", 2, "b")])
+
+
+class TestMetrics:
+    def test_phase_windows_and_cycles(self):
+        m = TraceMetrics(make_events())
+        assert m.phase_windows() == {
+            "hw.mark": [(0, 50)], "hw.sweep": [(50, 80)],
+        }
+        assert m.phase_cycles() == {"hw.mark": 50, "hw.sweep": 30}
+
+    def test_unclosed_phase_ignored(self):
+        m = TraceMetrics([(0, "phase", "hw.mark", "B")])
+        assert m.phase_windows() == {}
+
+    def test_requests_by_source(self):
+        m = TraceMetrics(make_events())
+        assert m.requests_by_source() == {
+            "marker": 1, "tracer": 1, "sweeper": 1,
+        }
+
+    def test_latency_histogram(self):
+        m = TraceMetrics(make_events())
+        all_lat = m.request_latency_histogram()
+        assert sorted(all_lat.counts()) == [5, 10, 35]
+        marker = m.request_latency_histogram(source="marker")
+        assert marker.counts() == {10: 1}
+
+    def test_phase_breakdown_attributes_by_issue_cycle(self):
+        m = TraceMetrics(make_events())
+        breakdown = m.phase_breakdown()
+        assert breakdown["hw.mark"] == {"marker": 1, "tracer": 1}
+        assert breakdown["hw.sweep"] == {"sweeper": 1}
+
+    def test_queue_timeline_and_peak(self):
+        m = TraceMetrics(make_events())
+        assert m.queue_timeline("markq").points() == [(1, 3), (7, 1)]
+        assert m.queue_peak("markq") == 3
+        assert m.queue_peak("nosuch") == 0
+
+    def test_bandwidth_timeline_bins_by_completion(self):
+        m = TraceMetrics(make_events())
+        bins = dict(m.bandwidth_timeline(100))
+        # All three requests complete within the first 100-cycle bin.
+        assert bins[12] == pytest.approx((8 + 64 + 8) / 100)
+
+    def test_bandwidth_empty_and_bad_bin(self):
+        assert TraceMetrics([]).bandwidth_timeline(10) == []
+        with pytest.raises(ValueError):
+            TraceMetrics(make_events()).bandwidth_timeline(0)
+
+    def test_utilization_histogram(self):
+        m = TraceMetrics(make_events())
+        hist = m.utilization_histogram(100, peak_bytes_per_cycle=16.0)
+        assert hist.n == 1
+        (value, _count), = hist.counts().items()
+        assert value == round(100 * 0.8 / 16)
+
+    def test_summary_mentions_phases_and_sources(self):
+        text = TraceMetrics(make_events()).summary()
+        assert "hw.mark" in text and "sweeper" in text
+
+
+class TestExporters:
+    def test_chrome_trace_structure(self):
+        doc = to_chrome_trace(make_events(), meta={"target": "unit-test"})
+        assert doc["otherData"] == {"target": "unit-test"}
+        events = doc["traceEvents"]
+        by_ph = {}
+        for e in events:
+            by_ph.setdefault(e["ph"], []).append(e)
+        # Requests -> X slices with duration in microseconds.
+        xs = by_ph["X"]
+        assert len(xs) == 3
+        marker_slice = next(e for e in xs if e["args"]["addr"] == "0x1000")
+        assert marker_slice["ts"] == pytest.approx(0.002)
+        assert marker_slice["dur"] == pytest.approx(0.010)
+        # Occupancy -> counters; phases -> B/E pairs; the rest -> instants.
+        assert len(by_ph["C"]) == 2
+        assert len(by_ph["B"]) == len(by_ph["E"]) == 2
+        assert {e["cat"] for e in by_ph["i"]} == {"mark", "tlb", "spill", "sweep"}
+        # Thread-name metadata exists for every tid used.
+        named = {e["tid"] for e in by_ph["M"]}
+        used = {e["tid"] for e in events if e["ph"] in ("X", "B", "E", "i")}
+        assert used <= named
+
+    def test_chrome_trace_roundtrips_as_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(make_events(), str(path))
+        doc = json.loads(path.read_text())
+        assert doc["displayTimeUnit"] == "ns"
+        assert len(doc["traceEvents"]) > len(make_events())  # + metadata
+
+    def test_jsonl(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(make_events(), str(path))
+        lines = path.read_text().splitlines()
+        assert len(lines) == len(make_events())
+        assert json.loads(lines[0]) == [0, "phase", "hw.mark", "B"]
+
+    def test_csv_pads_variable_arity(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        write_csv(make_events(), str(path))
+        with open(path, newline="") as fh:
+            rows = list(csv.reader(fh))
+        header = rows[0]
+        assert header[:2] == ["cycle", "category"]
+        assert all(len(row) == len(header) for row in rows)
+
+    def test_csv_empty_stream(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        write_csv([], str(path))
+        with open(path, newline="") as fh:
+            rows = list(csv.reader(fh))
+        assert rows == [["cycle", "category"]]

@@ -1,5 +1,7 @@
 """The ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -34,3 +36,42 @@ class TestCLI:
 
     def test_run_with_scale_and_seed(self, capsys):
         assert main(["run", "abl_barriers"]) == 0
+
+
+class TestTraceCommand:
+    def test_chrome_export_is_valid(self, capsys, tmp_path):
+        out = tmp_path / "gc.json"
+        assert main(["trace", "avrora", "--scale", "0.008",
+                     "--out", str(out), "--digest"]) == 0
+        text = capsys.readouterr().out
+        assert "digest:" in text and "memory requests" in text
+        doc = json.loads(out.read_text())
+        events = doc["traceEvents"]
+        assert events, "empty Chrome trace"
+        phases = {e["name"] for e in events if e.get("ph") == "B"}
+        assert {"hw.mark", "hw.sweep", "sw.mark", "sw.sweep"} <= phases
+        # Every slice must carry the required trace_event keys.
+        for e in events:
+            assert {"name", "ph", "pid"} <= e.keys()
+        assert doc["otherData"]["target"] == "avrora"
+
+    def test_figure_target_resolves(self, capsys, tmp_path):
+        out = tmp_path / "fig.jsonl"
+        assert main(["trace", "fig16", "--scale", "0.008", "--collector",
+                     "hw", "--format", "jsonl", "--out", str(out)]) == 0
+        lines = out.read_text().splitlines()
+        assert lines
+        first = json.loads(lines[0])
+        assert isinstance(first[0], int) and isinstance(first[1], str)
+        assert "profile avrora" in capsys.readouterr().out
+
+    def test_csv_export(self, tmp_path, capsys):
+        out = tmp_path / "gc.csv"
+        assert main(["trace", "avrora", "--scale", "0.008", "--collector",
+                     "sw", "--format", "csv", "--out", str(out)]) == 0
+        header = out.read_text().splitlines()[0]
+        assert header.startswith("cycle,category")
+
+    def test_unknown_target(self, capsys):
+        assert main(["trace", "specjbb"]) == 2
+        assert "unknown trace target" in capsys.readouterr().err

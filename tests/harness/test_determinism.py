@@ -5,7 +5,12 @@ produces bit-identical cycle counts and ``events_processed`` regardless of
 
 * which event-queue kernel runs it (``REPRO_ENGINE=bucket`` vs ``heapq``),
 * whether figures are regenerated serially or fanned out across worker
-  processes (``run-all --jobs 1`` vs ``--jobs N``).
+  processes (``run-all --jobs 1`` vs ``--jobs N``),
+* whether the heap came from a fresh build or a warm ``REPRO_HEAP_CACHE``.
+
+The cycle-stamped trace stream is the strongest fingerprint: it records
+every request, queue sample, and phase edge, so its sha256 digest equality
+is a per-event assertion of identical execution.
 """
 
 import pytest
@@ -20,6 +25,7 @@ from repro.harness import heapcache
 from repro.harness.parallel import digests, run_suite
 from repro.harness.runners import build_heap, run_hardware, run_software
 from repro.harness.suite import run_entry
+from repro.harness.tracing import trace_collection
 from repro.workloads.profiles import DACAPO_PROFILES
 
 SCALE = 0.008
@@ -105,6 +111,53 @@ class TestKernelDeterminism:
             sim.run()
             outcomes.append((sim.now, sim.events_processed))
         assert outcomes[0] == outcomes[1]
+
+
+class TestTraceDeterminism:
+    """The event stream itself, not just the summary counters, must be
+    bit-identical across kernels and cache states."""
+
+    @pytest.mark.slow
+    def test_trace_digest_identical_across_kernels(self, monkeypatch):
+        digests_by_engine = {}
+        for engine in ("bucket", "heapq"):
+            monkeypatch.setenv("REPRO_ENGINE", engine)
+            heapcache.reset_cache()
+            capture = trace_collection("avrora", scale=SCALE, seed=1)
+            assert len(capture.bus) > 0
+            digests_by_engine[engine] = capture.digest
+        assert digests_by_engine["bucket"] == digests_by_engine["heapq"]
+
+    @pytest.mark.slow
+    def test_trace_digest_identical_warm_vs_cold_cache(self, monkeypatch,
+                                                       tmp_path):
+        monkeypatch.setenv("REPRO_HEAP_CACHE", str(tmp_path / "heaps"))
+        heapcache.reset_cache()
+        cold = trace_collection("avrora", scale=SCALE, seed=2)
+        # Drop the in-process layer so the warm run reconstructs the heap
+        # from the on-disk checkpoint.
+        heapcache.reset_cache()
+        warm = trace_collection("avrora", scale=SCALE, seed=2)
+        assert len(cold.bus) > 0
+        assert cold.digest == warm.digest
+        assert cold.phase_cycles == warm.phase_cycles
+
+    def test_single_collector_trace_repeats(self):
+        first = trace_collection("avrora", scale=SCALE, seed=1,
+                                 collectors="hw")
+        heapcache.reset_cache()
+        second = trace_collection("avrora", scale=SCALE, seed=1,
+                                  collectors="hw")
+        assert first.digest == second.digest
+
+    def test_bus_detached_after_capture(self):
+        capture = trace_collection("avrora", scale=SCALE, seed=1,
+                                   collectors="hw")
+        assert capture.bus is not None
+        # The module-level registry default must remain untouched: a later
+        # simulation in the same process starts with tracing disabled.
+        from repro.engine.stats import StatsRegistry
+        assert StatsRegistry().trace is None
 
 
 class TestParallelDeterminism:
