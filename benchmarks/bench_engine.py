@@ -94,6 +94,59 @@ def bench_comparison(engine: str, scale: float = 0.02) -> dict:
     }
 
 
+def bench_fastpath_check(scale: float = 0.02) -> dict:
+    """Fast-path on/off identity: cycles and trace digest must match.
+
+    Runs the GC comparison and a traced collection twice — once with the
+    zero-allocation fast paths enabled (the default) and once with
+    ``REPRO_FASTPATH=0`` forcing every hit through the legacy event path.
+    Timings are report-only; the cycle counts and the sha256 digest of the
+    full trace stream are gated — any difference means a fast path changed
+    simulated behaviour, which invalidates every number this script emits.
+    """
+    import hashlib
+    import os
+
+    from repro.harness.heapcache import reset_cache
+    from repro.harness.runners import run_gc_comparison
+    from repro.harness.tracing import trace_collection
+    from repro.workloads.profiles import DACAPO_PROFILES
+
+    profile = DACAPO_PROFILES["avrora"]
+    out = {}
+    for label, mode in (("on", "1"), ("off", "0")):
+        os.environ["REPRO_FASTPATH"] = mode
+        # Fresh builds: cached heaps embed components constructed under
+        # the environment in force at build time.
+        reset_cache()
+        run_gc_comparison(profile, scale=scale, seed=1)  # warm build
+        elapsed = None
+        for _ in range(2):
+            t0 = time.perf_counter()
+            comp = run_gc_comparison(profile, scale=scale, seed=1)
+            dt = time.perf_counter() - t0
+            elapsed = dt if elapsed is None else min(elapsed, dt)
+        trace = trace_collection("avrora", scale=scale, seed=1)
+        digest = hashlib.sha256(
+            repr(list(trace.bus)).encode()
+        ).hexdigest()[:16]
+        out[label] = {
+            "seconds": round(elapsed, 3),
+            "cycles": {
+                "sw_mark": comp.sw.mark_cycles,
+                "sw_sweep": comp.sw.sweep_cycles,
+                "hw_mark": comp.hw.mark_cycles,
+                "hw_sweep": comp.hw.sweep_cycles,
+                "objects_marked": comp.sw.objects_marked,
+            },
+            "trace_digest": digest,
+        }
+    os.environ.pop("REPRO_FASTPATH", None)
+    reset_cache()
+    out["speedup"] = round(out["off"]["seconds"] / out["on"]["seconds"], 3)
+    return out
+
+
 def bench_trace_overhead(scale: float = 0.02, repeats: int = 3) -> dict:
     """Disabled-path vs live-bus cost of the trace layer.
 
@@ -168,6 +221,16 @@ def main() -> int:
                         help="workers for --full-suite")
     args = parser.parse_args()
 
+    # Wall-clock trajectory across PRs: carry forward the previous file's
+    # history and append this run, so BENCH_engine.json is append-style
+    # for the headline number even though the sections are overwritten.
+    history = []
+    try:
+        with open(args.out) as fh:
+            history = json.load(fh).get("history", [])
+    except (OSError, ValueError):
+        pass
+
     report = {
         "generated": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "python": platform.python_version(),
@@ -195,8 +258,26 @@ def main() -> int:
     speedup = c1["seconds"] / c0["seconds"]
     report["bucket_vs_heapq_comparison_speedup"] = round(speedup, 3)
 
+    print("fastpath identity ...", flush=True)
+    fp = bench_fastpath_check(args.scale)
+    report["fastpath"] = fp
+    if fp["on"]["cycles"] != fp["off"]["cycles"]:
+        print("FATAL: fast paths changed GC cycle counts", file=sys.stderr)
+        return 1
+    if fp["on"]["trace_digest"] != fp["off"]["trace_digest"]:
+        print("FATAL: fast paths changed the trace stream", file=sys.stderr)
+        return 1
+
     print("trace overhead ...", flush=True)
     report["trace_overhead"] = bench_trace_overhead(args.scale)
+
+    history.append({
+        "generated": report["generated"],
+        "scale": args.scale,
+        "gc_comparison_seconds": c0["seconds"],
+        "kernel_events_per_sec": k0["events_per_sec"],
+    })
+    report["history"] = history
 
     if args.full_suite:
         print("full suite ...", flush=True)
@@ -209,6 +290,9 @@ def main() -> int:
         print(f"  {row['engine']:7s} {row['events_per_sec']:>10,d} events/s")
     for row in report["gc_comparison"]:
         print(f"  {row['engine']:7s} comparison {row['seconds']:.2f}s")
+    print(f"  fastpath on {fp['on']['seconds']:.2f}s / off "
+          f"{fp['off']['seconds']:.2f}s ({fp['speedup']:.2f}x, "
+          f"digest {fp['on']['trace_digest']})")
     to = report["trace_overhead"]
     print(f"  tracing off {to['disabled_seconds']:.2f}s / on "
           f"{to['enabled_seconds']:.2f}s "

@@ -7,6 +7,11 @@ recently accessed objects can be efficient at reducing traffic."
 A fully associative LRU set of object references sitting in front of the
 marker: references that hit are known to be already marked, so the marker
 skips the memory fetch-or entirely.
+
+The filter is purely combinational — it answers in the marker's own cycle
+with no event-queue traffic at all, which makes ``contains`` one of the
+hottest calls in a hardware mark phase (once per dequeued reference). The
+enabled check is therefore a plain attribute, not a property descriptor.
 """
 
 from __future__ import annotations
@@ -21,6 +26,7 @@ class MarkBitCache:
         if entries < 0:
             raise ValueError("entries must be non-negative")
         self.entries = entries
+        self._enabled = entries > 0
         self._set: "OrderedDict[int, None]" = OrderedDict()
         self.hits = 0
         self.lookups = 0
@@ -31,7 +37,7 @@ class MarkBitCache:
 
     def contains(self, ref: int) -> bool:
         """Filter check; counts a hit and refreshes LRU position on match."""
-        if not self.enabled:
+        if not self._enabled:
             return False
         self.lookups += 1
         if ref in self._set:
@@ -42,7 +48,7 @@ class MarkBitCache:
 
     def insert(self, ref: int) -> None:
         """Record a freshly marked reference."""
-        if not self.enabled:
+        if not self._enabled:
             return
         if ref in self._set:
             self._set.move_to_end(ref)

@@ -78,7 +78,7 @@ class Marker:
                 self.filtered += 1
                 trace = self.stats.trace
                 if trace is not None:
-                    trace.emit(self.sim.now, "mark", "filtered", ref)
+                    trace.events.append((self.sim.now, "mark", "filtered", ref))
                 self.unit.retire_ref()
                 continue
             tag = yield self._slots.get()
@@ -109,7 +109,7 @@ class Marker:
             self.already_marked += 1
             self.writebacks_elided += 1
             if trace is not None:
-                trace.emit(self.sim.now, "mark", "already", ref)
+                trace.events.append((self.sim.now, "mark", "already", ref))
             self._slots.put_nowait(tag)
             self.unit.retire_ref()
             return
@@ -118,7 +118,7 @@ class Marker:
         self.port.write(paddr, 8)
         self.objects_marked += 1
         if trace is not None:
-            trace.emit(self.sim.now, "mark", "marked", ref)
+            trace.events.append((self.sim.now, "mark", "marked", ref))
         self.mark_bit_cache.insert(ref)
         n_refs, _is_array = decode_refcount(status)
         if n_refs == 0:

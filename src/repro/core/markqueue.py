@@ -148,7 +148,7 @@ class MarkQueue:
             self._balance()
         trace = self.stats.trace
         if trace is not None:
-            trace.emit(self.sim.now, "queue", "markq", self.total_entries)
+            trace.events.append((self.sim.now, "queue", "markq", self.total_entries))
         if self.total_entries > self.peak_entries:
             self.peak_entries = self.total_entries
         if len(self._outq) > self.out_capacity:
@@ -166,7 +166,7 @@ class MarkQueue:
         self._balance()
         trace = self.stats.trace
         if trace is not None:
-            trace.emit(self.sim.now, "queue", "markq", self.total_entries)
+            trace.events.append((self.sim.now, "queue", "markq", self.total_entries))
         return item
 
     # -- the spill state machine ---------------------------------------------------
@@ -257,7 +257,7 @@ class MarkQueue:
         self.stats.inc("markq.spill_write_bytes", nbytes)
         trace = self.stats.trace
         if trace is not None:
-            trace.emit(self.sim.now, "spill", "write", count, nbytes)
+            trace.events.append((self.sim.now, "spill", "write", count, nbytes))
         aligned = self._aligned_span(start_addr, nbytes)
         self.port.write(aligned[0], aligned[1]).add_callback(
             lambda _v, c=count: self._finish_spill_write(c)
@@ -291,7 +291,7 @@ class MarkQueue:
         self.stats.inc("markq.spill_read_bytes", nbytes)
         trace = self.stats.trace
         if trace is not None:
-            trace.emit(self.sim.now, "spill", "read", count, nbytes)
+            trace.events.append((self.sim.now, "spill", "read", count, nbytes))
         aligned = self._aligned_span(start_addr, nbytes)
         self.port.read(aligned[0], aligned[1]).add_callback(
             lambda _v, r=tuple(refs): self._finish_spill_read(r)

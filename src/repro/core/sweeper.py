@@ -115,9 +115,9 @@ class BlockSweeper:
         yield self.port.write(head_paddr, 8)
         trace = self.unit.stats.trace
         if trace is not None:
-            trace.emit(self.sim.now, "sweep", desc.index,
-                       self.cells_freed - freed_before,
-                       self.cells_live - live_before)
+            trace.events.append((self.sim.now, "sweep", desc.index,
+                                 self.cells_freed - freed_before,
+                                 self.cells_live - live_before))
 
 
 class ReclamationUnit:

@@ -72,7 +72,7 @@ class Tracer:
         self.objects_traced += 1
         trace = self.stats.trace
         if trace is not None:
-            trace.emit(self.sim.now, "tracer", obj_addr, n_refs)
+            trace.events.append((self.sim.now, "tracer", obj_addr, n_refs))
         section_start = obj_addr - WORD_BYTES * n_refs
         section_bytes = WORD_BYTES * n_refs
         # ``remaining`` counts outstanding transfers for this object; the

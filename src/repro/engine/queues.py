@@ -13,7 +13,13 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Deque, Optional, Tuple
 
-from repro.engine.simulator import Event, SimulationError, Simulator
+from repro.engine.simulator import (
+    Completion,
+    Event,
+    SimulationError,
+    Simulator,
+    fastpath_enabled,
+)
 
 
 class QueueFullError(SimulationError):
@@ -43,6 +49,7 @@ class HWQueue:
         self._putters: Deque[Tuple[Event, Any]] = deque()
         self._ev_put = f"{name}.put"
         self._ev_get = f"{name}.get"
+        self._fast = fastpath_enabled()
         # Statistics.
         self.total_puts = 0
         self.total_gets = 0
@@ -85,24 +92,35 @@ class HWQueue:
 
     # -- blocking (process) interface ------------------------------------
 
-    def put(self, item: Any) -> Event:
+    def put(self, item: Any):
         """Yieldable put: completes when the item has been accepted."""
-        event = Event(self.sim, name=self._ev_put)
-        if not self.is_full and not self._putters:
+        if not self._putters and len(self._items) < self.capacity:
+            # Immediate acceptance. The fast path returns a zero-latency
+            # Completion — observably identical to an Event triggered
+            # before any waiter attaches (consumed synchronously either
+            # way), minus the Event allocation and trigger call.
+            if self._fast:
+                self._accept(item)
+                return Completion(self.sim, self.sim.now, None)
+            event = Event(self.sim, name=self._ev_put)
             self._accept(item)
             event.trigger()
-        else:
-            self.put_stall_count += 1
-            self._putters.append((event, item))
+            return event
+        event = Event(self.sim, name=self._ev_put)
+        self.put_stall_count += 1
+        self._putters.append((event, item))
         return event
 
-    def get(self) -> Event:
+    def get(self):
         """Yieldable get: completes with the dequeued item."""
-        event = Event(self.sim, name=self._ev_get)
         if self._items:
+            if self._fast:
+                return Completion(self.sim, self.sim.now, self._release())
+            event = Event(self.sim, name=self._ev_get)
             event.trigger(self._release())
-        else:
-            self._getters.append(event)
+            return event
+        event = Event(self.sim, name=self._ev_get)
+        self._getters.append(event)
         return event
 
     # -- internals --------------------------------------------------------

@@ -8,6 +8,7 @@ Processes are Python generators that ``yield``:
 
 * an ``int`` or :class:`Delay` — resume after that many cycles;
 * an :class:`Event` — resume when the event triggers (receiving its value);
+* a :class:`Completion` — a pre-resolved wait handle (fast-path hits);
 * another :class:`Process` — resume when that process finishes (a *join*).
 
 Sub-routines that follow the same protocol are invoked with ``yield from``.
@@ -42,6 +43,18 @@ from typing import Any, Callable, Generator, List, Optional, Tuple
 
 class SimulationError(RuntimeError):
     """Raised for protocol violations inside the simulation kernel."""
+
+
+def fastpath_enabled() -> bool:
+    """Whether inline :class:`Completion` fast paths are enabled.
+
+    Controlled by ``REPRO_FASTPATH`` (default on; ``0``/``off``/``no``/
+    ``false`` disable it). Components read this once at construction, so
+    flipping the variable affects newly built memory systems only — which
+    is exactly what the on/off identity tests rely on.
+    """
+    raw = os.environ.get("REPRO_FASTPATH", "1").strip().lower()
+    return raw not in ("0", "off", "no", "false")
 
 
 class Delay:
@@ -104,6 +117,62 @@ class Event:
         return f"Event({self.name!r}, {state})"
 
 
+class Completion:
+    """A pre-resolved wait handle: the value is known at creation time and
+    becomes observable at absolute cycle ``time``.
+
+    This is the fast-path substitute for the ``Event`` + ``schedule(latency,
+    event.trigger, value)`` idiom used when a component already knows both
+    the result and the latency at submit time (cache hits, TLB hits, pipe
+    transfers). Creating one performs **no** scheduling; a waiter that
+    yields it either consumes it synchronously (``time <= now``) or costs a
+    single bucket append for the remaining delay — versus the slow path's
+    two queue insertions (the deferred ``trigger`` plus the waiter wakeup
+    it schedules).
+
+    The protocol mirrors the waited-on half of :class:`Event`: ``triggered``
+    (computed from the clock, so handles held across cycles — e.g. store
+    buffer entries — observe the same transition the Event would make),
+    ``value``, and ``add_callback``. It cannot be triggered; it already was.
+
+    Delivery of a *pending* completion is **hop-preserving**: the waiter is
+    woken through ``schedule(delay, _deliver)`` followed by the same
+    zero-delay hop ``Event.trigger`` performs, so it lands at the same
+    intra-cycle bucket position as the legacy ``schedule(latency,
+    event.trigger)`` idiom. That is what keeps same-cycle arbitration (and
+    therefore cycle counts and trace digests) bit-identical to the
+    event-based slow path; a direct single-append delivery measurably
+    reorders DRAM scheduling decisions.
+    """
+
+    __slots__ = ("sim", "time", "value")
+
+    def __init__(self, sim: "Simulator", time: int, value: Any = None):
+        self.sim = sim
+        self.time = time
+        self.value = value
+
+    @property
+    def triggered(self) -> bool:
+        return self.sim.now >= self.time
+
+    def _deliver(self, callback: Callable[[Any], None]) -> None:
+        self.sim.schedule(0, callback, self.value)
+
+    def add_callback(self, callback: Callable[[Any], None]) -> None:
+        """Invoke ``callback(value)`` at ``time`` (this cycle if past)."""
+        sim = self.sim
+        delay = self.time - sim.now
+        if delay <= 0:
+            sim.schedule(0, callback, self.value)
+        else:
+            sim.schedule(delay, self._deliver, callback)
+
+    def __repr__(self) -> str:
+        state = "ready" if self.triggered else f"at {self.time}"
+        return f"Completion({state}, value={self.value!r})"
+
+
 class Process(Event):
     """A running generator coroutine. Doubles as its own completion event.
 
@@ -135,6 +204,17 @@ class Process(Event):
                     value = None
                     continue
                 sim.schedule(item, self._step, None)
+                return
+            if cls is Completion:
+                # Ready completions are consumed synchronously (like an
+                # already-triggered Event); pending ones resume through the
+                # hop-preserving delivery so intra-cycle ordering matches
+                # the event-based slow path exactly.
+                remaining = item.time - sim.now
+                if remaining <= 0:
+                    value = item.value
+                    continue
+                sim.schedule(remaining, item._deliver, self._step)
                 return
             if isinstance(item, Event):
                 if item.triggered:
@@ -427,15 +507,23 @@ class HeapqSimulator(Simulator):
     ) -> int:
         queue = self._queue
         if max_events is None:
-            # Unbudgeted hot loop: no per-event budget bookkeeping.
-            while queue:
-                time = queue[0][0]
-                if until is not None and time > until:
-                    break
-                _time, _seq, callback, args = heapq.heappop(queue)
-                self.now = time
-                callback(*args)
-                self.events_processed += 1
+            # Unbudgeted hot loop: no per-event budget bookkeeping. The
+            # heappop and the processed counter are hoisted to locals; the
+            # counter is written back even when a callback raises so the
+            # exception-path accounting matches the budgeted loop.
+            pop = heapq.heappop
+            processed = self.events_processed
+            try:
+                while queue:
+                    time = queue[0][0]
+                    if until is not None and time > until:
+                        break
+                    _time, _seq, callback, args = pop(queue)
+                    self.now = time
+                    callback(*args)
+                    processed += 1
+            finally:
+                self.events_processed = processed
         else:
             budget = max_events
             while queue and budget > 0:
@@ -458,22 +546,29 @@ class HeapqSimulator(Simulator):
 
     def run_until(self, event: Event, max_events: Optional[int] = None) -> Any:
         budget = max_events
-        while not event.triggered:
-            if not self._queue:
-                raise SimulationError(
-                    f"deadlock: event queue empty at cycle {self.now} while "
-                    f"waiting for {event!r}"
-                )
-            if budget is not None:
-                if budget <= 0:
+        queue = self._queue
+        pop = heapq.heappop
+        processed = self.events_processed
+        try:
+            while not event.triggered:
+                if not queue:
                     raise SimulationError(
-                        f"max_events={max_events} exhausted at cycle {self.now}"
+                        f"deadlock: event queue empty at cycle {self.now} "
+                        f"while waiting for {event!r}"
                     )
-                budget -= 1
-            time, _seq, callback, args = heapq.heappop(self._queue)
-            self.now = time
-            callback(*args)
-            self.events_processed += 1
+                if budget is not None:
+                    if budget <= 0:
+                        raise SimulationError(
+                            f"max_events={max_events} exhausted at "
+                            f"cycle {self.now}"
+                        )
+                    budget -= 1
+                time, _seq, callback, args = pop(queue)
+                self.now = time
+                callback(*args)
+                processed += 1
+        finally:
+            self.events_processed = processed
         return event.value
 
 

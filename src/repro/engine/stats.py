@@ -38,6 +38,12 @@ class StatsRegistry:
     Components attribute activity to keys like ``"mem.reads.marker"``; the
     harness slices by prefix when regenerating the paper's breakdowns.
 
+    Counters are stored as :class:`Counter` boxes. Hot paths that bump the
+    same key millions of times fetch the box once via :meth:`counter` and
+    do ``box.value += 1`` inline — no per-increment dict traffic or method
+    call. ``inc``/``get``/``as_dict`` remain the general string-keyed API
+    and observe handle updates immediately (same box).
+
     The registry doubles as the attachment point for the structured trace
     bus (:mod:`repro.engine.trace`): every instrumented component already
     holds a registry, so ``stats.trace = TraceBus()`` enables tracing
@@ -51,31 +57,59 @@ class StatsRegistry:
     trace = None
 
     def __init__(self) -> None:
-        self._counters: Dict[str, int] = {}
+        self._counters: Dict[str, Counter] = {}
+
+    def counter(self, key: str) -> Counter:
+        """The mutable counter box for ``key`` (created at zero)."""
+        box = self._counters.get(key)
+        if box is None:
+            box = self._counters[key] = Counter(key)
+        return box
 
     def inc(self, key: str, amount: int = 1) -> None:
-        self._counters[key] = self._counters.get(key, 0) + amount
+        box = self._counters.get(key)
+        if box is None:
+            box = self._counters[key] = Counter(key)
+        box.value += amount
 
     def get(self, key: str, default: int = 0) -> int:
-        return self._counters.get(key, default)
+        box = self._counters.get(key)
+        return box.value if box is not None else default
 
     def with_prefix(self, prefix: str) -> Dict[str, int]:
         """All counters whose key starts with ``prefix``."""
-        return {k: v for k, v in self._counters.items() if k.startswith(prefix)}
+        return {
+            k: box.value for k, box in self._counters.items()
+            if k.startswith(prefix)
+        }
 
     def total(self, prefix: str) -> int:
         """Sum of all counters under ``prefix``."""
         return sum(self.with_prefix(prefix).values())
 
     def as_dict(self) -> Dict[str, int]:
-        return dict(self._counters)
+        return {k: box.value for k, box in self._counters.items()}
 
     def merge(self, other: "StatsRegistry") -> None:
-        for key, value in other._counters.items():
-            self.inc(key, value)
+        for key, box in other._counters.items():
+            self.inc(key, box.value)
 
     def reset(self) -> None:
         self._counters.clear()
+
+    def __setstate__(self, state: dict) -> None:
+        # Registries pickled before counters became boxes (old heap-cache
+        # entries) store plain ints; re-box them on load.
+        raw = state.get("_counters", {})
+        boxed: Dict[str, Counter] = {}
+        for key, value in raw.items():
+            if not isinstance(value, Counter):
+                box = Counter(key)
+                box.value = value
+                value = box
+            boxed[key] = value
+        state["_counters"] = boxed
+        self.__dict__.update(state)
 
     def __repr__(self) -> str:
         return f"StatsRegistry({len(self._counters)} counters)"

@@ -9,8 +9,10 @@ deterministically at construction. That makes a build fully reproducible
 from its checkpoint, so this module caches builds:
 
 * an **in-process LRU** (always on, ``REPRO_HEAP_CACHE_ENTRIES`` entries,
-  default 8) holding zlib-compressed pickles — the words snapshot is mostly
-  zeros and compresses ~50x, keeping the resident cost a few MB per entry;
+  default 8) holding zlib-compressed pickles — the words snapshot is stored
+  sparsely (nonzero indices + values; generated heaps are ~98% zeros), so
+  both the pickled payload and the compress/decompress work stay a couple
+  of MB per entry regardless of the configured memory size;
 * an optional **on-disk layer** enabled by ``REPRO_HEAP_CACHE`` (``1`` for
   ``~/.cache/repro-heaps``, any other value is used as the directory;
   ``0``/``off`` disables). Disk entries survive across processes, which is
@@ -34,6 +36,8 @@ import zlib
 from collections import OrderedDict
 from pathlib import Path
 from typing import Optional, Tuple
+
+import numpy as np
 
 from repro.heap.heapimage import HeapCheckpoint, ManagedHeap
 from repro.memory.config import MemorySystemConfig
@@ -133,9 +137,20 @@ class HeapBuildCache:
         built = HeapGraphBuilder(profile, scale=scale, seed=seed,
                                  config=config).build()
         checkpoint = built.heap.checkpoint()
+        # Store the words snapshot sparsely: a generated heap's physical
+        # memory is overwhelmingly zeros (typically ~2% occupancy), so
+        # pickling (indices, values) of the nonzero words shrinks the
+        # pre-compression payload from the full memory size to a couple of
+        # MB — which is what makes both the compress here and the decompress
+        # in ``_reconstruct`` cheap. ``checkpoint`` itself is returned to
+        # the caller unmodified; only the pickled copy drops the dense
+        # array.
+        words = checkpoint.words
+        nonzero = np.flatnonzero(words)
         entry = {
             "config": _effective_config(profile, scale, config),
-            "checkpoint": checkpoint,
+            "checkpoint": dataclasses.replace(checkpoint, words=None),
+            "words_sparse": (len(words), nonzero, words[nonzero]),
             "live": sorted(built.live),
             "garbage": sorted(built.garbage),
             "hot": list(built.hot),
@@ -170,6 +185,15 @@ class HeapBuildCache:
         entry = pickle.loads(zlib.decompress(blob))
         heap = ManagedHeap(config=entry["config"])
         checkpoint: HeapCheckpoint = entry["checkpoint"]
+        sparse = entry.get("words_sparse")
+        if sparse is not None:
+            # Current format: densify the sparse words snapshot in place.
+            n_words, indices, values = sparse
+            words = np.zeros(n_words, dtype=np.uint64)
+            words[indices] = values
+            checkpoint.words = words
+        # else: legacy entry (e.g. an old on-disk cache file) carrying the
+        # dense array — usable as-is.
         heap.restore(checkpoint)
         rng = None
         if entry["rng_state"] is not None:

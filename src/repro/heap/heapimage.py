@@ -26,6 +26,7 @@ from repro.heap.allocator import SegregatedFreeListAllocator
 from repro.heap.blocks import BlockList
 from repro.heap.header import TAG_BIT, decode_refcount
 from repro.heap.layout import BidirectionalLayout, ObjectShape
+from repro.heap.metadata import HeapMetadata
 from repro.heap.objectmodel import ObjectView
 from repro.heap.roots import RootRegion
 from repro.heap.sizeclass import SizeClassTable
@@ -86,6 +87,9 @@ class ManagedHeap:
         self.objects: List[int] = []
         self.los_objects: List[int] = []
         self.gc_count = 0
+        # Lazily-built SoA layout sidecar; dropped whenever the object
+        # population can change (alloc / restore / prune_dead).
+        self._metadata: Optional[HeapMetadata] = None
 
     # -- convenience -------------------------------------------------------
 
@@ -94,7 +98,28 @@ class ManagedHeap:
         return self.memsys.phys
 
     def view(self, addr: int) -> ObjectView:
-        return ObjectView(self.memsys.phys, addr, VIRT_OFFSET)
+        return ObjectView(self.memsys.phys, addr, VIRT_OFFSET,
+                          meta=self._metadata)
+
+    def metadata(self) -> HeapMetadata:
+        """The SoA layout sidecar for the current object population.
+
+        Built on first use and cached; any operation that allocates,
+        restores, or prunes objects invalidates it, so callers may hold the
+        returned reference only while the population is stable. Views handed
+        out by :meth:`view` pick it up automatically once built.
+        """
+        meta = self._metadata
+        if meta is None:
+            meta = HeapMetadata(
+                self.memsys.phys,
+                self.objects,
+                VIRT_OFFSET,
+                ms_pstart=self.plan.marksweep.pstart,
+                block_class=self.allocator._block_class,
+            )
+            self._metadata = meta
+        return meta
 
     def to_virtual(self, paddr: int) -> int:
         return paddr + VIRT_OFFSET
@@ -115,6 +140,7 @@ class ManagedHeap:
             if self.size_classes.fits(n_words):
                 addr = self.allocator.alloc(shape)
                 self.objects.append(addr)
+                self._metadata = None
                 return addr
             return self._alloc_bump(self.plan.los, shape, align=PAGE_SIZE,
                                     track_los=True)
@@ -138,6 +164,7 @@ class ManagedHeap:
         )
         addr = self.to_virtual(status_paddr)
         self.objects.append(addr)
+        self._metadata = None
         if track_los:
             self.los_objects.append(addr)
         return addr
@@ -158,16 +185,13 @@ class ManagedHeap:
     # -- ground truth ---------------------------------------------------------------
 
     def reachable(self) -> Set[int]:
-        """The exact reachable set (BFS over the memory image)."""
-        frontier = [r for r in self.roots.read_all() if r != 0]
-        seen: Set[int] = set()
-        while frontier:
-            addr = frontier.pop()
-            if addr in seen:
-                continue
-            seen.add(addr)
-            frontier.extend(self.view(addr).refs())
-        return seen
+        """The exact reachable set (BFS over the memory image).
+
+        Uses the SoA sidecar's flat layout columns to avoid re-decoding a
+        status word per visited object; the traversal itself still reads the
+        live memory image, so the result reflects current reference slots.
+        """
+        return self.metadata().reachable(self.roots.read_all())
 
     def live_marksweep_objects(self) -> Set[int]:
         """Reachable objects that live in the MarkSweep space."""
@@ -182,6 +206,7 @@ class ManagedHeap:
             a for a in self.objects
             if a in live or not ms.contains(self.to_physical(a))
         ]
+        self._metadata = None
         return before - len(self.objects)
 
     # -- GC epoch management -------------------------------------------------------
@@ -229,6 +254,7 @@ class ManagedHeap:
         self.los_objects = list(checkpoint.los_objects)
         self.allocator.objects_allocated = checkpoint.objects_allocated
         self.allocator.bytes_allocated = checkpoint.bytes_allocated
+        self._metadata = None
 
     # -- integrity checks (used by tests and debug harnesses) ----------------------------
 

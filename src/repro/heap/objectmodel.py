@@ -23,14 +23,31 @@ from repro.memory.memimage import PhysicalMemory
 
 
 class ObjectView:
-    """Accessor for one bidirectional-layout object."""
+    """Accessor for one bidirectional-layout object.
 
-    __slots__ = ("mem", "addr", "virt_offset")
+    When a :class:`~repro.heap.metadata.HeapMetadata` sidecar is attached
+    (``meta``/``_slot``), the layout-derived accessors — ``n_refs``,
+    ``is_array``, ``ref_paddr``, ``get_ref``, ``set_ref``, ``refs`` — read
+    the sidecar's flat arrays instead of decoding the status word from
+    memory on every call. Mark-bit accessors always read live memory: mark
+    state is mutable, and the sidecar only caches immutable layout.
+    """
 
-    def __init__(self, mem: PhysicalMemory, addr: int, virt_offset: int):
+    __slots__ = ("mem", "addr", "virt_offset", "meta", "_slot")
+
+    def __init__(self, mem: PhysicalMemory, addr: int, virt_offset: int,
+                 meta=None):
         self.mem = mem
         self.addr = addr  # virtual address of the status word
         self.virt_offset = virt_offset
+        self.meta = meta
+        self._slot = meta.index.get(addr) if meta is not None else None
+
+    def attach_meta(self, meta) -> "ObjectView":
+        """Bind a metadata sidecar; a no-op slot if ``addr`` is untracked."""
+        self.meta = meta
+        self._slot = meta.index.get(self.addr) if meta is not None else None
+        return self
 
     # -- address translation ------------------------------------------------
 
@@ -46,10 +63,16 @@ class ObjectView:
 
     @property
     def n_refs(self) -> int:
+        i = self._slot
+        if i is not None:
+            return self.meta.n_refs[i]
         return decode_refcount(self.status_word)[0]
 
     @property
     def is_array(self) -> bool:
+        i = self._slot
+        if i is not None:
+            return self.meta.is_array[i]
         return decode_refcount(self.status_word)[1]
 
     @property
@@ -66,19 +89,47 @@ class ObjectView:
     # -- reference fields -----------------------------------------------------
 
     def ref_paddr(self, index: int) -> int:
+        i = self._slot
+        if i is not None:
+            meta = self.meta
+            if not 0 <= index < meta.n_refs[i]:
+                raise IndexError(f"ref index {index} out of {meta.n_refs[i]}")
+            return (meta.ref_base_index[i] + index) * WORD_BYTES
         vaddr = BidirectionalLayout.ref_field_addr(self.addr, self.n_refs, index)
         return vaddr - self.virt_offset
 
     def get_ref(self, index: int) -> int:
         """Read reference field ``index`` (0 means null)."""
+        i = self._slot
+        if i is not None:
+            meta = self.meta
+            if not 0 <= index < meta.n_refs[i]:
+                raise IndexError(f"ref index {index} out of {meta.n_refs[i]}")
+            return int(self.mem.words[meta.ref_base_index[i] + index])
         return self.mem.read_word(self.ref_paddr(index))
 
     def set_ref(self, index: int, target_vaddr: int) -> None:
         """Write reference field ``index``; ``0`` stores null."""
+        i = self._slot
+        if i is not None:
+            meta = self.meta
+            if not 0 <= index < meta.n_refs[i]:
+                raise IndexError(f"ref index {index} out of {meta.n_refs[i]}")
+            self.mem.words[meta.ref_base_index[i] + index] = (
+                target_vaddr & 0xFFFFFFFFFFFFFFFF)
+            return
         self.mem.write_word(self.ref_paddr(index), target_vaddr)
 
     def refs(self) -> List[int]:
         """All non-null outgoing references."""
+        i = self._slot
+        if i is not None:
+            meta = self.meta
+            n = meta.n_refs[i]
+            if n == 0:
+                return []
+            base = meta.ref_base_index[i]
+            return [int(w) for w in self.mem.words[base:base + n] if w]
         n = self.n_refs
         if n == 0:
             return []

@@ -16,7 +16,7 @@ from __future__ import annotations
 from collections import OrderedDict, deque
 from typing import Deque, Dict, List, Optional, Tuple
 
-from repro.engine.simulator import Event, Simulator
+from repro.engine.simulator import Completion, Event, Simulator, fastpath_enabled
 from repro.engine.stats import StatsRegistry
 from repro.memory.config import CacheConfig
 from repro.memory.request import AccessKind, MemRequest
@@ -47,20 +47,24 @@ class Cache:
         # line_addr -> (pending_dirty, [events to trigger on fill])
         self._mshrs: Dict[int, Tuple[bool, List[Event]]] = {}
         self._mshr_queue: Deque[Tuple[MemRequest, Event]] = deque()
-        # Precomputed hot-path stat keys (building f-strings per access is
-        # measurable at millions of simulated operations).
+        # Precomputed hot-path counter boxes (building f-strings and doing
+        # dict lookups per access is measurable at millions of simulated
+        # operations). Requests are counted per source; the box for each
+        # source is cached on first sight.
         self._k_requests = f"cache.{name}.requests."
-        self._k_hits = f"cache.{name}.hits"
-        self._k_misses = f"cache.{name}.misses"
-        self._k_coalesced = f"cache.{name}.mshr_coalesced"
-        self._k_stalls = f"cache.{name}.mshr_stalls"
-        self._k_writebacks = f"cache.{name}.writebacks"
+        self._c_requests: Dict[str, object] = {}
+        self._c_hits = self.stats.counter(f"cache.{name}.hits")
+        self._c_misses = self.stats.counter(f"cache.{name}.misses")
+        self._c_coalesced = self.stats.counter(f"cache.{name}.mshr_coalesced")
+        self._c_stalls = self.stats.counter(f"cache.{name}.mshr_stalls")
+        self._c_writebacks = self.stats.counter(f"cache.{name}.writebacks")
         # Precomputed event names and hot config fields (building f-strings
         # and chasing config attributes per access is measurable at millions
         # of simulated operations).
         self._ev_access = f"{name}.access"
         self._line_bytes = config.line_bytes
         self._hit_latency = config.hit_latency
+        self._fast = fastpath_enabled()
 
     # -- lookup helpers ------------------------------------------------------
 
@@ -81,13 +85,17 @@ class Cache:
 
     # -- main interface --------------------------------------------------------
 
-    def submit(self, req: MemRequest) -> Event:
-        """Access the cache; the returned event triggers at completion.
+    def submit(self, req: MemRequest):
+        """Access the cache; the returned handle completes at finish time.
 
         Requests spanning multiple lines are split; the event triggers when
         every constituent line access has completed.
         """
-        self.stats.inc(self._k_requests + req.source)
+        counter = self._c_requests.get(req.source)
+        if counter is None:
+            counter = self._c_requests[req.source] = self.stats.counter(
+                self._k_requests + req.source)
+        counter.value += 1
         line_bytes = self._line_bytes
         addr = req.addr
         first = addr - (addr % line_bytes)
@@ -112,33 +120,39 @@ class Cache:
             self._access_line(line, sub).add_callback(_one_done)
         return done
 
-    def _access_line(self, line: int, req: MemRequest) -> Event:
-        event = Event(self.sim, name=self._ev_access)
+    def _access_line(self, line: int, req: MemRequest):
         cache_set = self._sets[(line // self._line_bytes) % self._n_sets]
         wants_dirty = req.kind is not AccessKind.READ
         if line in cache_set:
             cache_set.move_to_end(line)
             if wants_dirty:
                 cache_set[line] = True
-            self.stats.inc(self._k_hits)
+            self._c_hits.value += 1
             trace = self.stats.trace
             if trace is not None:
-                trace.emit(self.sim.now, "cache", self.name, "hit")
+                trace.events.append((self.sim.now, "cache", self.name, "hit"))
+            if self._fast:
+                # Hit latency is fixed and known now: hand back a resolved
+                # Completion instead of a deferred Event trigger. The
+                # simulated completion time is identical.
+                return Completion(self.sim, self.sim.now + self._hit_latency)
+            event = Event(self.sim, name=self._ev_access)
             self.sim.schedule(self._hit_latency, event.trigger, None)
             return event
-        self.stats.inc(self._k_misses)
+        event = Event(self.sim, name=self._ev_access)
+        self._c_misses.value += 1
         trace = self.stats.trace
         if trace is not None:
-            trace.emit(self.sim.now, "cache", self.name, "miss")
+            trace.events.append((self.sim.now, "cache", self.name, "miss"))
         if line in self._mshrs:
             dirty, waiters = self._mshrs[line]
             self._mshrs[line] = (dirty or wants_dirty, waiters)
             waiters.append(event)
-            self.stats.inc(self._k_coalesced)
+            self._c_coalesced.value += 1
             return event
         if len(self._mshrs) >= self.config.mshrs:
             self._mshr_queue.append((req, event))
-            self.stats.inc(self._k_stalls)
+            self._c_stalls.value += 1
             return event
         self._start_fill(line, wants_dirty, event, req.source)
         return event
@@ -185,7 +199,7 @@ class Cache:
         if len(cache_set) >= self.config.ways:
             victim, victim_dirty = cache_set.popitem(last=False)
             if victim_dirty:
-                self.stats.inc(self._k_writebacks)
+                self._c_writebacks.value += 1
                 wb = MemRequest(
                     addr=victim, size=self.config.line_bytes,
                     kind=AccessKind.WRITE, source=source,

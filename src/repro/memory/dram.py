@@ -60,8 +60,24 @@ class DRAMController:
         self._reads: Deque[Tuple[MemRequest, Event, _Bank, int]] = deque()
         self._writes: Deque[Tuple[MemRequest, Event, _Bank, int]] = deque()
         self._next_pump_at: Optional[int] = None
-        self._submit_keys: dict = {}
+        self._submit_counters: dict = {}
         self._ev_names: dict = {}
+        self._c_activates = self.stats.counter("dram.activates")
+        self._c_bytes_read = self.stats.counter("dram.bytes_read")
+        self._c_bytes_written = self.stats.counter("dram.bytes_written")
+        # Scheduler-hot config fields, captured once: the scan/pick/dispatch
+        # loops run per pump wakeup and dominate DRAM model cost, so they
+        # must not chase ``self.config.<field>`` attribute chains.
+        self._read_window = config.read_window
+        self._write_window = config.write_window
+        self._fifo = config.scheduler == "fifo"
+        self._t_cas = config.t_cas
+        self._t_rcd_cas = config.t_rcd + config.t_cas
+        self._t_rp_rcd_cas = config.t_rp + config.t_rcd + config.t_cas
+        self._t_ras = config.t_ras
+        self._bus_bpc = config.bus_bytes_per_cycle
+        self._row_bytes = config.row_bytes
+        self._n_banks = config.n_banks
 
     # -- public interface --------------------------------------------------
 
@@ -72,14 +88,19 @@ class DRAMController:
         if name is None:
             name = self._ev_names[req.source] = f"dram.{req.source}"
         event = Event(self.sim, name=name)
-        row_index = req.addr // self.config.row_bytes
-        bank = self._banks[row_index % self.config.n_banks]
-        row = row_index // self.config.n_banks
+        row_index = req.addr // self._row_bytes
+        bank = self._banks[row_index % self._n_banks]
+        row = row_index // self._n_banks
         queue = self._writes if req.kind is AccessKind.WRITE else self._reads
         queue.append((req, event, bank, row))
-        self.request_intervals.record(self.sim.now)
+        now = self.sim.now
+        self.request_intervals.record(now)
         self._record_submit(req)
-        self._schedule_pump(0)
+        # Inlined _schedule_pump(0): submit is the hottest pump-arming site.
+        next_at = self._next_pump_at
+        if next_at is None or now < next_at:
+            self._next_pump_at = now
+            self.sim.schedule(0, self._pump, now)
         return event
 
     @property
@@ -95,145 +116,182 @@ class DRAMController:
 
     @staticmethod
     def _scan(queue, limit: int, now: int):
-        """Oldest ready entry and oldest ready row-hit in one window.
+        """Oldest ready entry, oldest ready row-hit, and next bank-free time.
 
         Queue position order *is* issue-time order (requests are appended at
         submit time), so the first ready entry found is the oldest — no sort
-        needed. Returns ``((pos, entry) or None)`` twice: (ready, hit).
+        needed. Returns ``(first_ready, first_hit, wake)`` where the first
+        two are ``(pos, entry)`` or ``None`` and ``wake`` is the earliest
+        ``busy_until > now`` among scanned busy banks (the next time this
+        window could make progress). ``wake`` is only complete when the scan
+        saw the whole window — i.e. whenever no row hit was found — which is
+        exactly the case the pump uses it in.
         """
         first_ready = None
+        wake = None
         pos = 0
         for entry in queue:
             if pos >= limit:
                 break
             bank = entry[2]
-            if bank.busy_until <= now:
+            busy_until = bank.busy_until
+            if busy_until <= now:
                 if first_ready is None:
                     first_ready = (pos, entry)
                 if bank.open_row == entry[3]:
-                    return first_ready, (pos, entry)
+                    return first_ready, (pos, entry), wake
+            elif wake is None or busy_until < wake:
+                wake = busy_until
             pos += 1
-        return first_ready, None
+        return first_ready, None, wake
 
-    def _pick(self, now: int) -> Optional[Tuple[bool, int, tuple]]:
-        """The next request to dispatch as (is_write, pos, entry), or None.
+    def _pick(self, now: int):
+        """The next dispatch as ((is_write, pos, entry) or None, wake).
 
         FR-FCFS prefers row hits (oldest first), then the oldest ready
         request; FIFO is strict arrival order. Reads beat writes at equal
-        age in both policies.
+        age in both policies. ``wake`` is the earliest visible bank-free
+        time, valid precisely when the choice is ``None`` (both windows
+        fully scanned), which lets the pump fold the old post-dispatch
+        wakeup re-scan into its final failing pick.
         """
-        cfg = self.config
-        read_ready, read_hit = self._scan(self._reads, cfg.read_window, now)
-        write_ready, write_hit = self._scan(self._writes, cfg.write_window, now)
-        if cfg.scheduler == "fifo" or (read_hit is None and write_hit is None):
+        reads = self._reads
+        writes = self._writes
+        # Single-occupant fast path: with one queued request there is no
+        # hit-vs-oldest arbitration — every policy picks it the moment its
+        # bank frees. This is the common case for the blocking CPU phases.
+        if not writes:
+            if len(reads) == 1:
+                entry = reads[0]
+                busy_until = entry[2].busy_until
+                if busy_until <= now:
+                    return (False, 0, entry), None
+                return None, busy_until
+        elif not reads and len(writes) == 1:
+            entry = writes[0]
+            busy_until = entry[2].busy_until
+            if busy_until <= now:
+                return (True, 0, entry), None
+            return None, busy_until
+        read_ready, read_hit, wake = self._scan(
+            self._reads, self._read_window, now)
+        write_ready, write_hit, wwake = self._scan(
+            self._writes, self._write_window, now)
+        if wwake is not None and (wake is None or wwake < wake):
+            wake = wwake
+        if self._fifo or (read_hit is None and write_hit is None):
             read, write = read_ready, write_ready
         else:
             read, write = read_hit, write_hit
         if read is None:
             if write is None:
-                return None
-            return (True,) + write
+                return None, wake
+            return (True,) + write, wake
         if write is None or read[1][0].issue_time <= write[1][0].issue_time:
-            return (False,) + read
-        return (True,) + write
+            return (False,) + read, wake
+        return (True,) + write, wake
 
-    def _pump(self) -> None:
-        if self._next_pump_at is not None and self._next_pump_at <= self.sim.now:
-            self._next_pump_at = None
+    def _pump(self, target: Optional[int] = None) -> None:
+        """Dispatch every ready request, then sleep until a bank frees.
+
+        Batch semantics: one wakeup drains all picks that are ready this
+        cycle (the while loop), so back-to-back hits to open rows issue
+        without intermediate event-queue round trips.
+
+        A wakeup whose ``target`` no longer matches ``_next_pump_at`` was
+        superseded by an earlier one. Such a pump can never dispatch: the
+        scheduler window only changes inside pumps, and every completed pump
+        re-arms the earliest useful wakeup for the window it left behind —
+        so the stale pump would scan the queues and find nothing. Returning
+        immediately skips that pointless scan without changing any
+        dispatch time.
+        """
+        if target is not None and target != self._next_pump_at:
+            return
+        self._next_pump_at = None
         now = self.sim.now
+        reads, writes = self._reads, self._writes
         while True:
-            choice = self._pick(now)
+            choice, wake = self._pick(now)
             if choice is None:
                 break
             is_write, pos, entry = choice
-            queue = self._writes if is_write else self._reads
-            del queue[pos]
+            del (writes if is_write else reads)[pos]
             self._dispatch(entry, now)
-        self._schedule_next_wakeup()
+        if reads or writes:
+            if wake is None:
+                # All visible banks are free but nothing was picked: cannot
+                # happen unless the window is empty; guard anyway.
+                wake = now + 1
+            self._schedule_pump(wake - now)
 
     def _dispatch(self, entry: tuple, now: int) -> None:
         req, event, bank, row = entry
-        cfg = self.config
-        if bank.open_row == row:
-            access_latency = cfg.t_cas
+        open_row = bank.open_row
+        if open_row == row:
+            access_latency = self._t_cas
         else:
-            if bank.open_row is None:
-                access_latency = cfg.t_rcd + cfg.t_cas
+            if open_row is None:
+                access_latency = self._t_rcd_cas
             else:
-                access_latency = cfg.t_rp + cfg.t_rcd + cfg.t_cas
+                access_latency = self._t_rp_rcd_cas
             # Respect the minimum row-cycle time before re-activating.
-            earliest_activate = bank.last_activate + cfg.t_ras
+            earliest_activate = bank.last_activate + self._t_ras
             if now < earliest_activate:
                 access_latency += earliest_activate - now
-            bank.last_activate = max(now, earliest_activate)
+                bank.last_activate = earliest_activate
+            else:
+                bank.last_activate = now
             bank.open_row = row
-            self.stats.inc("dram.activates")
-        transfer = max(1, -(-req.size // cfg.bus_bytes_per_cycle))
+            self._c_activates.value += 1
+        transfer = max(1, -(-req.size // self._bus_bpc))
         data_start = max(now + access_latency, self._bus_free_at)
         done = data_start + transfer
         self._bus_free_at = done
         bank.busy_until = done
         self._record_complete(req, done, transfer)
-        self.sim.at(done, event.trigger, done)
+        self.sim.schedule(done - now, event.trigger, done)
 
     def _schedule_pump(self, delay: int) -> None:
         """Schedule a pump, keeping only the earliest pending wakeup live.
 
-        Stale (later) pumps may still fire; ``_pump`` is idempotent so they
-        are harmless.
+        Stale (later) pumps still fire off the event queue but carry a
+        ``target`` that no longer matches ``_next_pump_at``, so ``_pump``
+        returns before scanning — a cheap no-op instead of a full window
+        scan per superseded wakeup.
         """
         target = self.sim.now + delay
         if self._next_pump_at is None or target < self._next_pump_at:
             self._next_pump_at = target
-            self.sim.schedule(delay, self._pump)
-
-    def _schedule_next_wakeup(self) -> None:
-        """After dispatching, wake when the earliest blocking bank frees."""
-        if not self._reads and not self._writes:
-            return
-        now = self.sim.now
-        cfg = self.config
-        wake = None
-        for queue, limit in ((self._reads, cfg.read_window),
-                             (self._writes, cfg.write_window)):
-            pos = 0
-            for entry in queue:
-                if pos >= limit:
-                    break
-                t = entry[2].busy_until
-                if t > now and (wake is None or t < wake):
-                    wake = t
-                pos += 1
-        if wake is None:
-            # All visible banks are free but nothing was picked: cannot
-            # happen unless the window is empty; guard anyway.
-            wake = now + 1
-        self._schedule_pump(wake - now)
+            self.sim.schedule(delay, self._pump, target)
 
     # -- statistics ----------------------------------------------------------
 
     def _record_submit(self, req: MemRequest) -> None:
-        keys = self._submit_keys.get((req.kind, req.source))
-        if keys is None:
+        counters = self._submit_counters.get((req.kind, req.source))
+        if counters is None:
             kind = "write" if req.kind is AccessKind.WRITE else (
                 "amo" if req.kind is AccessKind.AMO else "read"
             )
-            keys = (f"mem.requests.{req.source}", f"mem.{kind}s.{req.source}")
-            self._submit_keys[(req.kind, req.source)] = keys
-        self.stats.inc(keys[0])
-        self.stats.inc(keys[1])
+            counters = (
+                self.stats.counter(f"mem.requests.{req.source}"),
+                self.stats.counter(f"mem.{kind}s.{req.source}"),
+            )
+            self._submit_counters[(req.kind, req.source)] = counters
+        counters[0].value += 1
+        counters[1].value += 1
 
     def _record_complete(self, req: MemRequest, done: int, transfer: int) -> None:
         if req.kind is AccessKind.AMO:
             # A fetch-or both reads and writes its word.
-            self.stats.inc("dram.bytes_read", req.size)
-            self.stats.inc("dram.bytes_written", req.size)
+            self._c_bytes_read.value += req.size
+            self._c_bytes_written.value += req.size
         elif req.kind is AccessKind.WRITE:
-            self.stats.inc("dram.bytes_written", req.size)
+            self._c_bytes_written.value += req.size
         else:
-            self.stats.inc("dram.bytes_read", req.size)
+            self._c_bytes_read.value += req.size
         self.bandwidth.record(done, req.size, busy_cycles=transfer)
         trace = self.stats.trace
         if trace is not None:
-            trace.emit(self.sim.now, "req", req.source, req.kind.value,
-                       req.addr, req.size, req.issue_time, done)
+            trace.events.append((self.sim.now, "req", req.source, req.kind.value,
+                                 req.addr, req.size, req.issue_time, done))

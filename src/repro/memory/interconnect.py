@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Optional, Union
 
-from repro.engine.simulator import Event, Simulator
+from repro.engine.simulator import Simulator
 from repro.engine.stats import BandwidthTracker, StatsRegistry
 from repro.memory.cache import Cache
 from repro.memory.config import MemorySystemConfig
@@ -40,26 +40,37 @@ class TileLinkPort:
     """
 
     def __init__(self, target, source: str, validate: bool = True):
-        self.target = target  # anything with submit(MemRequest) -> Event
+        # ``target`` is anything with submit(MemRequest) -> Event/Completion.
+        # The port forwards the model's completion handle unchanged, so a
+        # fast-path Completion propagates to the requester by callback with
+        # no join process and no extra allocation at this layer.
+        self.target = target
         self.source = source
         self.validate = validate
 
-    def read(self, addr: int, size: int = 8) -> Event:
+    def read(self, addr: int, size: int = 8):
         return self._submit(addr, size, AccessKind.READ)
 
-    def write(self, addr: int, size: int = 8) -> Event:
+    def write(self, addr: int, size: int = 8):
         return self._submit(addr, size, AccessKind.WRITE)
 
-    def amo(self, addr: int, size: int = 8) -> Event:
+    def amo(self, addr: int, size: int = 8):
         return self._submit(addr, size, AccessKind.AMO)
 
-    def _submit(self, addr: int, size: int, kind: AccessKind) -> Event:
+    def _submit(self, addr: int, size: int, kind: AccessKind):
         req = MemRequest(addr=addr, size=size, kind=kind, source=self.source)
-        return self.submit(req)
+        # Inline the common legal-transfer case; delegate to
+        # validate_tilelink only to raise its detailed error.
+        if self.validate and (size & (size - 1) or size < 8 or size > 64
+                              or addr % size):
+            validate_tilelink(req)
+        return self.target.submit(req)
 
-    def submit(self, req: MemRequest) -> Event:
+    def submit(self, req: MemRequest):
         """Forward a pre-built request (keeps the request's own source)."""
-        if self.validate:
+        size = req.size
+        if self.validate and (size & (size - 1) or size < 8 or size > 64
+                              or req.addr % size):
             validate_tilelink(req)
         return self.target.submit(req)
 

@@ -42,11 +42,17 @@ class PhysicalMemory:
 
     def read_word(self, addr: int) -> int:
         """Read the 64-bit word at byte address ``addr``."""
-        return int(self.words[self._index(addr)])
+        # Checks inlined (``_index`` only re-run to raise its message):
+        # every functional access in a run goes through here.
+        if addr % WORD_BYTES or not 0 <= addr < self.size_bytes:
+            self._index(addr)
+        return int(self.words[addr // WORD_BYTES])
 
     def write_word(self, addr: int, value: int) -> None:
         """Write the 64-bit word at byte address ``addr``."""
-        self.words[self._index(addr)] = np.uint64(value & _U64_MASK)
+        if addr % WORD_BYTES or not 0 <= addr < self.size_bytes:
+            self._index(addr)
+        self.words[addr // WORD_BYTES] = np.uint64(value & _U64_MASK)
 
     # -- atomics (the marker's fetch-or / fetch-and, §IV-A) ---------------
 

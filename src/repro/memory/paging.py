@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.memory.config import WORD_BYTES
 from repro.memory.memimage import PhysicalMemory
 
@@ -131,11 +133,14 @@ class PageTable:
         """
         if nbytes % PAGE_SIZE:
             nbytes += PAGE_SIZE - nbytes % PAGE_SIZE
+        if not superpages:
+            self._map_linear_pages(vstart, pstart, nbytes)
+            return
         offset = 0
         while offset < nbytes:
             vaddr = vstart + offset
             paddr = pstart + offset
-            if (superpages and vaddr % SUPERPAGE_SIZE == 0
+            if (vaddr % SUPERPAGE_SIZE == 0
                     and paddr % SUPERPAGE_SIZE == 0
                     and nbytes - offset >= SUPERPAGE_SIZE):
                 self.map_superpage(vaddr, paddr)
@@ -143,6 +148,48 @@ class PageTable:
             else:
                 self.map_page(vaddr, paddr)
                 offset += PAGE_SIZE
+
+    def _map_linear_pages(self, vstart: int, pstart: int, nbytes: int) -> None:
+        """Bulk 4 KiB path for :meth:`map_linear`.
+
+        A linear range fills each level-0 table with consecutive leaf PTEs,
+        so the PTEs are written as one numpy slice per table (512 entries)
+        instead of one :meth:`map_page` walk per page. Produces bit-identical
+        tables: every heap construction linear-maps the whole physical space,
+        making this the dominant cost of building a ``ManagedHeap``.
+        """
+        if vstart % PAGE_SIZE or pstart % PAGE_SIZE:
+            raise ValueError("map_page requires page-aligned addresses")
+        words = self.mem.words
+        n_pages = nbytes // PAGE_SIZE
+        page = 0
+        while page < n_pages:
+            vaddr = vstart + page * PAGE_SIZE
+            indices = vpn_parts(vaddr)
+            table = self.root
+            for level in range(LEVELS - 1):
+                pte_addr = table + indices[level] * PTE_BYTES
+                pte = self.mem.read_word(pte_addr)
+                if pte & PTE_VALID:
+                    table = (pte >> PTE_PPN_SHIFT) * PAGE_SIZE
+                else:
+                    new_table = self._alloc_table()
+                    self.mem.write_word(
+                        pte_addr,
+                        ((new_table // PAGE_SIZE) << PTE_PPN_SHIFT) | PTE_VALID,
+                    )
+                    table = new_table
+            vpn0 = indices[2]
+            count = min(ENTRIES_PER_TABLE - vpn0, n_pages - page)
+            base_ppn = (pstart + page * PAGE_SIZE) // PAGE_SIZE
+            start = (table + vpn0 * PTE_BYTES) // WORD_BYTES
+            ppns = np.arange(base_ppn, base_ppn + count, dtype=np.uint64)
+            words[start:start + count] = (
+                (ppns << np.uint64(PTE_PPN_SHIFT))
+                | np.uint64(PTE_VALID | PTE_LEAF)
+            )
+            self.pages_mapped += count
+            page += count
 
     def unmap_page(self, vaddr: int) -> None:
         """Invalidate a leaf mapping (used by the relocating collector)."""

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.engine.simulator import Event, Simulator
+from repro.engine.simulator import Completion, Simulator, fastpath_enabled
 from repro.engine.stats import BandwidthTracker, IntervalTracker, StatsRegistry
 from repro.memory.config import PipeConfig
 from repro.memory.request import AccessKind, MemRequest
@@ -36,10 +36,18 @@ class LatencyBandwidthPipe:
         self.bandwidth = bandwidth if bandwidth is not None else BandwidthTracker("pipe")
         self.request_intervals = IntervalTracker("pipe.requests")
         self._bus_free_at = 0
-        self._submit_keys: dict = {}
+        self._submit_counters: dict = {}
+        self._c_bytes_read = self.stats.counter("dram.bytes_read")
+        self._c_bytes_written = self.stats.counter("dram.bytes_written")
+        self._fast = fastpath_enabled()
 
-    def submit(self, req: MemRequest) -> Event:
-        """Enqueue a request; the returned event triggers at completion."""
+    def submit(self, req: MemRequest):
+        """Enqueue a request; the returned handle completes at ``done``.
+
+        The pipe is never contended — the completion time is fully
+        determined at submit, so the fast path returns a :class:`Completion`
+        with zero queue insertions (a posted write costs nothing at all).
+        """
         req.issue_time = self.sim.now
         self.request_intervals.record(self.sim.now)
         self._record_submit(req)
@@ -47,8 +55,10 @@ class LatencyBandwidthPipe:
         start = max(self.sim.now, self._bus_free_at)
         self._bus_free_at = start + transfer
         done = start + transfer + self.config.latency
-        event = self.sim.event(name=f"pipe.{req.source}")
         self._record_complete(req, done, transfer)
+        if self._fast:
+            return Completion(self.sim, done, done)
+        event = self.sim.event(name=f"pipe.{req.source}")
         self.sim.at(done, event.trigger, done)
         return event
 
@@ -58,26 +68,30 @@ class LatencyBandwidthPipe:
         return 0
 
     def _record_submit(self, req: MemRequest) -> None:
-        keys = self._submit_keys.get((req.kind, req.source))
-        if keys is None:
+        counters = self._submit_counters.get((req.kind, req.source))
+        if counters is None:
             kind = "write" if req.kind is AccessKind.WRITE else (
                 "amo" if req.kind is AccessKind.AMO else "read"
             )
-            keys = (f"mem.requests.{req.source}", f"mem.{kind}s.{req.source}")
-            self._submit_keys[(req.kind, req.source)] = keys
-        self.stats.inc(keys[0])
-        self.stats.inc(keys[1])
+            counters = (
+                self.stats.counter(f"mem.requests.{req.source}"),
+                self.stats.counter(f"mem.{kind}s.{req.source}"),
+            )
+            self._submit_counters[(req.kind, req.source)] = counters
+        counters[0].value += 1
+        counters[1].value += 1
 
     def _record_complete(self, req: MemRequest, done: int, transfer: int) -> None:
         if req.kind is AccessKind.AMO:
-            self.stats.inc("dram.bytes_read", req.size)
-            self.stats.inc("dram.bytes_written", req.size)
+            self._c_bytes_read.value += req.size
+            self._c_bytes_written.value += req.size
         elif req.kind is AccessKind.WRITE:
-            self.stats.inc("dram.bytes_written", req.size)
+            self._c_bytes_written.value += req.size
         else:
-            self.stats.inc("dram.bytes_read", req.size)
+            self._c_bytes_read.value += req.size
         self.bandwidth.record(done, req.size, busy_cycles=transfer)
         trace = self.stats.trace
         if trace is not None:
-            trace.emit(self.sim.now, "req", req.source, req.kind.value,
-                       req.addr, req.size, req.issue_time, done)
+            trace.events.append((self.sim.now, "req", req.source,
+                                 req.kind.value, req.addr, req.size,
+                                 req.issue_time, done))

@@ -50,6 +50,8 @@ class PageTableWalker:
         self.max_concurrent = max_concurrent
         self._active = 0
         self._pending: Deque[Tuple[int, Event]] = deque()
+        self._c_walks = self.stats.counter("ptw.walks")
+        self._c_pte_reads = self.stats.counter("ptw.pte_reads")
 
     def walk(self, vaddr: int) -> Event:
         """Translate ``vaddr``; the event triggers with the physical address.
@@ -58,10 +60,10 @@ class PageTableWalker:
         """
         event = self.sim.event(name="ptw.walk")
         self._pending.append((vaddr, event))
-        self.stats.inc("ptw.walks")
+        self._c_walks.value += 1
         trace = self.stats.trace
         if trace is not None:
-            trace.emit(self.sim.now, "ptw", "walk", vaddr)
+            trace.events.append((self.sim.now, "ptw", "walk", vaddr))
         self._start_walks()
         return event
 
@@ -69,20 +71,45 @@ class PageTableWalker:
         while self._pending and self._active < self.max_concurrent:
             vaddr, event = self._pending.popleft()
             self._active += 1
-            self.sim.process(self._do_walk(vaddr, event), name="ptw")
+            # The zero-delay hop stands in for the Process-creation hop the
+            # generator-based walker used to pay, keeping bucket positions
+            # identical while skipping the generator and Process objects.
+            self.sim.schedule(0, self._begin_walk, vaddr, event)
 
-    def _do_walk(self, vaddr: int, event: Event):
+    def _begin_walk(self, vaddr: int, event: Event, _value=None) -> None:
+        """Run one walk as a callback chain over its dependent PTE reads.
+
+        Mirrors ``Process._step`` exactly: ready handles (``triggered``)
+        are consumed synchronously in the loop; pending ones resume through
+        ``add_callback``, whose delivery positions match a waiting process
+        hop for hop. Saves a generator + :class:`Process` per walk.
+        """
         pte_addrs = self.page_table.walk_addresses(vaddr)
-        for pte_addr in pte_addrs:
-            req = MemRequest(
-                addr=pte_addr, size=8, kind=AccessKind.READ, source=self.source
-            )
-            self.stats.inc("ptw.pte_reads")
-            yield self.port.submit(req)
-        paddr = self.page_table.translate(vaddr)
-        self._active -= 1
-        event.trigger(paddr)
-        self._start_walks()
+        n = len(pte_addrs)
+        state = [0]
+
+        def advance(_v=None) -> None:
+            while True:
+                i = state[0]
+                if i == n:
+                    paddr = self.page_table.translate(vaddr)
+                    self._active -= 1
+                    event.trigger(paddr)
+                    self._start_walks()
+                    return
+                state[0] = i + 1
+                req = MemRequest(
+                    addr=pte_addrs[i], size=8, kind=AccessKind.READ,
+                    source=self.source,
+                )
+                self._c_pte_reads.value += 1
+                handle = self.port.submit(req)
+                if handle.triggered:
+                    continue
+                handle.add_callback(advance)
+                return
+
+        advance()
 
     @property
     def queue_depth(self) -> int:

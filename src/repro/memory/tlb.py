@@ -15,7 +15,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Optional, Tuple
 
-from repro.engine.simulator import Event, Simulator
+from repro.engine.simulator import Completion, Event, Simulator, fastpath_enabled
 from repro.engine.stats import StatsRegistry
 from repro.memory.config import TLBConfig
 from repro.memory.paging import PAGE_SIZE, SUPERPAGE_SIZE
@@ -27,28 +27,33 @@ class _EntryStore:
 
     def __init__(self, entries: int):
         self.capacity = entries
-        # Keys: ("p", vpn) for pages, ("s", super-index) for superpages;
-        # values: base physical address of the page/superpage.
-        self._map: "OrderedDict[Tuple[str, int], int]" = OrderedDict()
+        # Keys are ints: ``vpn << 1`` for pages, ``(super_index << 1) | 1``
+        # for superpages (a bijective encoding of the old ("p"/"s", index)
+        # tuples — same entries, same LRU order, cheaper hashing); values:
+        # base physical address of the page/superpage.
+        self._map: "OrderedDict[int, int]" = OrderedDict()
 
     def lookup(self, vaddr: int) -> Optional[int]:
         """Physical address for vaddr, or None."""
-        super_key = ("s", vaddr // SUPERPAGE_SIZE)
-        if super_key in self._map:
-            self._map.move_to_end(super_key)
-            return self._map[super_key] + vaddr % SUPERPAGE_SIZE
-        page_key = ("p", vaddr // PAGE_SIZE)
-        if page_key in self._map:
-            self._map.move_to_end(page_key)
-            return self._map[page_key] + vaddr % PAGE_SIZE
+        entries = self._map
+        super_key = (vaddr // SUPERPAGE_SIZE) << 1 | 1
+        base = entries.get(super_key)
+        if base is not None:
+            entries.move_to_end(super_key)
+            return base + vaddr % SUPERPAGE_SIZE
+        page_key = (vaddr // PAGE_SIZE) << 1
+        base = entries.get(page_key)
+        if base is not None:
+            entries.move_to_end(page_key)
+            return base + vaddr % PAGE_SIZE
         return None
 
     def insert(self, vaddr: int, paddr: int, superpage: bool) -> None:
         if superpage:
-            key = ("s", vaddr // SUPERPAGE_SIZE)
+            key = (vaddr // SUPERPAGE_SIZE) << 1 | 1
             base = paddr - paddr % SUPERPAGE_SIZE
         else:
-            key = ("p", vaddr // PAGE_SIZE)
+            key = (vaddr // PAGE_SIZE) << 1
             base = paddr - paddr % PAGE_SIZE
         if key in self._map:
             self._map.move_to_end(key)
@@ -113,35 +118,51 @@ class TLB:
         self.l2 = l2
         self.stats = stats if stats is not None else StatsRegistry()
         self._store = _EntryStore(config.entries)
-        self._k_hits = f"tlb.{name}.hits"
-        self._k_misses = f"tlb.{name}.misses"
-        self._k_l2_hits = f"tlb.{name}.l2_hits"
+        self._c_hits = self.stats.counter(f"tlb.{name}.hits")
+        self._c_misses = self.stats.counter(f"tlb.{name}.misses")
+        self._c_l2_hits = self.stats.counter(f"tlb.{name}.l2_hits")
         self._ev_translate = f"{name}.translate"
+        self._fast = fastpath_enabled()
 
-    def translate(self, vaddr: int) -> Event:
-        """Translate a virtual address; event value is the physical address."""
-        event = Event(self.sim, name=self._ev_translate)
+    def translate(self, vaddr: int):
+        """Translate a virtual address; completes with the physical address.
+
+        L1 hits return a same-cycle :class:`Completion` (identical to the
+        legacy pre-triggered Event, minus the allocation); L2 hits return
+        one due after the L2 latency — a single queue insertion happens
+        only if the requester actually suspends on it.
+        """
         paddr = self._store.lookup(vaddr)
         trace = self.stats.trace
         if paddr is not None:
-            self.stats.inc(self._k_hits)
+            self._c_hits.value += 1
             if trace is not None:
-                trace.emit(self.sim.now, "tlb", self.name, "hit")
+                trace.events.append((self.sim.now, "tlb", self.name, "hit"))
+            if self._fast:
+                return Completion(self.sim, self.sim.now, paddr)
+            event = Event(self.sim, name=self._ev_translate)
             event.trigger(paddr)
             return event
-        self.stats.inc(self._k_misses)
+        self._c_misses.value += 1
         if trace is not None:
-            trace.emit(self.sim.now, "tlb", self.name, "miss")
+            trace.events.append((self.sim.now, "tlb", self.name, "miss"))
         if self.l2 is not None:
             l2_paddr = self.l2.lookup(vaddr)
             if l2_paddr is not None:
-                self.stats.inc(self._k_l2_hits)
+                self._c_l2_hits.value += 1
                 if trace is not None:
-                    trace.emit(self.sim.now, "tlb", self.name, "l2_hit")
+                    trace.events.append((self.sim.now, "tlb", self.name, "l2_hit"))
                 superpage = self.ptw.page_table.is_superpage(vaddr)
                 self._store.insert(vaddr, l2_paddr, superpage)
+                if self._fast:
+                    return Completion(
+                        self.sim, self.sim.now + self.l2.latency, l2_paddr
+                    )
+                event = Event(self.sim, name=self._ev_translate)
                 self.sim.schedule(self.l2.latency, event.trigger, l2_paddr)
                 return event
+
+        event = Event(self.sim, name=self._ev_translate)
 
         def _walked(walked_paddr: int) -> None:
             superpage = self.ptw.page_table.is_superpage(vaddr)

@@ -19,9 +19,10 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from types import GeneratorType
 from typing import Deque, Optional
 
-from repro.engine.simulator import Event, Simulator
+from repro.engine.simulator import Completion, Event, Simulator
 from repro.engine.stats import StatsRegistry
 from repro.memory.cache import Cache
 from repro.memory.config import CacheConfig, TLBConfig
@@ -80,10 +81,10 @@ class InOrderCPU:
                         l2=None, stats=self.stats)
         self._store_buffer: Deque[Event] = deque()
         self.instructions = 0
-        self._k_loads = f"cpu.{source}.loads"
-        self._k_stores = f"cpu.{source}.stores"
-        self._k_amos = f"cpu.{source}.amos"
-        self._k_mispredicts = f"cpu.{source}.mispredicts"
+        self._c_loads = self.stats.counter(f"cpu.{source}.loads")
+        self._c_stores = self.stats.counter(f"cpu.{source}.stores")
+        self._c_amos = self.stats.counter(f"cpu.{source}.amos")
+        self._c_mispredicts = self.stats.counter(f"cpu.{source}.mispredicts")
 
     # -- operation sub-routines (invoke with ``yield from``) -----------------
 
@@ -94,54 +95,116 @@ class InOrderCPU:
 
     def load(self, vaddr: int, size: int = 8):
         """Blocking load: translate, access the hierarchy, stall until data."""
-        self.instructions += 1
-        self.stats.inc(self._k_loads)
-        trace = self.stats.trace
-        if trace is not None:
-            trace.emit(self.sim.now, "cpu", "load", vaddr)
-        paddr = yield self.dtlb.translate(vaddr)
-        req = MemRequest(addr=paddr, size=size, kind=AccessKind.READ,
-                         source=self.source)
-        yield self.l1d.submit(req)
+        res = self.load_op(vaddr, size)
+        if res.__class__ is GeneratorType:
+            yield from res
+        else:
+            yield res
 
     def amo(self, vaddr: int, size: int = 8):
         """Atomic read-modify-write; blocking like a load."""
-        self.instructions += 1
-        self.stats.inc(self._k_amos)
-        trace = self.stats.trace
-        if trace is not None:
-            trace.emit(self.sim.now, "cpu", "amo", vaddr)
-        paddr = yield self.dtlb.translate(vaddr)
-        req = MemRequest(addr=paddr, size=size, kind=AccessKind.AMO,
-                         source=self.source)
-        yield self.l1d.submit(req)
+        res = self.amo_op(vaddr, size)
+        if res.__class__ is GeneratorType:
+            yield from res
+        else:
+            yield res
 
     def store(self, vaddr: int, size: int = 8):
         """Store through the store buffer; stalls only when the buffer fills."""
+        res = self.store_op(vaddr, size)
+        if res.__class__ is GeneratorType:
+            yield from res
+        else:
+            yield res
+
+    # -- flattened operation handles -----------------------------------------
+    #
+    # The ``*_op`` forms return *one thing for the caller to yield* — a
+    # memory handle (load/amo), an issue-slot int (store) — whenever the
+    # translation resolves this cycle, which is the overwhelmingly common
+    # case. That skips a generator allocation and a delegated send per
+    # operation. When the TLB must wait (or a store stalls), they fall back
+    # to a generator the caller drives with ``yield from``. Event-for-event
+    # identical to the classic generator forms: a same-cycle translation
+    # was consumed synchronously by the process send-loop there, producing
+    # no kernel events — here it is simply never yielded.
+
+    def load_op(self, vaddr: int, size: int = 8):
+        """Blocking load as a single yieldable handle (or a generator)."""
         self.instructions += 1
-        self.stats.inc(self._k_stores)
+        self._c_loads.value += 1
         trace = self.stats.trace
         if trace is not None:
-            trace.emit(self.sim.now, "cpu", "store", vaddr)
-        paddr = yield self.dtlb.translate(vaddr)
-        req = MemRequest(addr=paddr, size=size, kind=AccessKind.WRITE,
-                         source=self.source)
-        completion = self.l1d.submit(req)
-        self._store_buffer.append(completion)
-        while len(self._store_buffer) > self.config.store_buffer_entries:
-            oldest = self._store_buffer.popleft()
+            trace.events.append((self.sim.now, "cpu", "load", vaddr))
+        t = self.dtlb.translate(vaddr)
+        if t.__class__ is Completion and t.time <= self.sim.now:
+            return self.l1d.submit(MemRequest(
+                addr=t.value, size=size, kind=AccessKind.READ,
+                source=self.source))
+        return self._mem_slow(t, size, AccessKind.READ)
+
+    def amo_op(self, vaddr: int, size: int = 8):
+        """Atomic read-modify-write as a single yieldable handle."""
+        self.instructions += 1
+        self._c_amos.value += 1
+        trace = self.stats.trace
+        if trace is not None:
+            trace.events.append((self.sim.now, "cpu", "amo", vaddr))
+        t = self.dtlb.translate(vaddr)
+        if t.__class__ is Completion and t.time <= self.sim.now:
+            return self.l1d.submit(MemRequest(
+                addr=t.value, size=size, kind=AccessKind.AMO,
+                source=self.source))
+        return self._mem_slow(t, size, AccessKind.AMO)
+
+    def store_op(self, vaddr: int, size: int = 8):
+        """Buffered store; returns the issue-slot ``1`` or a stall generator."""
+        self.instructions += 1
+        self._c_stores.value += 1
+        trace = self.stats.trace
+        if trace is not None:
+            trace.events.append((self.sim.now, "cpu", "store", vaddr))
+        t = self.dtlb.translate(vaddr)
+        if t.__class__ is Completion and t.time <= self.sim.now:
+            buf = self._store_buffer
+            buf.append(self.l1d.submit(MemRequest(
+                addr=t.value, size=size, kind=AccessKind.WRITE,
+                source=self.source)))
+            if len(buf) <= self.config.store_buffer_entries:
+                # Drop already-retired stores from the front.
+                while buf and buf[0].triggered:
+                    buf.popleft()
+                return 1  # issue slot
+            return self._store_stall()
+        return self._store_slow(t, size)
+
+    def _mem_slow(self, t, size: int, kind: AccessKind):
+        paddr = yield t
+        yield self.l1d.submit(MemRequest(addr=paddr, size=size, kind=kind,
+                                         source=self.source))
+
+    def _store_slow(self, t, size: int):
+        paddr = yield t
+        self._store_buffer.append(self.l1d.submit(MemRequest(
+            addr=paddr, size=size, kind=AccessKind.WRITE, source=self.source)))
+        yield from self._store_stall()
+
+    def _store_stall(self):
+        buf = self._store_buffer
+        while len(buf) > self.config.store_buffer_entries:
+            oldest = buf.popleft()
             if not oldest.triggered:
                 yield oldest
         # Drop already-retired stores from the front.
-        while self._store_buffer and self._store_buffer[0].triggered:
-            self._store_buffer.popleft()
+        while buf and buf[0].triggered:
+            buf.popleft()
         yield 1  # issue slot
 
     def branch(self, mispredicted: bool):
         """A conditional branch; mispredicts flush the short Rocket pipeline."""
         self.instructions += 1
         if mispredicted:
-            self.stats.inc(self._k_mispredicts)
+            self._c_mispredicts.value += 1
             yield self.config.branch_mispredict_penalty
         else:
             yield 1

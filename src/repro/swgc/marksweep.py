@@ -16,6 +16,7 @@ is incidental.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from types import GeneratorType
 from typing import Dict, Optional
 
 from repro.engine.simulator import Simulator
@@ -113,120 +114,284 @@ class SoftwareCollector:
     # -- phases ---------------------------------------------------------------
 
     def mark_process(self, counters: Dict[str, int]):
-        """The compiled mark loop: BFS with header read-modify-writes."""
+        """The compiled mark loop: BFS with header read-modify-writes.
+
+        This is the hottest generator in the software collector, so the
+        fixed-cost sub-routines (``exec_ops``, ``branch``) are inlined and
+        accumulated into a ``lag`` of pending delay cycles — memory ops use
+        the flattened ``load_op``/``store_op`` handles (one yield in the
+        common case, generator fallback on TLB misses and stalls), and the
+        per-iteration attribute chains (``mem.read_word``, address
+        translation) are hoisted to locals. Instruction accounting is
+        batched into ``cpu.instructions`` at exit.
+
+        The ``lag`` protocol: between two memory operations this process is
+        the only actor observing its own intermediate wakeups, so every run
+        of pure-delay yields (loop overhead, decode, branch outcome) is
+        coalesced into a single ``yield lag`` flushed immediately before
+        the next side-effectful call. Store issue slots are still yielded
+        directly: the fast-path-off store generator yields its own slot, so
+        folding the fast path's slot into ``lag`` would make the two modes
+        insert their wakeups at different event-queue positions (an
+        intra-cycle trace-order divergence). Each memory op is
+        therefore invoked at exactly the legacy cycle — issue times, cycle
+        counts, and trace records are bit-identical — while the kernel
+        processes one wakeup where it used to process several.
+        """
         heap = self.heap
         mem = heap.mem
         cpu = self.cpu
         parity = heap.mark_parity
         predictor = _MajorityPredictor()
+        mispredicted = predictor.mispredicted
         head = 0
         tail = 0
 
-        # Enqueue the roots (reads from hwgc-space, writes to the queue).
-        yield from cpu.load(heap.to_virtual(heap.roots.base))
-        n_roots = heap.roots.count
-        for i in range(n_roots):
-            root_paddr = heap.roots.base + WORD_BYTES * (1 + i)
-            yield from cpu.load(heap.to_virtual(root_paddr))
-            ref = mem.read_word(root_paddr)
-            if ref == 0:
-                continue
-            slot = self._queue_slot_vaddr(tail)
-            mem.write_word(heap.to_physical(slot), ref)
-            yield from cpu.store(slot)
-            tail += 1
+        load_op = cpu.load_op
+        store_op = cpu.store_op
+        gen = GeneratorType
+        read_word = mem.read_word
+        write_word = mem.write_word
+        to_physical = heap.to_physical
+        queue_slot_vaddr = self._queue_slot_vaddr
+        queue_capacity = self._queue_capacity
+        c_mispredicts = cpu._c_mispredicts
+        penalty = cpu.config.branch_mispredict_penalty
+        conventional = self.layout == "conventional"
+        word_bytes = WORD_BYTES
+        insns = 0  # inlined exec/branch instruction count, flushed at exit
+        lag = 0  # pending pure-delay cycles, flushed before the next op
 
-        peak = tail - head
-        while head < tail:
-            yield from cpu.exec_ops(_MARK_LOOP_OVERHEAD)
-            slot = self._queue_slot_vaddr(head)
-            yield from cpu.load(slot)
-            ref = mem.read_word(heap.to_physical(slot))
-            head += 1
-
-            # Dependent header load, then the branch the paper calls out:
-            # "the outcome of the mark operation determines whether or not
-            # references need to be copied" (§IV-A).
-            yield from cpu.load(ref)
-            status_paddr = heap.to_physical(ref)
-            status = mem.read_word(status_paddr)
-            already = header_is_marked(status, parity)
-            yield from cpu.exec_ops(_MARK_DECODE_OVERHEAD)
-            yield from cpu.branch(predictor.mispredicted(not already))
-            if already:
-                continue
-
-            # Mark: store the updated header word.
-            mem.write_word(status_paddr, header_with_mark(status, parity))
-            yield from cpu.store(ref)
-            counters["objects_marked"] += 1
-
-            n_refs, _is_array = decode_refcount(status)
-            if self.layout == "conventional" and n_refs > 0:
-                # Fig. 6a: load the TIB pointer, then the TIB's offset list.
-                # Few distinct TIBs exist, so these mostly hit in the cache
-                # ("most TIBs are in the cache", §IV-A).
-                tib_base = heap.to_virtual(heap.plan.immortal.pstart)
-                tib_vaddr = tib_base + (n_refs % 32) * 64
-                yield from cpu.load(tib_vaddr)
-                yield from cpu.load(tib_vaddr + WORD_BYTES)
-            # Walk the reference section (unit-stride, below the header).
-            for i in range(n_refs):
-                field_vaddr = ref - WORD_BYTES * (n_refs - i)
-                yield from cpu.load(field_vaddr)
-                target = mem.read_word(heap.to_physical(field_vaddr))
-                yield from cpu.exec_ops(_PUSH_OVERHEAD)
-                if target == 0:
+        try:
+            # Enqueue the roots (reads from hwgc-space, writes to the queue).
+            h = load_op(heap.to_virtual(heap.roots.base))
+            if h.__class__ is gen:
+                yield from h
+            else:
+                yield h
+            n_roots = heap.roots.count
+            for i in range(n_roots):
+                root_paddr = heap.roots.base + word_bytes * (1 + i)
+                if lag:
+                    yield lag
+                    lag = 0
+                h = load_op(heap.to_virtual(root_paddr))
+                if h.__class__ is gen:
+                    yield from h
+                else:
+                    yield h
+                ref = read_word(root_paddr)
+                if ref == 0:
                     continue
-                if tail - head >= self._queue_capacity:
-                    raise MemoryError("software mark queue overflow")
-                slot = self._queue_slot_vaddr(tail)
-                mem.write_word(heap.to_physical(slot), target)
-                yield from cpu.store(slot)
+                slot = queue_slot_vaddr(tail)
+                write_word(to_physical(slot), ref)
+                h = store_op(slot)
+                if h.__class__ is gen:
+                    yield from h
+                else:
+                    yield h
                 tail += 1
-                if tail - head > peak:
-                    peak = tail - head
-        yield from cpu.drain_stores()
-        counters["queue_peak"] = peak
+
+            peak = tail - head
+            while head < tail:
+                insns += _MARK_LOOP_OVERHEAD
+                slot = queue_slot_vaddr(head)
+                yield lag + _MARK_LOOP_OVERHEAD
+                lag = 0
+                h = load_op(slot)
+                if h.__class__ is gen:
+                    yield from h
+                else:
+                    yield h
+                ref = read_word(to_physical(slot))
+                head += 1
+
+                # Dependent header load, then the branch the paper calls
+                # out: "the outcome of the mark operation determines whether
+                # or not references need to be copied" (§IV-A).
+                h = load_op(ref)
+                if h.__class__ is gen:
+                    yield from h
+                else:
+                    yield h
+                status_paddr = to_physical(ref)
+                status = read_word(status_paddr)
+                already = header_is_marked(status, parity)
+                insns += _MARK_DECODE_OVERHEAD + 1
+                lag += _MARK_DECODE_OVERHEAD
+                if mispredicted(not already):
+                    c_mispredicts.value += 1
+                    lag += penalty
+                else:
+                    lag += 1
+                if already:
+                    continue
+
+                # Mark: store the updated header word.
+                yield lag
+                lag = 0
+                write_word(status_paddr, header_with_mark(status, parity))
+                h = store_op(ref)
+                if h.__class__ is gen:
+                    yield from h
+                else:
+                    yield h
+                counters["objects_marked"] += 1
+
+                n_refs, _is_array = decode_refcount(status)
+                if conventional and n_refs > 0:
+                    # Fig. 6a: load the TIB pointer, then the TIB's offset
+                    # list. Few distinct TIBs exist, so these mostly hit in
+                    # the cache ("most TIBs are in the cache", §IV-A).
+                    tib_base = heap.to_virtual(heap.plan.immortal.pstart)
+                    tib_vaddr = tib_base + (n_refs % 32) * 64
+                    if lag:
+                        yield lag
+                        lag = 0
+                    h = load_op(tib_vaddr)
+                    if h.__class__ is gen:
+                        yield from h
+                    else:
+                        yield h
+                    h = load_op(tib_vaddr + word_bytes)
+                    if h.__class__ is gen:
+                        yield from h
+                    else:
+                        yield h
+                # Walk the reference section (unit-stride, below the header).
+                for i in range(n_refs):
+                    field_vaddr = ref - word_bytes * (n_refs - i)
+                    if lag:
+                        yield lag
+                        lag = 0
+                    h = load_op(field_vaddr)
+                    if h.__class__ is gen:
+                        yield from h
+                    else:
+                        yield h
+                    target = read_word(to_physical(field_vaddr))
+                    insns += _PUSH_OVERHEAD
+                    lag += _PUSH_OVERHEAD
+                    if target == 0:
+                        continue
+                    if tail - head >= queue_capacity:
+                        raise MemoryError("software mark queue overflow")
+                    slot = queue_slot_vaddr(tail)
+                    write_word(to_physical(slot), target)
+                    yield lag
+                    lag = 0
+                    h = store_op(slot)
+                    if h.__class__ is gen:
+                        yield from h
+                    else:
+                        yield h
+                    tail += 1
+                    if tail - head > peak:
+                        peak = tail - head
+            if lag:
+                yield lag
+                lag = 0
+            yield from cpu.drain_stores()
+            counters["queue_peak"] = peak
+        finally:
+            cpu.instructions += insns
 
     def sweep_process(self, counters: Dict[str, int]):
-        """The compiled sweep loop over the global block list (§V-D)."""
+        """The compiled sweep loop over the global block list (§V-D).
+
+        Hot-loop shape mirrors :meth:`mark_process`: fixed-cost sub-routines
+        accumulate into the pending-delay ``lag`` (flushed right before the
+        next memory op), per-cell attribute chains are hoisted. The
+        liveness branch is always correctly predicted (one cycle of lag).
+        """
         heap = self.heap
         mem = heap.mem
         cpu = self.cpu
         parity = heap.mark_parity
         n_blocks = heap.block_list.count
-        for block_index in range(n_blocks):
-            yield from cpu.exec_ops(_SWEEP_BLOCK_OVERHEAD)
-            desc_paddr = heap.block_list.descriptor_addr(block_index)
-            yield from cpu.load(heap.to_virtual(desc_paddr), size=32)
-            desc = heap.block_list.read(block_index)
-            free_head = 0
-            for cell_i in range(desc.n_cells):
-                cell_vaddr = desc.base_vaddr + cell_i * desc.cell_bytes
-                cell_paddr = heap.to_physical(cell_vaddr)
-                yield from cpu.exec_ops(_SWEEP_CELL_OVERHEAD)
-                yield from cpu.load(cell_vaddr)
-                first_word = mem.read_word(cell_paddr)
-                if scan_word_is_object(first_word):
-                    n_refs, _ = decode_refcount(first_word)
-                    status_vaddr = cell_vaddr + WORD_BYTES * (1 + n_refs)
-                    yield from cpu.load(status_vaddr)
-                    status = mem.read_word(heap.to_physical(status_vaddr))
-                    live = header_is_marked(status, parity)
-                    yield from cpu.branch(False)
-                    if live:
-                        counters["cells_live"] += 1
-                        continue
-                    counters["cells_freed"] += 1
-                # Dead object or already-free cell: (re)link onto the list.
-                mem.write_word(cell_paddr, free_head)
-                yield from cpu.store(cell_vaddr)
-                free_head = cell_vaddr
-            head_paddr = desc_paddr + 3 * WORD_BYTES
-            mem.write_word(head_paddr, free_head)
-            yield from cpu.store(heap.to_virtual(head_paddr))
-        yield from cpu.drain_stores()
+
+        load_op = cpu.load_op
+        store_op = cpu.store_op
+        gen = GeneratorType
+        read_word = mem.read_word
+        write_word = mem.write_word
+        to_physical = heap.to_physical
+        word_bytes = WORD_BYTES
+        insns = 0
+        lag = 0  # pending pure-delay cycles, flushed before the next op
+
+        try:
+            for block_index in range(n_blocks):
+                insns += _SWEEP_BLOCK_OVERHEAD
+                desc_paddr = heap.block_list.descriptor_addr(block_index)
+                yield lag + _SWEEP_BLOCK_OVERHEAD
+                lag = 0
+                h = load_op(heap.to_virtual(desc_paddr), size=32)
+                if h.__class__ is gen:
+                    yield from h
+                else:
+                    yield h
+                desc = heap.block_list.read(block_index)
+                free_head = 0
+                cell_vaddr = desc.base_vaddr
+                cell_bytes = desc.cell_bytes
+                for cell_i in range(desc.n_cells):
+                    cell_paddr = to_physical(cell_vaddr)
+                    insns += _SWEEP_CELL_OVERHEAD
+                    yield lag + _SWEEP_CELL_OVERHEAD
+                    lag = 0
+                    h = load_op(cell_vaddr)
+                    if h.__class__ is gen:
+                        yield from h
+                    else:
+                        yield h
+                    first_word = read_word(cell_paddr)
+                    if scan_word_is_object(first_word):
+                        n_refs, _ = decode_refcount(first_word)
+                        status_vaddr = cell_vaddr + word_bytes * (1 + n_refs)
+                        h = load_op(status_vaddr)
+                        if h.__class__ is gen:
+                            yield from h
+                        else:
+                            yield h
+                        status = read_word(to_physical(status_vaddr))
+                        live = header_is_marked(status, parity)
+                        insns += 1
+                        lag += 1  # correctly-predicted liveness branch
+                        if live:
+                            counters["cells_live"] += 1
+                            cell_vaddr += cell_bytes
+                            continue
+                        counters["cells_freed"] += 1
+                    # Dead object or already-free cell: (re)link onto the
+                    # list.
+                    if lag:
+                        yield lag
+                        lag = 0
+                    write_word(cell_paddr, free_head)
+                    h = store_op(cell_vaddr)
+                    if h.__class__ is gen:
+                        yield from h
+                    else:
+                        yield h
+                    free_head = cell_vaddr
+                    cell_vaddr += cell_bytes
+                head_paddr = desc_paddr + 3 * word_bytes
+                if lag:
+                    yield lag
+                    lag = 0
+                write_word(head_paddr, free_head)
+                h = store_op(heap.to_virtual(head_paddr))
+                if h.__class__ is gen:
+                    yield from h
+                else:
+                    yield h
+            if lag:
+                yield lag
+                lag = 0
+            yield from cpu.drain_stores()
+        finally:
+            cpu.instructions += insns
 
     # -- driver -----------------------------------------------------------------
 

@@ -128,6 +128,16 @@ class HeapGraphBuilder:
             statics.append(heap.new_object(rng.randint(2, 4), 1,
                                            space="immortal"))
 
+        # Allocation is complete: build the SoA layout sidecar once and bind
+        # it to every view, so the wiring below (n_refs reads and set_ref
+        # writes, several per object) runs on flat-array lookups instead of
+        # re-decoding status words from memory.
+        meta = heap.metadata()
+        for v in views:
+            v.attach_meta(meta)
+        for s in statics:
+            s.attach_meta(meta)
+
         # 4. Partition into live / garbage.
         indices = list(range(len(views)))
         rng.shuffle(indices)

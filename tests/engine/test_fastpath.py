@@ -1,0 +1,192 @@
+"""Completion semantics and the inline fast-path identity guarantee.
+
+The zero-allocation fast paths (cache/TLB hits, queue handshakes, pipe
+transfers) replace the ``Event`` + ``schedule(latency, event.trigger)``
+idiom with a pre-resolved :class:`Completion`. Correctness hinges on two
+properties, both pinned here:
+
+* **Protocol equivalence** — a Completion observed through ``triggered``/
+  ``value``/``add_callback``/``yield`` behaves exactly like the Event it
+  replaces, including *where inside a cycle* its delivery lands
+  (hop-preserving delivery).
+* **Identity** — running the same workload with ``REPRO_FASTPATH`` on and
+  off produces bit-identical cycle counts, marked sets, and event counts.
+"""
+
+import pytest
+
+from repro.engine.simulator import (
+    Completion,
+    Event,
+    Simulator,
+    fastpath_enabled,
+)
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestFastpathSwitch:
+    @pytest.mark.parametrize("raw", ["0", "off", "no", "false", "OFF", " 0 "])
+    def test_disabled_values(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_FASTPATH", raw)
+        assert not fastpath_enabled()
+
+    @pytest.mark.parametrize("raw", ["1", "on", "yes", "anything"])
+    def test_enabled_values(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_FASTPATH", raw)
+        assert fastpath_enabled()
+
+    def test_default_is_enabled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FASTPATH", raising=False)
+        assert fastpath_enabled()
+
+
+class TestCompletionSemantics:
+    def test_triggered_follows_the_clock(self, sim):
+        c = Completion(sim, sim.now + 5, "data")
+        assert not c.triggered
+        sim.run_until(sim.process(self._sleep(4)))
+        assert not c.triggered
+        sim.run_until(sim.process(self._sleep(1)))
+        assert c.triggered
+        assert c.value == "data"
+
+    @staticmethod
+    def _sleep(cycles):
+        yield cycles
+
+    def test_creation_schedules_nothing(self, sim):
+        before = sim.events_processed
+        Completion(sim, sim.now + 100, None)
+        sim.run()
+        assert sim.events_processed == before
+
+    def test_ready_completion_consumed_synchronously(self, sim):
+        log = []
+
+        def proc():
+            value = yield Completion(sim, sim.now, 42)
+            log.append((sim.now, value))
+            yield 1
+            log.append((sim.now, "after"))
+
+        sim.run_until(sim.process(proc()))
+        assert log == [(0, 42), (1, "after")]
+
+    def test_pending_completion_resumes_at_its_time(self, sim):
+        log = []
+
+        def proc():
+            value = yield Completion(sim, sim.now + 7, "late")
+            log.append((sim.now, value))
+
+        sim.run_until(sim.process(proc()))
+        assert log == [(7, "late")]
+
+    def test_callback_on_ready_completion_runs_this_cycle(self, sim):
+        log = []
+
+        def proc():
+            yield 3
+            Completion(sim, sim.now - 1, "v").add_callback(
+                lambda v: log.append((sim.now, v)))
+            yield 1
+
+        sim.run_until(sim.process(proc()))
+        assert log == [(3, "v")]
+
+    def test_hop_preserving_delivery_order(self, sim):
+        """A pending Completion lands at the same intra-cycle position as
+        the legacy ``schedule(latency, event.trigger)`` idiom it replaces.
+
+        Both are armed at cycle 0 for cycle 5, legacy first. The legacy
+        event's trigger fires first in the bucket and its waiter hop is
+        appended; the Completion's ``_deliver`` runs second and appends its
+        hop after — so waiters resume in arming order, not in reverse.
+        """
+        order = []
+
+        def wait(handle, tag):
+            value = yield handle
+            order.append((tag, sim.now, value))
+
+        legacy = Event(sim, name="legacy")
+        sim.schedule(5, legacy.trigger, "ev")
+        fast = Completion(sim, 5, "cp")
+        sim.process(wait(legacy, "legacy"))
+        sim.process(wait(fast, "fast"))
+        sim.run()
+        assert order == [("legacy", 5, "ev"), ("fast", 5, "cp")]
+
+    def test_mixed_arming_delivery_positions(self, sim):
+        """Deliveries land where each was *scheduled into the bucket*.
+
+        The Event's trigger enters bucket 4 at arming time (cycle 0, before
+        any waiter suspends); each pending Completion's delivery enters when
+        its waiter suspends on it. So the Event's waiter resumes first even
+        though its Completion-waiting peers were created earlier — the same
+        positions the legacy ``schedule(latency, event.trigger)`` idiom
+        produces, which is what keeps mixed fast/slow traffic bit-identical.
+        """
+        order = []
+
+        def wait(handle, tag):
+            yield handle
+            order.append(tag)
+
+        first = Completion(sim, 4, None)
+        second = Event(sim, name="second")
+        sim.schedule(4, second.trigger, None)
+        third = Completion(sim, 4, None)
+        for tag, handle in [("a", first), ("b", second), ("c", third)]:
+            sim.process(wait(handle, tag))
+        sim.run()
+        assert order == ["b", "a", "c"]
+
+
+class TestOnOffIdentity:
+    """The same workload must be bit-identical with fast paths disabled."""
+
+    @staticmethod
+    def _run_gc(n_objects, seed):
+        from repro.core.unit import GCUnit
+        from repro.swgc import SoftwareCollector
+        from tests.conftest import make_random_heap
+
+        heap, _views = make_random_heap(n_objects=n_objects, seed=seed)
+        checkpoint = heap.checkpoint()
+        sw = SoftwareCollector(heap).collect()
+        parity = heap.mark_parity
+        marked = frozenset(
+            a for a in heap.objects if heap.view(a).is_marked(parity))
+        sw_events = heap.sim.events_processed
+        heap.restore(checkpoint)
+        hw = GCUnit(heap).collect()
+        timing = (
+            sw.mark_cycles, sw.sweep_cycles, sw.objects_marked,
+            hw.mark_cycles, hw.sweep_cycles, hw.objects_marked, marked,
+        )
+        return timing, (sw_events, heap.sim.events_processed)
+
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_gc_identical_on_and_off(self, monkeypatch, seed):
+        """Cycle counts and marked sets match; the fast path may only
+        *reduce* kernel events, never change simulated time."""
+        monkeypatch.setenv("REPRO_FASTPATH", "1")
+        with_fast, fast_events = self._run_gc(220, seed)
+        monkeypatch.setenv("REPRO_FASTPATH", "0")
+        without, slow_events = self._run_gc(220, seed)
+        assert with_fast == without
+        assert fast_events[0] <= slow_events[0]
+        assert fast_events[1] <= slow_events[1]
+
+    def test_cross_kernel_with_fastpath_off(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FASTPATH", "0")
+        monkeypatch.setenv("REPRO_ENGINE", "bucket")
+        bucket = self._run_gc(150, 1)
+        monkeypatch.setenv("REPRO_ENGINE", "heapq")
+        heapq_run = self._run_gc(150, 1)
+        assert bucket == heapq_run

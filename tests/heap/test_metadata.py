@@ -1,0 +1,180 @@
+"""HeapMetadata (SoA sidecar) vs ObjectView ground truth.
+
+The sidecar is a pure cache of immutable layout facts: every answer it
+gives must equal what a meta-less :class:`ObjectView` computes by decoding
+the status word from memory. These tests compare the two for generated and
+hand-built heaps, exercise the mutable-mark-bit rule (liveness always reads
+live memory), the untracked-address fallback in :meth:`HeapMetadata.
+reachable`, and the invalidation points on :class:`ManagedHeap`.
+"""
+
+import pytest
+
+from repro.heap.header import MARK_BIT
+from repro.heap.heapimage import ManagedHeap
+from repro.heap.metadata import HeapMetadata
+from repro.heap.objectmodel import ObjectView
+from repro.memory.config import WORD_BYTES
+from repro.memory.paging import VIRT_OFFSET
+from repro.workloads.graphgen import HeapGraphBuilder
+from repro.workloads.profiles import DACAPO_PROFILES
+
+from tests.conftest import make_random_heap
+
+
+def raw_view(heap, addr):
+    """An ObjectView with no sidecar attached: the decoding ground truth."""
+    return ObjectView(heap.mem, addr, VIRT_OFFSET, meta=None)
+
+
+@pytest.fixture(params=["random", "profile"])
+def populated_heap(request):
+    if request.param == "random":
+        heap, _views = make_random_heap(n_objects=300, seed=7)
+        return heap
+    return HeapGraphBuilder(
+        DACAPO_PROFILES["avrora"], scale=0.008, seed=11
+    ).build().heap
+
+
+class TestColumnsMatchViews:
+    def test_every_object_indexed_once(self, populated_heap):
+        heap = populated_heap
+        meta = heap.metadata()
+        assert set(meta.index) == set(heap.objects)
+        assert len(meta) == len(set(heap.objects))
+        slots = sorted(meta.index.values())
+        assert slots == list(range(len(meta)))
+
+    def test_layout_columns(self, populated_heap):
+        heap = populated_heap
+        meta = heap.metadata()
+        for addr in heap.objects:
+            view = raw_view(heap, addr)
+            i = meta.index[addr]
+            assert meta.n_refs[i] == view.n_refs
+            assert meta.is_array[i] == view.is_array
+            assert meta.status_index[i] * WORD_BYTES == view.status_paddr
+            assert meta.header_word[i] == view.status_word
+            assert meta.ref_base_index[i] == (
+                view.status_paddr - WORD_BYTES * view.n_refs) // WORD_BYTES
+
+    def test_ref_accessors(self, populated_heap):
+        heap = populated_heap
+        meta = heap.metadata()
+        for addr in heap.objects:
+            view = raw_view(heap, addr)
+            assert meta.refs(addr) == view.refs()
+            assert meta.ref_slot_paddrs(addr) == [
+                view.ref_paddr(k) for k in range(view.n_refs)
+            ]
+
+    def test_attached_view_agrees_with_raw_view(self, populated_heap):
+        heap = populated_heap
+        heap.metadata()  # build + cache, so heap.view attaches it
+        for addr in heap.objects:
+            attached = heap.view(addr)
+            assert attached._slot is not None
+            raw = raw_view(heap, addr)
+            assert attached.n_refs == raw.n_refs
+            assert attached.is_array == raw.is_array
+            assert attached.refs() == raw.refs()
+            for k in range(raw.n_refs):
+                assert attached.ref_paddr(k) == raw.ref_paddr(k)
+                assert attached.get_ref(k) == raw.get_ref(k)
+
+
+class TestMutableState:
+    def test_mark_bit_reads_live_memory(self):
+        heap, _views = make_random_heap(n_objects=40, seed=3)
+        meta = heap.metadata()
+        addr = heap.objects[0]
+        view = raw_view(heap, addr)
+        for parity in (0, 1):
+            assert meta.is_marked(addr, parity) == view.is_marked(parity)
+        # Flip the mark bit behind the sidecar's back: it must see the
+        # change (mark state is mutable; only layout is cached).
+        paddr = addr - VIRT_OFFSET
+        heap.mem.write_word(paddr, heap.mem.read_word(paddr) ^ MARK_BIT)
+        for parity in (0, 1):
+            assert meta.is_marked(addr, parity) == view.is_marked(parity)
+
+    def test_set_ref_through_sidecar_is_visible_raw(self):
+        heap = ManagedHeap()
+        a = heap.new_object(2)
+        b = heap.new_object(0)
+        heap.metadata()
+        attached = heap.view(a.addr)
+        attached.set_ref(1, b.addr)
+        assert raw_view(heap, a.addr).get_ref(1) == b.addr
+        assert attached.get_ref(0) == 0
+
+    def test_ref_index_bounds_checked(self):
+        heap = ManagedHeap()
+        a = heap.new_object(1)
+        heap.metadata()
+        attached = heap.view(a.addr)
+        with pytest.raises(IndexError):
+            attached.get_ref(1)
+        with pytest.raises(IndexError):
+            attached.ref_paddr(-1)
+        with pytest.raises(IndexError):
+            attached.set_ref(5, 0)
+
+
+class TestReachable:
+    def test_matches_view_bfs(self, populated_heap):
+        heap = populated_heap
+        roots = heap.roots.read_all()
+        expected = set()
+        frontier = [r for r in roots if r]
+        while frontier:
+            addr = frontier.pop()
+            if addr in expected:
+                continue
+            expected.add(addr)
+            frontier.extend(raw_view(heap, addr).refs())
+        assert heap.metadata().reachable(roots) == expected
+        assert heap.reachable() == expected
+
+    def test_untracked_address_falls_back_to_memory_decode(self):
+        heap, _views = make_random_heap(n_objects=60, seed=5, root_count=6)
+        full = heap.metadata().reachable(heap.roots.read_all())
+        # Rebuild the sidecar with some tracked objects missing: the BFS
+        # must decode those from memory and still find the same set.
+        partial_meta = HeapMetadata(
+            heap.mem, heap.objects[::2], VIRT_OFFSET
+        )
+        assert partial_meta.reachable(heap.roots.read_all()) == full
+
+    def test_null_and_duplicate_roots(self):
+        heap = ManagedHeap()
+        a = heap.new_object(1)
+        b = heap.new_object(0)
+        a.set_ref(0, b.addr)
+        heap.set_roots([0, a.addr, a.addr, 0, b.addr])
+        assert heap.metadata().reachable([0, a.addr, a.addr, 0, b.addr]) \
+            == {a.addr, b.addr}
+
+
+class TestInvalidation:
+    def test_allocation_drops_cached_sidecar(self):
+        heap = ManagedHeap()
+        heap.new_object(1)
+        first = heap.metadata()
+        fresh = heap.new_object(0)
+        rebuilt = heap.metadata()
+        assert rebuilt is not first
+        assert fresh.addr in rebuilt.index
+        assert fresh.addr not in first.index
+
+    def test_restore_drops_cached_sidecar(self):
+        heap, _views = make_random_heap(n_objects=30, seed=1)
+        checkpoint = heap.checkpoint()
+        first = heap.metadata()
+        heap.restore(checkpoint)
+        assert heap.metadata() is not first
+
+    def test_sidecar_is_cached_while_population_stable(self):
+        heap, _views = make_random_heap(n_objects=30, seed=2)
+        assert heap.metadata() is heap.metadata()

@@ -26,9 +26,11 @@ def test_bandwidth_serializes():
     sim = Simulator()
     pipe = LatencyBandwidthPipe(sim, PipeConfig())
     n = 50
+    done = []
     for i in range(n):
-        pipe.submit(read(i * 64))
+        pipe.submit(read(i * 64)).add_callback(done.append)
     sim.run()
+    assert done[-1] == n * 8 + 1
     assert sim.now == n * 8 + 1
 
 
@@ -37,9 +39,11 @@ def test_small_requests_waste_bandwidth():
     but less data — why the unit 'may not be able to use all 8 GB/s'."""
     sim = Simulator()
     pipe = LatencyBandwidthPipe(sim, PipeConfig())
+    done = []
     for i in range(100):
-        pipe.submit(read(i * 8, size=8))
+        pipe.submit(read(i * 8, size=8)).add_callback(done.append)
     sim.run()
+    assert done[-1] == 100 + 1
     assert sim.now == 100 + 1
     assert pipe.bandwidth.total_bytes == 800
 

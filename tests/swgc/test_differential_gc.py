@@ -211,3 +211,63 @@ class TestFullCollectionAgreement:
         assert sw.cells_freed == hw.cells_freed
         assert sw.cells_live == hw.cells_live
         assert sw_free == hw_free
+
+
+class TestFastpathIdentity:
+    """The zero-allocation fast paths must be timing-invisible.
+
+    Same heap, same collectors, REPRO_FASTPATH on vs off: cycle counts,
+    marked sets, and freed-cell accounting must be bit-identical. The env
+    switch is captured per-component at construction, so each run builds
+    its heap fresh under the patched environment (never through the heap
+    cache, whose pickled components embed the build-time setting).
+    """
+
+    @staticmethod
+    def _full_run(builder):
+        heap = builder()
+        checkpoint = heap.checkpoint()
+        sw = SoftwareCollector(heap).collect()
+        marked = frozenset(marked_set(heap))
+        heap.restore(checkpoint)
+        hw = GCUnit(heap).collect()
+        return (
+            sw.mark_cycles, sw.sweep_cycles, sw.objects_marked,
+            sw.cells_freed, sw.cells_live,
+            hw.mark_cycles, hw.sweep_cycles, hw.objects_marked,
+            hw.cells_freed, hw.cells_live, marked,
+        )
+
+    def _compare(self, monkeypatch, builder):
+        monkeypatch.setenv("REPRO_FASTPATH", "1")
+        fast = self._full_run(builder)
+        monkeypatch.setenv("REPRO_FASTPATH", "0")
+        slow = self._full_run(builder)
+        assert fast == slow
+
+    @pytest.mark.parametrize("seed", [2, 9])
+    def test_random_graphs(self, monkeypatch, seed):
+        self._compare(
+            monkeypatch,
+            lambda: make_random_heap(n_objects=250, seed=seed)[0],
+        )
+
+    def test_profile_heap(self, monkeypatch):
+        self._compare(
+            monkeypatch,
+            lambda: HeapGraphBuilder(
+                DACAPO_PROFILES["avrora"], scale=0.01, seed=4
+            ).build().heap,
+        )
+
+    def test_cross_kernel_each_fastpath_mode(self, monkeypatch):
+        """2x2: both kernels agree within each fast-path mode."""
+        results = {}
+        for fast in ("1", "0"):
+            for kernel in ("bucket", "heapq"):
+                monkeypatch.setenv("REPRO_FASTPATH", fast)
+                monkeypatch.setenv("REPRO_ENGINE", kernel)
+                results[(fast, kernel)] = self._full_run(
+                    lambda: make_random_heap(n_objects=180, seed=6)[0]
+                )
+        assert len(set(results.values())) == 1, results
