@@ -7,9 +7,12 @@ Commands:
                                   (e.g. ``python -m repro run fig15 --scale 0.05``).
 * ``compare <benchmark> [opts]``— one SW-vs-HW collection on one profile.
 * ``area``                      — print the Fig. 22 area tables.
-* ``run-all [--jobs N] [--out EXPERIMENTS.md] [--only ids]``
+* ``run-all [--jobs N] [--out EXPERIMENTS.md] [--only ids]
+  [--resume DIR] [--timeout S] [--retries N] [--keep-going]``
                                 — regenerate the full figure set, fanning
-                                  experiments across worker processes.
+                                  experiments across worker processes with
+                                  per-task timeouts, bounded retries, and
+                                  resumable checkpoints.
 * ``trace <figure|profile> [opts]``
                                 — capture a cycle-stamped trace of one GC
                                   and export it (Chrome trace / JSONL / CSV).
@@ -75,17 +78,42 @@ def _cmd_area(_args) -> int:
 def _cmd_run_all(args) -> int:
     import time
 
-    from repro.harness.parallel import default_jobs, digests, run_suite, write_report
+    from repro.harness.checkpoint import CheckpointError, open_store
+    from repro.harness.faults import FaultSpecError
+    from repro.harness.parallel import (
+        SuiteRunError,
+        default_jobs,
+        digests,
+        run_suite,
+        write_report,
+    )
+    from repro.harness.suite import select
 
     jobs = args.jobs if args.jobs else default_jobs()
     only = args.only.split(",") if args.only else None
     t0 = time.time()
     try:
+        entries = select(only)
+        tasks = [(i, exp_id, kwargs)
+                 for i, (exp_id, kwargs) in enumerate(entries)]
+        store = open_store(args.resume, tasks)
         runs = run_suite(jobs=jobs, only=only,
-                         progress=lambda msg: print(msg, flush=True))
+                         progress=lambda msg: print(msg, flush=True),
+                         timeout=args.timeout, retries=args.retries,
+                         keep_going=args.keep_going, store=store)
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
+    except (CheckpointError, FaultSpecError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    except SuiteRunError as exc:
+        print(f"aborted: {exc}", file=sys.stderr)
+        if args.resume:
+            print(f"completed entries are checkpointed in {args.resume}; "
+                  f"rerun with --resume {args.resume} to continue",
+                  file=sys.stderr)
+        return 1
     elapsed = time.time() - t0
     if args.out:
         write_report(runs, args.out)
@@ -94,9 +122,17 @@ def _cmd_run_all(args) -> int:
         for exp_id, digest in digests(runs).items():
             print(f"{exp_id:20s} {digest}")
     busy = sum(run.elapsed for run in runs)
+    retried = [r for r in runs if r.attempts > 1 and r.ok]
+    failed = [r for r in runs if not r.ok]
     print(f"{len(runs)} experiments in {elapsed:.0f}s wall "
           f"({busy:.0f}s of simulation on {jobs} worker(s))")
-    return 0
+    if retried:
+        print(f"{len(retried)} recovered after retries: "
+              + ", ".join(f"{r.exp_id} x{r.attempts}" for r in retried))
+    for run in failed:
+        print(f"FAILED {run.exp_id} after {run.attempts} attempt(s): "
+              f"{run.error}", file=sys.stderr)
+    return 1 if failed else 0
 
 
 def _cmd_trace(args) -> int:
@@ -154,6 +190,20 @@ def main(argv=None) -> int:
                             help="comma-separated experiment ids")
     all_parser.add_argument("--digests", action="store_true",
                             help="print per-figure determinism fingerprints")
+    all_parser.add_argument("--resume", default=None, metavar="DIR",
+                            help="checkpoint completed figures here and "
+                            "resume a previous run from the same directory")
+    all_parser.add_argument("--timeout", type=float, default=None,
+                            metavar="SECONDS",
+                            help="kill and reschedule a figure that runs "
+                            "longer than this (jobs > 1 only)")
+    all_parser.add_argument("--retries", type=int, default=0,
+                            help="retry a crashed/failed/hung figure up to "
+                            "N times (exponential backoff)")
+    all_parser.add_argument("--keep-going", action="store_true",
+                            help="on exhausted retries, annotate the "
+                            "report and continue instead of aborting "
+                            "(exit status is still non-zero)")
     trace_parser = sub.add_parser(
         "trace", help="capture a cycle-stamped trace of one collection")
     trace_parser.add_argument("target",

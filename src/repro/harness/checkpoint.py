@@ -1,0 +1,232 @@
+"""Per-figure run checkpoints: atomic, schema-versioned, corruption-safe.
+
+A resumable ``run-all`` writes one JSON file per completed
+:class:`~repro.harness.suite.FigureRun` into a run directory. A later
+invocation with ``--resume <dir>`` loads whatever completed, verifies it
+belongs to the *same* suite configuration (via a digest over the task
+list), and re-executes only the missing entries — reproducing the
+fault-free report byte-for-byte, because the checkpoint stores the
+rendered table verbatim.
+
+Robustness properties, each covered by ``tests/harness/test_checkpoint.py``:
+
+* **Atomicity** — checkpoints are written tmp+``os.replace`` in the run
+  directory, so a crash mid-write (or a concurrent reader) never observes
+  a torn file; at worst the entry is absent and gets re-run.
+* **Integrity** — every file embeds a schema version and a sha256 over its
+  payload JSON. Truncation, bit-rot, hand-editing, or a future schema all
+  surface as :class:`CheckpointCorrupt`; ``load_completed`` treats corrupt
+  entries as missing (they are re-executed and overwritten) and reports
+  them to the caller.
+* **Round-trip fidelity** — ``FigureRun`` ↔ JSON preserves unicode
+  rendered tables, NaN/inf floats (Python's JSON dialect), empty tables,
+  and the per-attempt history, property-tested with hypothesis.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.harness.suite import FigureRun
+
+#: Bump when the checkpoint or manifest layout changes; old files are then
+#: detected as foreign and re-run rather than misparsed.
+SCHEMA_VERSION = 1
+
+MANIFEST_NAME = "manifest.json"
+ENTRY_PREFIX = "entry-"
+
+
+class CheckpointError(Exception):
+    """The run directory cannot be used (schema/suite mismatch, IO)."""
+
+
+class CheckpointCorrupt(CheckpointError):
+    """A checkpoint file failed validation (truncated, edited, wrong hash)."""
+
+
+def _dumps(payload: Any) -> str:
+    # sort_keys makes the serialization canonical so the embedded sha256 is
+    # reproducible; allow_nan keeps NaN/inf stats round-tripping (Python's
+    # JSON dialect, matching the loader below).
+    return json.dumps(payload, ensure_ascii=False, sort_keys=True,
+                      allow_nan=True)
+
+
+def suite_digest(tasks: Sequence[Tuple[int, str, Dict[str, Any]]]) -> str:
+    """Fingerprint of a task list: the identity of a resumable run.
+
+    Two invocations may share a run directory iff they would execute the
+    same entries with the same kwargs in the same suite order.
+    """
+    canon = [[index, exp_id, sorted(kwargs.items())]
+             for index, exp_id, *rest in tasks
+             for kwargs in [rest[0] if rest else {}]]
+    return hashlib.sha256(_dumps(canon).encode("utf-8")).hexdigest()
+
+
+def figure_run_to_payload(run: FigureRun) -> Dict[str, Any]:
+    """A plain-JSON projection of one completed (or failed) suite entry."""
+    return {
+        "index": run.index,
+        "exp_id": run.exp_id,
+        "kwargs": dict(run.kwargs),
+        "rendered": run.rendered,
+        "elapsed": run.elapsed,
+        "digest": run.digest,
+        "status": run.status,
+        "attempts": run.attempts,
+        "error": run.error,
+        "attempt_history": list(run.attempt_history),
+    }
+
+
+def figure_run_from_payload(payload: Dict[str, Any]) -> FigureRun:
+    try:
+        return FigureRun(
+            index=int(payload["index"]),
+            exp_id=payload["exp_id"],
+            kwargs=dict(payload["kwargs"]),
+            rendered=payload["rendered"],
+            elapsed=float(payload["elapsed"]),
+            digest=payload["digest"],
+            status=payload.get("status", "ok"),
+            attempts=int(payload.get("attempts", 1)),
+            error=payload.get("error"),
+            attempt_history=list(payload.get("attempt_history", [])),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CheckpointCorrupt(f"checkpoint payload invalid: {exc}") from exc
+
+
+def _wrap(payload: Dict[str, Any]) -> str:
+    body = _dumps(payload)
+    sha = hashlib.sha256(body.encode("utf-8")).hexdigest()
+    return _dumps({"schema": SCHEMA_VERSION, "sha256": sha,
+                   "payload_json": body})
+
+
+def _unwrap(text: str, path: Path) -> Dict[str, Any]:
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CheckpointCorrupt(f"{path.name}: not valid JSON "
+                                f"(truncated write?): {exc}") from exc
+    if not isinstance(doc, dict) or "payload_json" not in doc:
+        raise CheckpointCorrupt(f"{path.name}: missing checkpoint envelope")
+    if doc.get("schema") != SCHEMA_VERSION:
+        raise CheckpointCorrupt(
+            f"{path.name}: schema {doc.get('schema')!r} != {SCHEMA_VERSION}")
+    body = doc["payload_json"]
+    sha = hashlib.sha256(body.encode("utf-8")).hexdigest()
+    if sha != doc.get("sha256"):
+        raise CheckpointCorrupt(f"{path.name}: sha256 mismatch — file "
+                                "corrupted or hand-edited")
+    return json.loads(body)
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+class CheckpointStore:
+    """One resumable run: a directory of per-entry checkpoints + manifest."""
+
+    def __init__(self, run_dir: Path, digest: str):
+        self.run_dir = Path(run_dir)
+        self.digest = digest
+        #: paths that failed validation during the last ``load_completed``
+        self.corrupt: List[Path] = []
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @classmethod
+    def open(cls, run_dir, tasks: Sequence[Tuple[int, str, Dict[str, Any]]]
+             ) -> "CheckpointStore":
+        """Create or resume a run directory for exactly this task list.
+
+        A fresh directory gets a manifest; an existing one must carry a
+        matching suite digest, otherwise its checkpoints belong to a
+        different suite configuration and resuming would splice wrong
+        results into the report.
+        """
+        run_dir = Path(run_dir)
+        digest = suite_digest(tasks)
+        store = cls(run_dir, digest)
+        manifest = run_dir / MANIFEST_NAME
+        if manifest.exists():
+            doc = _unwrap(manifest.read_text(encoding="utf-8"), manifest)
+            if doc.get("suite_digest") != digest:
+                raise CheckpointError(
+                    f"{run_dir} was created for a different suite "
+                    f"configuration (manifest digest "
+                    f"{doc.get('suite_digest', '?')[:12]}… != {digest[:12]}…); "
+                    "pass a fresh --resume directory or rerun with the "
+                    "original --only selection")
+        else:
+            _atomic_write(manifest, _wrap({
+                "suite_digest": digest,
+                "tasks": [[i, exp_id, sorted(kwargs.items())]
+                          for i, exp_id, kwargs in tasks],
+            }))
+        return store
+
+    # -- entries -----------------------------------------------------------
+
+    def _entry_path(self, index: int) -> Path:
+        return self.run_dir / f"{ENTRY_PREFIX}{index:03d}.json"
+
+    def save(self, run: FigureRun) -> None:
+        """Checkpoint one completed entry atomically (tmp + rename)."""
+        _atomic_write(self._entry_path(run.index),
+                      _wrap(figure_run_to_payload(run)))
+
+    def load(self, path: Path) -> FigureRun:
+        """Load and validate a single checkpoint file."""
+        return figure_run_from_payload(
+            _unwrap(path.read_text(encoding="utf-8"), path))
+
+    def load_completed(self) -> Dict[int, FigureRun]:
+        """All valid *successful* checkpoints, keyed by suite index.
+
+        Corrupt files and failed entries are left out — both get re-run —
+        and corrupt paths are collected in :attr:`corrupt` for reporting.
+        """
+        completed: Dict[int, FigureRun] = {}
+        self.corrupt = []
+        if not self.run_dir.is_dir():
+            return completed
+        for path in sorted(self.run_dir.glob(f"{ENTRY_PREFIX}*.json")):
+            try:
+                run = self.load(path)
+            except CheckpointCorrupt:
+                self.corrupt.append(path)
+                continue
+            if run.status == "ok":
+                completed[run.index] = run
+        return completed
+
+
+def open_store(run_dir: Optional[str],
+               tasks: Sequence[Tuple[int, str, Dict[str, Any]]]
+               ) -> Optional[CheckpointStore]:
+    """CLI helper: a store for ``--resume DIR``, or ``None`` without it."""
+    if not run_dir:
+        return None
+    return CheckpointStore.open(run_dir, tasks)

@@ -1,4 +1,4 @@
-"""Parallel figure pipeline: fan the suite across worker processes.
+"""Fault-tolerant parallel figure pipeline with retries and checkpoints.
 
 ``run_suite(jobs=N)`` runs every entry of :data:`repro.harness.suite.SUITE`
 (or a subset) and merges results deterministically:
@@ -6,32 +6,98 @@
 * **jobs=1** runs inline — no pool, no pickling, and the in-process heap
   cache is shared across figures (fig15/fig23 and the avrora ablations
   reuse each other's builds).
-* **jobs>1** fans entries out over a ``multiprocessing`` pool (``fork``
-  start method where available, ``spawn`` otherwise). Workers return
-  pickled :class:`FigureRun` records; completion order is arbitrary but
-  the merge sorts by suite index, so the output document and the
+* **jobs>1** fans entries out over worker processes (``fork`` start
+  method where available, ``spawn`` otherwise), **one process per task**
+  so a crash, hang, or OOM kill is attributed to exactly the entry that
+  caused it and takes nothing else down. Completion order is arbitrary
+  but the merge sorts by suite index, so the output document and the
   per-figure digests are independent of scheduling. Set
   ``REPRO_HEAP_CACHE`` to share heap builds across workers via the disk
   cache.
 
+Fault tolerance (all opt-in; a fault-free run is byte-identical to the
+pre-retry pipeline):
+
+* **per-task timeout** (``timeout=``) — a worker that exceeds it is
+  killed and the entry is rescheduled;
+* **bounded retries** (``retries=N``) with deterministic exponential
+  backoff (``backoff * 2**(attempt-1)`` seconds, no jitter);
+* **crash recovery** — a worker that exits abnormally (segfault, OOM
+  kill, ``os._exit``) is detected via its exit code and the entry is
+  retried on a fresh process; other in-flight entries are unaffected
+  (the per-task-process design is why: a shared executor would raise
+  ``BrokenProcessPool`` for every sibling);
+* **graceful degradation** (``keep_going=True``) — an entry that
+  exhausts its retries is recorded as a failed :class:`FigureRun`
+  (status, attempts, last error, per-attempt history) and the run keeps
+  going; ``render_report`` annotates the failure instead of aborting.
+  Without ``keep_going`` the first exhausted entry raises
+  :class:`SuiteRunError` carrying the partial results;
+* **checkpoints** (``store=``) — completed entries are saved atomically
+  through :class:`repro.harness.checkpoint.CheckpointStore` as they
+  finish, so an interrupted run (including ``KeyboardInterrupt``, which
+  tears the pool down cleanly) resumes re-executing only what's missing.
+
+Fault *injection* for exercising these paths lives in
+:mod:`repro.harness.faults` (``REPRO_FAULTS`` env spec). With ``jobs=1``
+the faults execute in the orchestrating process itself — a ``crash``
+fault will genuinely ``os._exit`` it — so crash/hang testing wants
+``jobs>=2``.
+
 Every figure's rendered table is hashed into ``FigureRun.digest`` — the
 fingerprint the determinism tests compare across kernels
-(``REPRO_ENGINE=bucket`` vs ``heapq``) and across ``--jobs`` settings.
+(``REPRO_ENGINE=bucket`` vs ``heapq``), across ``--jobs`` settings, and
+across faulted-and-retried vs clean runs.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import multiprocessing.connection
 import os
-from typing import Callable, Dict, List, Optional, Sequence
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from repro.harness import faults
+from repro.harness.runners import attempt_stats
 from repro.harness.suite import FigureRun, render_report, run_entry, select
 
+#: Default backoff base, seconds: attempt k retries after base * 2**(k-1).
+DEFAULT_BACKOFF = 0.5
 
-def _run_indexed(task) -> FigureRun:
-    """Module-level worker entry so it pickles under spawn."""
-    index, exp_id, kwargs = task
-    return run_entry(index, exp_id, kwargs)
+#: How long the scheduler sleeps when nothing is ready (seconds).
+_TICK = 0.05
+
+
+class SuiteRunError(RuntimeError):
+    """An entry exhausted its retries and ``keep_going`` was off.
+
+    ``failed`` is the failed entry's record; ``runs`` holds everything
+    that completed before the abort (checkpointed if a store was given,
+    so ``--resume`` picks up from here).
+    """
+
+    def __init__(self, failed: FigureRun, runs: List[FigureRun]):
+        self.failed = failed
+        self.runs = runs
+        super().__init__(
+            f"{failed.exp_id} failed after {failed.attempts} attempt(s): "
+            f"{failed.error}")
+
+
+@dataclass
+class _TaskState:
+    """Scheduling state for one suite entry across its attempts."""
+
+    index: int
+    exp_id: str
+    kwargs: Dict[str, Any]
+    attempts: int = 0
+    history: List[Dict[str, Any]] = field(default_factory=list)
+    #: monotonic time before which this task must not be (re)launched.
+    not_before: float = 0.0
 
 
 def _pool_context():
@@ -41,33 +107,296 @@ def _pool_context():
         return multiprocessing.get_context("spawn")
 
 
+def _child_main(conn, index: int, exp_id: str, kwargs: Dict[str, Any],
+                fault: Optional[faults.Fault], hang_seconds: float) -> None:
+    """Worker entry: one task, one process, result over a pipe.
+
+    Referenced as a module global (not a closure) so it pickles under
+    ``spawn`` and inherits monkeypatched ``run_entry`` under ``fork``.
+    """
+    try:
+        faults.execute(fault, hang_seconds)
+        run = run_entry(index, exp_id, kwargs)
+        conn.send(("ok", run, attempt_stats()))
+    except BaseException as exc:  # report injected raises and real bugs alike
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}",
+                       attempt_stats()))
+        except Exception:  # parent went away; nothing to report to
+            pass
+    finally:
+        conn.close()
+
+
+def _describe_exit(exitcode: Optional[int]) -> str:
+    if exitcode is None:
+        return "worker vanished without an exit code"
+    if exitcode < 0:
+        try:
+            import signal
+            name = signal.Signals(-exitcode).name
+        except (ValueError, ImportError):
+            name = f"signal {-exitcode}"
+        return f"worker killed by {name}"
+    return f"worker exited abnormally with status {exitcode}"
+
+
+def _kill(proc) -> None:
+    if proc.is_alive():
+        proc.terminate()
+        proc.join(1.0)
+    if proc.is_alive():  # pragma: no cover - SIGTERM ignored
+        proc.kill()
+        proc.join(1.0)
+
+
+class _Scheduler:
+    """Shared bookkeeping for the inline and pooled execution paths."""
+
+    def __init__(self, *, retries: int, backoff: float, keep_going: bool,
+                 store, say: Callable[[str], None],
+                 completed: Dict[int, FigureRun]):
+        self.retries = max(0, retries)
+        self.backoff = backoff
+        self.keep_going = keep_going
+        self.store = store
+        self.say = say
+        self.completed = completed
+
+    @property
+    def max_attempts(self) -> int:
+        return self.retries + 1
+
+    def finish_ok(self, state: _TaskState, run: FigureRun,
+                  wall: float, stats: Dict[str, float]) -> None:
+        state.attempts += 1
+        state.history.append({"attempt": state.attempts, "status": "ok",
+                              "elapsed": round(wall, 3), **stats})
+        run.attempts = state.attempts
+        run.attempt_history = list(state.history)
+        self.completed[state.index] = run
+        if self.store is not None:
+            self.store.save(run)
+        note = (f" (attempt {state.attempts}/{self.max_attempts})"
+                if state.attempts > 1 else "")
+        self.say(f"  {run.exp_id} done in {run.elapsed:.0f}s{note}")
+
+    def record_failure(self, state: _TaskState, status: str, error: str,
+                       wall: float) -> Optional[float]:
+        """Account one failed attempt.
+
+        Returns the backoff delay if the task should be retried, or
+        ``None`` once retries are exhausted (after recording the failed
+        entry — and raising :class:`SuiteRunError` unless ``keep_going``).
+        """
+        state.attempts += 1
+        state.history.append({"attempt": state.attempts, "status": status,
+                              "elapsed": round(wall, 3), "error": error})
+        if state.attempts < self.max_attempts:
+            delay = self.backoff * (2 ** (state.attempts - 1))
+            state.not_before = time.monotonic() + delay
+            self.say(f"  {state.exp_id} {status} (attempt {state.attempts}/"
+                     f"{self.max_attempts}): {error}; retrying in "
+                     f"{delay:.1f}s")
+            return delay
+        run = FigureRun(
+            index=state.index, exp_id=state.exp_id,
+            kwargs=dict(state.kwargs), rendered="",
+            elapsed=sum(rec.get("elapsed", 0.0) for rec in state.history),
+            status="failed", attempts=state.attempts, error=error,
+            attempt_history=list(state.history),
+        )
+        self.completed[state.index] = run
+        if self.store is not None:
+            self.store.save(run)
+        self.say(f"  {state.exp_id} FAILED after {state.attempts} "
+                 f"attempt(s): {error}")
+        if not self.keep_going:
+            raise SuiteRunError(run, _ordered(self.completed))
+        return None
+
+
+def _ordered(completed: Dict[int, FigureRun]) -> List[FigureRun]:
+    return [completed[i] for i in sorted(completed)]
+
+
+def _run_inline(states: List[_TaskState], sched: _Scheduler,
+                plan: Optional[faults.FaultPlan],
+                say: Callable[[str], None]) -> None:
+    """jobs=1: execute in-process (shared heap cache, no pickling).
+
+    Timeouts are not enforceable without a worker process; ``crash`` and
+    ``hang`` faults execute literally in this process.
+    """
+    for state in states:
+        while True:
+            say(f"running {state.exp_id} {state.kwargs} ...")
+            fault = (plan.match(state.exp_id, state.attempts + 1)
+                     if plan is not None else None)
+            t0 = time.monotonic()
+            try:
+                if plan is not None:
+                    faults.execute(fault, plan.hang_seconds)
+                run = run_entry(state.index, state.exp_id, state.kwargs)
+            except KeyboardInterrupt:
+                raise
+            except Exception as exc:
+                delay = sched.record_failure(
+                    state, "error", f"{type(exc).__name__}: {exc}",
+                    time.monotonic() - t0)
+                if delay is None:
+                    break
+                time.sleep(delay)
+            else:
+                sched.finish_ok(state, run, time.monotonic() - t0,
+                                attempt_stats())
+                break
+
+
+def _run_pool(states: List[_TaskState], jobs: int, sched: _Scheduler,
+              plan: Optional[faults.FaultPlan], timeout: Optional[float],
+              say: Callable[[str], None]) -> None:
+    """jobs>1: one worker process per task attempt, with kill-on-timeout."""
+    ctx = _pool_context()
+    queue = deque(states)
+    running: Dict[Any, Any] = {}  # conn -> (state, proc, started, deadline)
+    say(f"running {len(states)} experiments on {jobs} workers ...")
+    try:
+        while queue or running:
+            now = time.monotonic()
+
+            # Launch every ready task there is a free worker slot for.
+            while queue and len(running) < jobs:
+                ready = next((i for i, s in enumerate(queue)
+                              if s.not_before <= now), None)
+                if ready is None:
+                    break
+                queue.rotate(-ready)
+                state = queue.popleft()
+                queue.rotate(ready)
+                fault = (plan.match(state.exp_id, state.attempts + 1)
+                         if plan is not None else None)
+                parent_conn, child_conn = ctx.Pipe(duplex=False)
+                proc = ctx.Process(
+                    target=_child_main,
+                    args=(child_conn, state.index, state.exp_id,
+                          state.kwargs, fault,
+                          plan.hang_seconds if plan is not None
+                          else faults.DEFAULT_HANG_SECONDS),
+                )
+                proc.start()
+                child_conn.close()
+                started = time.monotonic()
+                deadline = started + timeout if timeout else None
+                running[parent_conn] = (state, proc, started, deadline)
+
+            if not running:
+                # Everything pending is backing off; sleep until the
+                # earliest retry becomes eligible.
+                wake = min(s.not_before for s in queue)
+                time.sleep(max(0.0, wake - time.monotonic()))
+                continue
+
+            # Wait for a result, bounded by the nearest deadline.
+            wait_for = _TICK if queue else 1.0
+            deadlines = [d for (_s, _p, _t, d) in running.values()
+                         if d is not None]
+            if deadlines:
+                wait_for = min(wait_for,
+                               max(0.0, min(deadlines) - time.monotonic()))
+            ready_conns = multiprocessing.connection.wait(
+                list(running), timeout=wait_for)
+
+            for conn in ready_conns:
+                state, proc, started, _deadline = running.pop(conn)
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    msg = None  # died before reporting: crash
+                conn.close()
+                proc.join(5.0)
+                wall = time.monotonic() - started
+                if msg is not None and msg[0] == "ok":
+                    sched.finish_ok(state, msg[1], wall, msg[2])
+                elif msg is not None:
+                    if sched.record_failure(state, "error", msg[1],
+                                            wall) is not None:
+                        queue.append(state)
+                else:
+                    if sched.record_failure(
+                            state, "crash", _describe_exit(proc.exitcode),
+                            wall) is not None:
+                        queue.append(state)
+
+            # Reap workers that blew their deadline.
+            now = time.monotonic()
+            for conn, (state, proc, started, deadline) in list(running.items()):
+                if deadline is None or now < deadline:
+                    continue
+                running.pop(conn)
+                conn.close()
+                _kill(proc)
+                if sched.record_failure(
+                        state, "timeout",
+                        f"timed out after {timeout:.0f}s",
+                        now - started) is not None:
+                    queue.append(state)
+    finally:
+        # Abort, KeyboardInterrupt, or normal exit: never leak workers.
+        for conn, (_state, proc, _started, _deadline) in running.items():
+            _kill(proc)
+            conn.close()
+
+
 def run_suite(
     jobs: int = 1,
     only: Optional[Sequence[str]] = None,
     progress: Optional[Callable[[str], None]] = None,
+    *,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    backoff: float = DEFAULT_BACKOFF,
+    keep_going: bool = False,
+    store=None,
+    fault_plan: Optional[faults.FaultPlan] = None,
 ) -> List[FigureRun]:
-    """Run the figure suite with ``jobs`` workers; results in suite order."""
+    """Run the figure suite with ``jobs`` workers; results in suite order.
+
+    ``store`` (a :class:`~repro.harness.checkpoint.CheckpointStore`)
+    enables resume: entries already checkpointed are loaded instead of
+    re-run, and new completions are checkpointed as they land.
+    ``fault_plan`` defaults to the ``REPRO_FAULTS`` environment spec.
+    Entries that exhaust ``retries`` raise :class:`SuiteRunError`, or —
+    with ``keep_going`` — come back as ``FigureRun(status="failed")``
+    records that :func:`render_report` annotates.
+    """
     entries = select(only)
     tasks = [(i, exp_id, kwargs) for i, (exp_id, kwargs) in enumerate(entries)]
-    jobs = max(1, min(jobs, len(tasks) or 1))
     say = progress if progress is not None else (lambda msg: None)
+    if fault_plan is None:
+        fault_plan = faults.plan_from_env()
 
-    runs: List[FigureRun] = []
-    if jobs == 1:
-        for task in tasks:
-            say(f"running {task[1]} {task[2]} ...")
-            run = _run_indexed(task)
-            say(f"  {run.exp_id} done in {run.elapsed:.0f}s")
-            runs.append(run)
-    else:
-        ctx = _pool_context()
-        with ctx.Pool(processes=jobs) as pool:
-            say(f"running {len(tasks)} experiments on {jobs} workers ...")
-            for run in pool.imap_unordered(_run_indexed, tasks):
-                say(f"  {run.exp_id} done in {run.elapsed:.0f}s")
-                runs.append(run)
-    runs.sort(key=lambda r: r.index)
-    return runs
+    completed: Dict[int, FigureRun] = {}
+    if store is not None:
+        completed = store.load_completed()
+        for path in store.corrupt:
+            say(f"  discarding corrupt checkpoint {path.name}; will re-run")
+        if completed:
+            say(f"resuming: {len(completed)}/{len(tasks)} entries already "
+                "complete")
+
+    states = [_TaskState(index=i, exp_id=exp_id, kwargs=kwargs)
+              for i, exp_id, kwargs in tasks if i not in completed]
+    sched = _Scheduler(retries=retries, backoff=backoff,
+                       keep_going=keep_going, store=store, say=say,
+                       completed=completed)
+    if states:
+        jobs = max(1, min(jobs, len(states)))
+        if jobs == 1:
+            _run_inline(states, sched, fault_plan, say)
+        else:
+            _run_pool(states, jobs, sched, fault_plan, timeout, say)
+    return _ordered(completed)
 
 
 def digests(runs: Sequence[FigureRun]) -> Dict[str, str]:

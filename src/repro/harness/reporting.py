@@ -44,6 +44,31 @@ def render_table(headers: Sequence[str], rows: Iterable[Sequence[Cell]],
     return "\n".join(out)
 
 
+def render_failure(run) -> str:
+    """The report section for a suite entry whose retries were exhausted.
+
+    Replaces the figure's table in EXPERIMENTS.md so a degraded run still
+    renders end-to-end: exit status, attempt count, and the per-attempt
+    trail (status, wall time, error) the runner recorded.
+    """
+    args = ", ".join(f"{k}={v}" for k, v in run.kwargs.items())
+    out = [
+        f"## {run.exp_id}: FAILED — {run.error or 'unknown error'}",
+        f"",
+        f"*({args or 'static model'}; gave up after "
+        f"{run.attempts} attempt(s))*",
+    ]
+    if run.attempt_history:
+        out.append("")
+        out.append(render_table(
+            ("attempt", "status", "wall (s)", "detail"),
+            [(rec.get("attempt", i + 1), rec.get("status", "?"),
+              float(rec.get("elapsed", 0.0)), rec.get("error") or "")
+             for i, rec in enumerate(run.attempt_history)],
+        ))
+    return "\n".join(out)
+
+
 def render_series(points: Sequence[Tuple[float, float]],
                   x_label: str = "x", y_label: str = "y",
                   max_points: int = 24, width: int = 40,

@@ -107,6 +107,24 @@ def run_sweep_only(
     return sim.now - start, unit
 
 
+def attempt_stats() -> Dict[str, float]:
+    """Process-level resource snapshot for per-attempt accounting.
+
+    Workers attach this to each attempt record so the suite runner can
+    annotate retries with CPU time and peak RSS — the signal that
+    distinguishes an OOM-killed attempt (rss climbing to the cgroup limit)
+    from a plain crash. Values are cumulative for the calling process; on
+    a fresh per-task worker they describe just that attempt.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return {}
+    ru = resource.getrusage(resource.RUSAGE_SELF)
+    return {"cpu_s": round(ru.ru_utime + ru.ru_stime, 3),
+            "max_rss_kb": float(ru.ru_maxrss)}
+
+
 @dataclass
 class GCComparison:
     """One benchmark, both collectors, same heap."""

@@ -1,0 +1,226 @@
+"""Checkpoint store: round-trip fidelity, corruption detection, resume.
+
+The resume guarantee under test is the acceptance criterion of the
+fault-tolerant runner: a killed-then-resumed run re-executes *exactly*
+the missing entries and reproduces the fault-free report byte-for-byte.
+"""
+
+import json
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.harness import parallel
+from repro.harness.checkpoint import (
+    CheckpointCorrupt,
+    CheckpointError,
+    CheckpointStore,
+    figure_run_from_payload,
+    figure_run_to_payload,
+    open_store,
+    suite_digest,
+)
+from repro.harness.parallel import digests, run_suite
+from repro.harness.suite import FigureRun, select
+
+ONLY = ["fig22", "abl_barriers"]
+
+
+def _tasks(only=ONLY):
+    return [(i, e, k) for i, (e, k) in enumerate(select(only))]
+
+
+# -- hypothesis round-trip -------------------------------------------------
+
+_scalars = st.one_of(
+    st.integers(min_value=-2**40, max_value=2**40),
+    st.floats(allow_nan=True, allow_infinity=True),
+    st.text(max_size=24),  # arbitrary unicode
+    st.booleans(),
+    st.none(),
+)
+_kwargs = st.dictionaries(st.text(min_size=1, max_size=12),
+                          st.one_of(_scalars,
+                                    st.lists(_scalars, max_size=4)),
+                          max_size=4)
+_history = st.lists(
+    st.dictionaries(st.sampled_from(["attempt", "status", "elapsed",
+                                     "error", "cpu_s", "max_rss_kb"]),
+                    _scalars, max_size=4),
+    max_size=3)
+
+_figure_runs = st.builds(
+    FigureRun,
+    index=st.integers(min_value=0, max_value=999),
+    exp_id=st.text(min_size=1, max_size=16),
+    kwargs=_kwargs,
+    rendered=st.text(max_size=300),  # includes the empty table
+    elapsed=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    status=st.sampled_from(["ok", "failed"]),
+    attempts=st.integers(min_value=1, max_value=9),
+    error=st.none() | st.text(max_size=40),
+    attempt_history=_history,
+)
+
+
+def _nan_eq(a, b) -> bool:
+    """Structural equality where NaN == NaN (JSON round-trips Python's
+    NaN/Infinity dialect; plain ``==`` would reject it)."""
+    if isinstance(a, float) and isinstance(b, float):
+        return (math.isnan(a) and math.isnan(b)) or a == b
+    if isinstance(a, dict) and isinstance(b, dict):
+        return a.keys() == b.keys() and \
+            all(_nan_eq(a[k], b[k]) for k in a)
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        return len(a) == len(b) and \
+            all(_nan_eq(x, y) for x, y in zip(a, b))
+    # bool is an int subclass; keep True != 1 so types round-trip honestly.
+    if isinstance(a, bool) != isinstance(b, bool):
+        return False
+    return a == b
+
+
+class TestRoundTrip:
+    @settings(max_examples=80, deadline=None)
+    @given(run=_figure_runs)
+    def test_payload_round_trip(self, run):
+        wire = json.loads(json.dumps(figure_run_to_payload(run),
+                                     ensure_ascii=False, allow_nan=True))
+        back = figure_run_from_payload(wire)
+        assert _nan_eq(figure_run_to_payload(back),
+                       figure_run_to_payload(run))
+        assert back.digest == run.digest
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(run=_figure_runs)
+    def test_disk_round_trip(self, run, tmp_path):
+        store = CheckpointStore(tmp_path, digest="x")
+        store.save(run)
+        path = store._entry_path(run.index)
+        back = store.load(path)
+        assert _nan_eq(figure_run_to_payload(back),
+                       figure_run_to_payload(run))
+
+    def test_unicode_and_specials_survive(self, tmp_path):
+        run = FigureRun(index=7, exp_id="fig∞", kwargs={"λ": float("nan")},
+                        rendered="héap ↦ 0xDEAD\n| |\n", elapsed=1.5,
+                        attempt_history=[{"elapsed": float("inf")}])
+        store = CheckpointStore(tmp_path, digest="x")
+        store.save(run)
+        back = store.load(store._entry_path(7))
+        assert back.rendered == run.rendered
+        assert math.isnan(back.kwargs["λ"])
+        assert math.isinf(back.attempt_history[0]["elapsed"])
+
+
+# -- corruption detection --------------------------------------------------
+
+class TestCorruption:
+    @pytest.fixture
+    def saved(self, tmp_path):
+        store = CheckpointStore.open(tmp_path, _tasks())
+        run = FigureRun(index=0, exp_id="fig22", kwargs={},
+                        rendered="## fig22: table\n", elapsed=0.1)
+        store.save(run)
+        return store, store._entry_path(0)
+
+    def test_truncated_file_detected(self, saved):
+        store, path = saved
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        with pytest.raises(CheckpointCorrupt, match="not valid JSON"):
+            store.load(path)
+
+    def test_bitrot_detected_by_sha(self, saved):
+        store, path = saved
+        path.write_text(path.read_text().replace("table", "tadle"))
+        with pytest.raises(CheckpointCorrupt, match="sha256 mismatch"):
+            store.load(path)
+
+    def test_foreign_schema_detected(self, saved):
+        store, path = saved
+        doc = json.loads(path.read_text())
+        doc["schema"] = 999
+        path.write_text(json.dumps(doc))
+        with pytest.raises(CheckpointCorrupt, match="schema"):
+            store.load(path)
+
+    def test_corrupt_entry_is_rerun(self, saved):
+        """load_completed treats a corrupt checkpoint as missing; the
+        runner re-executes the entry and overwrites the bad file."""
+        store, path = saved
+        path.write_text(path.read_text()[:40])
+        completed = store.load_completed()
+        assert completed == {} and store.corrupt == [path]
+
+        clean = run_suite(jobs=1, only=ONLY)
+        lines = []
+        runs = run_suite(jobs=1, only=ONLY, store=store,
+                         progress=lines.append)
+        assert digests(runs) == digests(clean)
+        assert any("corrupt checkpoint" in line for line in lines)
+        assert store.load(path).exp_id == "fig22"  # overwritten, valid
+
+
+# -- run-directory identity ------------------------------------------------
+
+class TestSuiteDigest:
+    def test_digest_covers_selection_and_kwargs(self):
+        base = suite_digest(_tasks())
+        assert suite_digest(_tasks()) == base
+        assert suite_digest(_tasks(["fig22"])) != base
+        mutated = _tasks()
+        mutated[0] = (mutated[0][0], mutated[0][1], {"scale": 0.5})
+        assert suite_digest(mutated) != base
+
+    def test_open_rejects_mismatched_directory(self, tmp_path):
+        CheckpointStore.open(tmp_path, _tasks())
+        with pytest.raises(CheckpointError, match="different suite"):
+            CheckpointStore.open(tmp_path, _tasks(["fig22"]))
+
+    def test_open_store_helper(self, tmp_path):
+        assert open_store(None, _tasks()) is None
+        store = open_store(str(tmp_path / "run"), _tasks())
+        assert store is not None and (tmp_path / "run" /
+                                      "manifest.json").exists()
+
+
+# -- resume ----------------------------------------------------------------
+
+class TestResume:
+    def test_resume_reexecutes_exactly_the_missing_entries(
+            self, tmp_path, monkeypatch):
+        clean = run_suite(jobs=1, only=ONLY)
+        clean_report = parallel.render_report(clean)
+
+        # Half-finished run: only abl_barriers (index 1) checkpointed.
+        store = CheckpointStore.open(tmp_path / "run", _tasks())
+        store.save(clean[1])
+
+        executed = []
+        real_run_entry = parallel.run_entry
+
+        def recording_run_entry(index, exp_id, kwargs):
+            executed.append(exp_id)
+            return real_run_entry(index, exp_id, kwargs)
+
+        monkeypatch.setattr(parallel, "run_entry", recording_run_entry)
+        resumed = run_suite(jobs=1, only=ONLY, store=store)
+
+        assert executed == ["fig22"]  # exactly the missing entry
+        assert digests(resumed) == digests(clean)
+        assert parallel.render_report(resumed) == clean_report
+
+    def test_completed_run_resumes_to_noop(self, tmp_path, monkeypatch):
+        store = CheckpointStore.open(tmp_path / "run", _tasks())
+        first = run_suite(jobs=1, only=ONLY, store=store)
+        monkeypatch.setattr(
+            parallel, "run_entry",
+            lambda *a: pytest.fail("nothing should re-run"))
+        again = run_suite(jobs=1, only=ONLY, store=store)
+        assert digests(again) == digests(first)
+        assert parallel.render_report(again) == \
+            parallel.render_report(first)

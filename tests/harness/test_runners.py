@@ -3,13 +3,16 @@
 import pytest
 
 from repro.core.config import GCUnitConfig
+from repro.harness.parallel import run_suite
 from repro.harness.runners import (
+    attempt_stats,
     build_heap,
     run_gc_comparison,
     run_hardware,
     run_software,
     run_sweep_only,
 )
+from repro.harness.suite import select
 from repro.workloads.profiles import DACAPO_PROFILES
 
 
@@ -41,6 +44,11 @@ class TestRunners:
         assert unit.sweep_window[1] - unit.sweep_window[0] == \
             result.sweep_cycles
 
+    def test_attempt_stats_snapshot(self):
+        stats = attempt_stats()
+        assert stats["cpu_s"] >= 0.0
+        assert stats["max_rss_kb"] > 0
+
     def test_sweep_only_matches_full_sweep(self, prepared):
         built, cp = prepared
         heap = built.heap
@@ -53,3 +61,25 @@ class TestRunners:
         cycles, recl = run_sweep_only(heap, GCUnitConfig())
         assert recl.cells_freed == full.cells_freed
         assert recl.cells_live == full.cells_live
+
+
+class TestSuiteSelection:
+    """Regression: empty/unknown selections must raise, not silently
+    run nothing (run_suite used to clamp jobs against `len(tasks) or 1`
+    and return an empty report with exit 0)."""
+
+    def test_empty_selection_raises_listing_valid_ids(self):
+        with pytest.raises(KeyError, match="valid ids.*fig15"):
+            select([])
+
+    def test_unknown_id_raises_listing_valid_ids(self):
+        with pytest.raises(KeyError, match="fig99.*valid ids"):
+            select(["fig99"])
+
+    def test_run_suite_propagates_empty_selection(self):
+        with pytest.raises(KeyError, match="empty experiment selection"):
+            run_suite(jobs=1, only=[])
+
+    def test_all_unknown_selection_raises(self):
+        with pytest.raises(KeyError, match="unknown experiment ids"):
+            run_suite(jobs=2, only=["nope", "nada"])
