@@ -16,6 +16,11 @@ Commands:
 * ``trace <figure|profile> [opts]``
                                 — capture a cycle-stamped trace of one GC
                                   and export it (Chrome trace / JSONL / CSV).
+* ``fault-drill [--spec kind:component[:nth|:@cycle],...] [opts]``
+                                — inject hardware faults into one collection,
+                                  print the watchdog diagnosis, and verify
+                                  the software-fallback recovery against the
+                                  fault-free oracle.
 """
 
 from __future__ import annotations
@@ -163,6 +168,80 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_fault_drill(args) -> int:
+    import os
+
+    from repro.core.config import GCUnitConfig
+    from repro.core.driver import HWGCDriver
+    from repro.engine.faultplane import (
+        ENV_VAR,
+        HWFaultSpecError,
+        parse_hwfault_spec,
+    )
+    from repro.heap.verify import heap_digest
+    from repro.workloads import DACAPO_PROFILES, HeapGraphBuilder
+
+    profile = DACAPO_PROFILES.get(args.benchmark)
+    if profile is None:
+        print(f"unknown benchmark {args.benchmark!r}; try `list`",
+              file=sys.stderr)
+        return 2
+    spec = args.spec or os.environ.get(ENV_VAR, "").strip() or "drop:dram"
+    try:
+        plane = parse_hwfault_spec(spec)
+    except HWFaultSpecError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+
+    def fresh():
+        heap = HeapGraphBuilder(profile, scale=args.scale,
+                                seed=args.seed).build().heap
+        # The drill arms its plane explicitly on the faulted run only; an
+        # env-armed plane would otherwise also hit the reference run.
+        env_plane = heap.memsys.stats.hwfaults
+        if env_plane is not None:
+            env_plane.uninstall()
+        return heap
+
+    # Fault-free reference: the logical heap state recovery must converge to.
+    heap = fresh()
+    driver = HWGCDriver(heap, GCUnitConfig())
+    driver.init_device()
+    clean = driver.run_gc_safe()
+    if clean.outcome != "hardware":
+        print(f"fault-free reference run degraded: {clean.reason()}",
+              file=sys.stderr)
+        return 1
+    heap.prune_dead(heap.reachable())
+    reference = heap_digest(heap)
+    print(f"fault-free reference digest: {reference}")
+
+    heap = fresh()
+    oracle = heap.reachable()
+    plane.install(heap.memsys.stats, heap.memsys.phys)
+    driver = HWGCDriver(heap, GCUnitConfig())
+    driver.init_device()
+    safe = driver.run_gc_safe()
+    print(f"armed:   {spec}")
+    print(f"fired:   {'; '.join(str(f) for f in safe.faults) or 'nothing'}")
+    print(f"outcome: {safe.outcome} ({safe.reason()})")
+    if safe.stall is not None:
+        print(f"diagnosis: {safe.stall}")
+    live_ok = heap.reachable() == oracle
+    heap.prune_dead(heap.reachable())
+    digest_ok = heap_digest(heap) == reference
+    print(f"recovered live set == oracle: {live_ok}")
+    print(f"recovered heap digest == reference: {digest_ok}")
+    if not (live_ok and digest_ok):
+        return 1
+    if args.expect_fallback and not safe.fallback:
+        print("expected a fallback but the hardware run survived "
+              "(fault absorbed); try a different --spec trigger",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -221,6 +300,23 @@ def main(argv=None) -> int:
                               help="which collector(s) to trace")
     trace_parser.add_argument("--digest", action="store_true",
                               help="print the stream's sha256 fingerprint")
+    drill_parser = sub.add_parser(
+        "fault-drill",
+        help="inject hardware faults and verify the safety-net recovery")
+    drill_parser.add_argument("--spec", default=None,
+                              help="fault spec, same grammar as "
+                              "REPRO_HWFAULTS: kind:component[:nth|:@cycle]"
+                              "[,...] (kinds: drop/delay/corrupt/stuck; "
+                              "components: dram/tlb/marker/markqueue/"
+                              "sweeper). Defaults to $REPRO_HWFAULTS, "
+                              "else drop:dram")
+    drill_parser.add_argument("--benchmark", default="luindex",
+                              help="workload profile to drill on")
+    drill_parser.add_argument("--scale", type=float, default=0.008)
+    drill_parser.add_argument("--seed", type=int, default=13)
+    drill_parser.add_argument("--expect-fallback", action="store_true",
+                              help="fail unless the fault actually forced "
+                              "the software fallback")
     args = parser.parse_args(argv)
     return {
         "list": _cmd_list,
@@ -229,6 +325,7 @@ def main(argv=None) -> int:
         "area": _cmd_area,
         "run-all": _cmd_run_all,
         "trace": _cmd_trace,
+        "fault-drill": _cmd_fault_drill,
     }[args.command](args)
 
 

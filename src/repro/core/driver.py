@@ -13,12 +13,58 @@ once, then ``run_gc()`` per collection.
 
 from __future__ import annotations
 
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Set
 
 from repro.core.config import GCUnitConfig, HardwareGCResult
 from repro.core.mmio import Command, MMIORegisterFile, Reg, Status
 from repro.core.unit import GCUnit
-from repro.heap.heapimage import ManagedHeap
+from repro.engine.simulator import StallReport
+from repro.engine.watchdog import GCWatchdog
+from repro.heap.heapimage import HeapCheckpoint, ManagedHeap
+from repro.heap.verify import HeapVerifier, VerificationReport
+
+
+@dataclass
+class SafeGCResult:
+    """Outcome of :meth:`HWGCDriver.run_gc_safe`.
+
+    ``outcome`` is ``"hardware"`` when the accelerator finished and passed
+    the software checks, or ``"fallback"`` when the collection was aborted
+    (watchdog trip, model exception, or failed verification) and re-run on
+    the :class:`~repro.swgc.marksweep.SoftwareCollector` safety net. A
+    fallback is never silent: the stall/verification evidence and every
+    injected fault that fired ride along here and in the stats/trace.
+    """
+
+    result: Any  # HardwareGCResult or SoftwareGCResult
+    outcome: str
+    stall: Optional[StallReport] = None
+    hardware_error: Optional[str] = None
+    verification: Optional[VerificationReport] = None
+    faults: List[Any] = field(default_factory=list)
+    discarded_events: int = 0
+    discarded_requests: int = 0
+
+    @property
+    def fallback(self) -> bool:
+        return self.outcome == "fallback"
+
+    def reason(self) -> str:
+        """One-line explanation of why the fallback (if any) happened."""
+        if not self.fallback:
+            return "hardware collection completed and verified"
+        if self.stall is not None:
+            culprit = self.stall.culprit or "unknown component"
+            return f"watchdog stall (culprit: {culprit})"
+        if self.hardware_error is not None:
+            return f"hardware model error: {self.hardware_error}"
+        if self.verification is not None and not self.verification.ok:
+            problems = (self.verification.mark_errors
+                        + self.verification.sweep_errors
+                        + self.verification.freelist_errors)
+            return f"verification failed ({len(problems)} problems)"
+        return "unknown"
 
 
 class HWGCDriver:
@@ -73,3 +119,140 @@ class HWGCDriver:
         self.mmio.write(Reg.COMMAND, int(Command.IDLE))
         self.mmio.set_status(Status.READY)
         return result
+
+    # -- the safety net (§V-E's replaceable libhwgc) -----------------------
+
+    def run_gc_safe(self, watchdog: Optional[GCWatchdog] = None,
+                    verify: bool = True) -> SafeGCResult:
+        """Run a collection with supervision and graceful degradation.
+
+        The hardware collection runs under a :class:`GCWatchdog`; its
+        result is then software-checked against a reachability oracle
+        captured *before* the run (so even a fault that corrupts the
+        object graph cannot fool the check). On a watchdog trip, a model
+        exception, or a failed check, the hardware run is aborted — all
+        residual simulation events and queued memory requests from the
+        dead unit are discarded, the pre-GC heap snapshot is restored —
+        and the collection re-runs on the software safety net. Either way
+        the final live set equals the oracle exactly.
+        """
+        from repro.swgc.marksweep import SoftwareCollector
+
+        if not self._initialized:
+            raise RuntimeError("driver not initialized; call init_device()")
+        if self.mmio.status != Status.READY:
+            raise RuntimeError(f"unit busy: {self.mmio.status}")
+        heap = self.heap
+        stats = heap.memsys.stats
+        snapshot = heap.checkpoint()
+        oracle = heap.reachable()
+        wd = watchdog if watchdog is not None else GCWatchdog()
+        wd.attach(heap.sim, stats)
+        stall: Optional[StallReport] = None
+        hardware_error: Optional[str] = None
+        result: Optional[HardwareGCResult] = None
+        self.mmio.write(Reg.MARK_PARITY, heap.mark_parity)
+        self.mmio.write(Reg.COMMAND, int(Command.START_FULL_GC))
+        self.mmio.set_status(Status.MARKING)
+        unit = GCUnit(heap, self.config)
+        try:
+            mark_cycles = unit.mark()
+            self.mmio.set_status(Status.SWEEPING)
+            sweep_cycles = unit.sweep()
+            result = unit.collect_result(mark_cycles, sweep_cycles)
+        except StallReport as exc:
+            stall = exc
+        except Exception as exc:  # a fault surfacing as a model error
+            hardware_error = f"{type(exc).__name__}: {exc}"
+        finally:
+            wd.detach(heap.sim)
+        verification: Optional[VerificationReport] = None
+        if result is not None and verify:
+            verification = self._post_collection_check(oracle)
+        plane = stats.hwfaults
+        fired = list(plane.fired) if plane is not None else []
+        if result is not None and (verification is None or verification.ok):
+            self.mmio.set_status(Status.DONE)
+            self.mmio.write(Reg.OBJECTS_MARKED, result.objects_marked)
+            self.mmio.write(Reg.CELLS_FREED, result.cells_freed)
+            self.mmio.write(Reg.COMMAND, int(Command.IDLE))
+            self.mmio.set_status(Status.READY)
+            return SafeGCResult(result=result, outcome="hardware",
+                                verification=verification, faults=fired)
+        # -- graceful degradation ------------------------------------------
+        discarded_events, discarded_requests = self._abort_hardware(snapshot)
+        self.mmio.set_status(Status.FALLBACK)
+        stats.inc("driver.fallbacks")
+        safe = SafeGCResult(result=None, outcome="fallback", stall=stall,
+                            hardware_error=hardware_error,
+                            verification=verification, faults=fired,
+                            discarded_events=discarded_events,
+                            discarded_requests=discarded_requests)
+        trace = stats.trace
+        if trace is not None:
+            trace.emit(heap.sim.now, "fallback", safe.reason(),
+                       stall.culprit if stall is not None else "")
+        sw = SoftwareCollector(heap)
+        safe.result = sw.collect()
+        if verify:
+            after = self._post_collection_check(oracle)
+            if not after.ok:
+                after.raise_if_failed()  # double fault: nothing left to try
+        self.mmio.write(Reg.OBJECTS_MARKED, safe.result.objects_marked)
+        self.mmio.write(Reg.CELLS_FREED, safe.result.cells_freed)
+        self.mmio.write(Reg.FALLBACKS, self.mmio.read(Reg.FALLBACKS) + 1)
+        self.mmio.write(Reg.COMMAND, int(Command.IDLE))
+        self.mmio.set_status(Status.READY)
+        return safe
+
+    def _post_collection_check(self, oracle: Set[int]) -> VerificationReport:
+        """Software check of a finished collection against the pre-GC
+        reachability oracle.
+
+        Checks only what stays decodable after a sweep: every oracle-live
+        object's mark bit (swept dead cells no longer decode as objects,
+        so the full ``check_marks`` walk is not applicable here), the
+        per-cell sweep outcome, and the rebuilt free lists. A verifier
+        crash — e.g. a corrupted header that no longer parses — counts as
+        a failed check, not a driver error.
+        """
+        heap = self.heap
+        report = VerificationReport()
+        parity = heap.mark_parity
+        try:
+            for addr in sorted(oracle):
+                report.objects_checked += 1
+                if not heap.view(addr).is_marked(parity):
+                    report.mark_errors.append(
+                        f"unmarked live object at {addr:#x}")
+            verifier = HeapVerifier(heap)
+            verifier.check_sweep(report=report, parity=parity, live=oracle)
+            verifier.check_free_lists(report=report)
+        except Exception as exc:
+            report.sweep_errors.append(
+                f"verifier crashed: {type(exc).__name__}: {exc}")
+        return report
+
+    def _abort_hardware(self, snapshot: HeapCheckpoint):
+        """Tear down an abandoned hardware collection.
+
+        Order matters: residual events and queued DRAM requests from the
+        dead unit must be discarded *before* the heap snapshot is restored
+        — a stale completion callback firing into the restored image would
+        corrupt it all over again. The fault plane is suspended for the
+        remainder of the pause: the safety net models the CPU path, which
+        the injected hardware faults do not reach.
+        """
+        sim = self.heap.sim
+        discarded_events = sim.discard_pending()
+        model = self.heap.memsys.model
+        discarded_requests = model.abort_pending()
+        stats = self.heap.memsys.stats
+        plane = stats.hwfaults
+        if plane is not None:
+            plane.suspend()
+        wd = stats.watchdog
+        if wd is not None:
+            wd.outstanding.clear()
+        self.heap.restore(snapshot)
+        return discarded_events, discarded_requests

@@ -101,6 +101,10 @@ class Marker:
 
     def _response(self, ref: int, paddr: int, tag: int) -> None:
         """Handle a returning mark access (any order, matched by tag)."""
+        stats = self.stats
+        if stats.hwfaults is not None or stats.watchdog is not None:
+            if not self._supervised_response(ref, paddr, tag):
+                return
         parity = self.unit.mark_parity
         status = self.mem.read_word(paddr)
         trace = self.stats.trace
@@ -129,3 +133,36 @@ class Marker:
         # occupied, back-pressuring the marker (the decoupling of §IV-A III).
         put_event = self.tracer_queue.put((ref, n_refs))
         put_event.add_callback(lambda _v, t=tag: self._slots.put_nowait(t))
+
+    def _supervised_response(self, ref: int, paddr: int, tag: int) -> bool:
+        """Watchdog heartbeat + fault hooks for a returning mark access.
+
+        Returns ``True`` to process the response normally. ``drop`` and
+        ``stuck`` swallow the response — the request slot (tag) is never
+        freed and the reference never retired, the unit's analogue of a
+        wedged tag-table entry. ``delay`` re-delivers later; ``corrupt``
+        flips a bit in the status word before it is decoded.
+        """
+        now = self.sim.now
+        wd = self.stats.watchdog
+        if wd is not None:
+            wd.beat("marker", now)
+        plane = self.stats.hwfaults
+        if plane is None:
+            return True
+        fault = plane.fire("marker", now)
+        if fault is None:
+            return True
+        if fault.kind in ("drop", "stuck"):
+            return False
+        if fault.kind == "delay":
+            self.sim.schedule(fault.delay_cycles, self._response,
+                              ref, paddr, tag)
+            return False
+        plane.corrupt_word(self.mem, paddr)
+        return True
+
+    @property
+    def slots_in_flight(self) -> int:
+        """Request slots currently holding an outstanding mark access."""
+        return self._slots.capacity - self._slots.occupancy

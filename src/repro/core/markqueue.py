@@ -136,6 +136,11 @@ class MarkQueue:
     def enqueue(self, ref: int) -> None:
         """Add a reference (non-blocking; excess goes to outQ/spill)."""
         self.total_enqueued += 1
+        stats = self.stats
+        if stats.hwfaults is not None or stats.watchdog is not None:
+            ref = self._supervised_enqueue(ref)
+            if ref is None:
+                return
         if (
             not self._outq
             and not self._inq
@@ -158,9 +163,43 @@ class MarkQueue:
 
     # -- consumer side ----------------------------------------------------------
 
+    def _supervised_enqueue(self, ref: int):
+        """Heartbeat + enqueue-side fault hooks (``drop``/``corrupt``).
+
+        Returns the (possibly corrupted) reference to enqueue, or ``None``
+        when the entry is lost — the unit's outstanding-reference count
+        keeps waiting for it, which is how a dropped queue entry wedges a
+        real traversal.
+        """
+        now = self.sim.now
+        wd = self.stats.watchdog
+        if wd is not None:
+            wd.beat("markqueue", now)
+        plane = self.stats.hwfaults
+        if plane is None:
+            return ref
+        fault = plane.fire("markqueue", now, kinds=("drop", "corrupt"))
+        if fault is None:
+            return ref
+        if fault.kind == "drop":
+            return None
+        return plane.corrupt_value(ref)
+
     def dequeue(self):
         """Yieldable: produces the next reference (from Q, refilled from
         inQ/outQ/spill as needed)."""
+        plane = self.stats.hwfaults
+        if plane is not None:
+            fault = plane.fire("markqueue", self.sim.now,
+                               kinds=("stuck", "delay"))
+            if fault is not None:
+                if fault.kind == "delay":
+                    yield fault.delay_cycles
+                else:
+                    # Stuck consumer port: park on an event that never
+                    # triggers (fire keeps returning the latched fault, so
+                    # every later dequeue wedges the same way).
+                    yield Event(self.sim, name="markq.stuck")
         self._balance()
         item = yield self.main.get()
         self._balance()

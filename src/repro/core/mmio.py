@@ -30,6 +30,7 @@ class Reg(enum.IntEnum):
     N_SWEEPERS = 0x48
     OBJECTS_MARKED = 0x50  # read-only result counter
     CELLS_FREED = 0x58  # read-only result counter
+    FALLBACKS = 0x60  # read-only: collections finished by the SW safety net
 
 
 class Command(enum.IntEnum):
@@ -44,6 +45,9 @@ class Status(enum.IntEnum):
     MARKING = 1
     SWEEPING = 2
     DONE = 3
+    #: The hardware collection was aborted and the software safety net
+    #: (§V-E's replaceable libhwgc) is finishing the pause.
+    FALLBACK = 4
 
 
 class MMIORegisterFile:

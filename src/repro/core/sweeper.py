@@ -77,6 +77,22 @@ class BlockSweeper:
     def _sweep_block(self, desc: BlockDescriptor):
         freed_before = self.cells_freed
         live_before = self.cells_live
+        fault = None
+        stats = self.unit.stats
+        if stats.hwfaults is not None or stats.watchdog is not None:
+            fault = self._supervised_block()
+            if fault is not None:
+                if fault.kind == "drop":
+                    # The descriptor is lost: the block is never swept, so
+                    # its dead cells stay off the free list — caught by the
+                    # post-collection sweep verification.
+                    return
+                if fault.kind == "stuck":
+                    # This lane wedges mid-sweep; the sentinel it owes the
+                    # dispatcher never drains, so the sweep never completes.
+                    yield Event(self.sim, name=f"sweeper{self.index}.stuck")
+                elif fault.kind == "delay":
+                    yield fault.delay_cycles
         base_paddr = self.unit.to_physical(desc.base_vaddr)
         span = desc.cell_bytes * desc.n_cells
         # One translation per page of the block (shared TLB; the blocking
@@ -107,6 +123,11 @@ class BlockSweeper:
             self.mem.write_word(cell_paddr, free_head)
             self.port.write(cell_paddr, 8)
             free_head = desc.base_vaddr + i * desc.cell_bytes
+        if fault is not None and fault.kind == "corrupt":
+            # Bit-flip the rebuilt head before it is stored: the descriptor
+            # now points at a garbage cell, which the post-collection
+            # free-list walk rejects.
+            free_head ^= 1 << 33
         # Store the rebuilt free-list head into the descriptor (Fig. 8's
         # block-list writer).
         head_paddr = self.unit.block_list.descriptor_addr(desc.index) \
@@ -118,6 +139,19 @@ class BlockSweeper:
             trace.events.append((self.sim.now, "sweep", desc.index,
                                  self.cells_freed - freed_before,
                                  self.cells_live - live_before))
+
+    def _supervised_block(self):
+        """Heartbeat + per-block fault lookup (only called when a plane or
+        watchdog is attached)."""
+        now = self.sim.now
+        stats = self.unit.stats
+        wd = stats.watchdog
+        if wd is not None:
+            wd.beat("sweeper", now)
+        plane = stats.hwfaults
+        if plane is None:
+            return None
+        return plane.fire("sweeper", now)
 
 
 class ReclamationUnit:
@@ -185,6 +219,16 @@ class ReclamationUnit:
         for proc in procs:
             proc.add_callback(_one)
         return done
+
+    @property
+    def block_queue(self) -> HWQueue:
+        """The descriptor queue between the block-list reader and lanes."""
+        return self._queue
+
+    @property
+    def pending_blocks(self) -> int:
+        """Descriptors dispatched but not yet claimed by a sweeper lane."""
+        return self._queue.occupancy
 
     @property
     def cells_freed(self) -> int:

@@ -239,22 +239,62 @@ class GCUnit:
         return {k: v - before.get(k, 0) for k, v in after.items()
                 if v != before.get(k, 0)}
 
+    def _run_until(self, done: Event) -> int:
+        """Run the simulation to ``done``; returns the cycle at which it
+        triggered. Supervised when a watchdog is attached
+        (``stats.watchdog``), bare otherwise. The bare path is the figure
+        pipeline's path and is byte-identical to before. The supervised
+        clock can overshoot the trigger by up to one check interval, so
+        phase accounting must use the returned cycle, not ``sim.now``."""
+        wd = self.heap.memsys.stats.watchdog
+        if wd is not None:
+            wd.run_until(self.sim, done)
+            assert wd.completed_at is not None
+            return wd.completed_at
+        self.sim.run_until(done)
+        return self.sim.now
+
+    @staticmethod
+    def _export_queue_stalls(stats: StatsRegistry, *queues: HWQueue) -> None:
+        """Publish each queue's producer-stall count as a stats counter
+        (``queue.<name>.put_stalls``) so TraceMetrics and the run report
+        can surface back-pressure that was previously collected but never
+        reported."""
+        for q in queues:
+            if q.put_stall_count:
+                stats.inc(f"queue.{q.name}.put_stalls", q.put_stall_count)
+
     def mark(self) -> int:
         """Run the mark phase; returns its cycle count."""
         self.traversal = TraversalUnit(self.heap, self.config)
         stats = self.heap.memsys.stats
+        wd = stats.watchdog
+        if wd is not None:
+            trav = self.traversal
+            # Registration order is the watchdog's culprit tie-break:
+            # upstream (marker) before downstream queues.
+            wd.register_probe("marker.slots_in_flight", "marker",
+                              lambda: trav.marker.slots_in_flight)
+            wd.register_probe("markq.entries", "markqueue",
+                              lambda: trav.mark_queue.total_entries)
+            wd.register_probe("tracerq.entries", "tracer",
+                              lambda: trav.tracer_queue.occupancy)
         before = stats.as_dict()
         start = self.sim.now
         trace = stats.trace
         if trace is not None:
             trace.emit(start, "phase", "hw.mark", "B")
         done = self.traversal.run()
-        self.sim.run_until(done)
+        try:
+            end = self._run_until(done)
+        finally:
+            self._export_queue_stalls(stats, self.traversal.tracer_queue,
+                                      self.traversal.mark_queue.main)
         if trace is not None:
-            trace.emit(self.sim.now, "phase", "hw.mark", "E")
+            trace.emit(end, "phase", "hw.mark", "E")
         self.mark_stats = self._stats_delta(before, stats.as_dict())
-        self.mark_window = (start, self.sim.now)
-        return self.sim.now - start
+        self.mark_window = (start, end)
+        return end - start
 
     def sweep(self) -> int:
         """Run the sweep phase; returns its cycle count."""
@@ -273,18 +313,26 @@ class GCUnit:
             stats=self.heap.memsys.stats,
         )
         stats = self.heap.memsys.stats
+        wd = stats.watchdog
+        if wd is not None:
+            recl = self.reclamation
+            wd.register_probe("recl.blocks", "sweeper",
+                              lambda: recl.pending_blocks)
         before = stats.as_dict()
         start = self.sim.now
         trace = stats.trace
         if trace is not None:
             trace.emit(start, "phase", "hw.sweep", "B")
         done = self.reclamation.sweep()
-        self.sim.run_until(done)
+        try:
+            end = self._run_until(done)
+        finally:
+            self._export_queue_stalls(stats, self.reclamation.block_queue)
         if trace is not None:
-            trace.emit(self.sim.now, "phase", "hw.sweep", "E")
+            trace.emit(end, "phase", "hw.sweep", "E")
         self.sweep_stats = self._stats_delta(before, stats.as_dict())
-        self.sweep_window = (start, self.sim.now)
-        return self.sim.now - start
+        self.sweep_window = (start, end)
+        return end - start
 
     def collect(self) -> HardwareGCResult:
         """Full stop-the-world collection: mark, then sweep."""

@@ -45,6 +45,34 @@ class SimulationError(RuntimeError):
     """Raised for protocol violations inside the simulation kernel."""
 
 
+class StallReport(SimulationError):
+    """A diagnosed stall: the event queue drained (or progress ceased) with
+    a wait still outstanding.
+
+    Subclasses :class:`SimulationError` so existing ``except`` clauses and
+    tests matching ``"deadlock"`` keep working; the message gains a
+    diagnosis naming the culprit component, its oldest outstanding request,
+    and queue occupancies when a :class:`~repro.engine.watchdog.GCWatchdog`
+    is attached.
+    """
+
+    def __init__(self, message: str, *, cycle: int = 0,
+                 waiting_for: str = "", culprit: str = "",
+                 oldest_request: str = "", occupancies=None,
+                 faults=None):
+        super().__init__(message)
+        self.cycle = cycle
+        self.waiting_for = waiting_for
+        #: Component name the diagnosis blames ("" when undiagnosed).
+        self.culprit = culprit
+        #: Human-readable oldest outstanding request ("" if none).
+        self.oldest_request = oldest_request
+        #: Mapping of queue/component name -> occupancy at stall time.
+        self.occupancies = dict(occupancies or {})
+        #: Injected faults that had fired by the stall (FiredFault list).
+        self.faults = list(faults or [])
+
+
 def fastpath_enabled() -> bool:
     """Whether inline :class:`Completion` fast paths are enabled.
 
@@ -244,6 +272,13 @@ class Simulator:
     now: int
     events_processed: int
 
+    #: Optional stall diagnostician (a
+    #: :class:`~repro.engine.watchdog.GCWatchdog`). Class-level ``None``
+    #: keeps the undiagnosed path zero-cost: a drained queue does one
+    #: attribute load and a ``None`` check before raising, and nothing on
+    #: the hot event loop ever touches it.
+    diagnostics = None
+
     def __new__(cls, *args: Any, **kwargs: Any) -> "Simulator":
         if cls is Simulator:
             engine = os.environ.get("REPRO_ENGINE", "bucket").strip().lower()
@@ -290,6 +325,30 @@ class Simulator:
         """Run until ``event`` triggers; returns its value.
 
         Raises :class:`SimulationError` if the queue drains first (deadlock).
+        """
+        raise NotImplementedError
+
+    def _stall(self, event: Event) -> StallReport:
+        """Build the exception for a drained queue with ``event`` pending.
+
+        The one diagnostic site shared by both kernels (and their budgeted
+        variants). Keeps the historical ``deadlock: event queue empty``
+        message as the prefix; when a watchdog is attached as
+        :attr:`diagnostics` it appends the culprit diagnosis.
+        """
+        message = (f"deadlock: event queue empty at cycle {self.now} "
+                   f"while waiting for {event!r}")
+        diagnostics = self.diagnostics
+        if diagnostics is not None:
+            return diagnostics.diagnose(self, event, message)
+        return StallReport(message, cycle=self.now, waiting_for=repr(event))
+
+    def discard_pending(self) -> int:
+        """Drop every scheduled event; returns how many were discarded.
+
+        Used by the driver's safety net when abandoning a wedged hardware
+        collection: residual callbacks from the dead unit must never fire
+        into the restored heap.
         """
         raise NotImplementedError
 
@@ -343,6 +402,12 @@ class BucketSimulator(Simulator):
     @property
     def pending_events(self) -> int:
         return sum(len(bucket) for bucket in self._buckets.values())
+
+    def discard_pending(self) -> int:
+        dropped = self.pending_events
+        self._buckets.clear()
+        self._times.clear()
+        return dropped
 
     def _retire(self, time: int, bucket: list, executed: int) -> None:
         """Account for a partial drain and keep the remainder queued."""
@@ -423,10 +488,7 @@ class BucketSimulator(Simulator):
         pop = heapq.heappop
         while not event.triggered:
             if not times:
-                raise SimulationError(
-                    f"deadlock: event queue empty at cycle {self.now} while "
-                    f"waiting for {event!r}"
-                )
+                raise self._stall(event)
             time = pop(times)
             self.now = time
             bucket = buckets[time]
@@ -450,10 +512,7 @@ class BucketSimulator(Simulator):
         buckets, times = self._buckets, self._times
         while not event.triggered:
             if not times:
-                raise SimulationError(
-                    f"deadlock: event queue empty at cycle {self.now} while "
-                    f"waiting for {event!r}"
-                )
+                raise self._stall(event)
             time = heapq.heappop(times)
             self.now = time
             bucket = buckets[time]
@@ -499,6 +558,11 @@ class HeapqSimulator(Simulator):
     @property
     def pending_events(self) -> int:
         return len(self._queue)
+
+    def discard_pending(self) -> int:
+        dropped = len(self._queue)
+        self._queue.clear()
+        return dropped
 
     def run(
         self,
@@ -552,10 +616,7 @@ class HeapqSimulator(Simulator):
         try:
             while not event.triggered:
                 if not queue:
-                    raise SimulationError(
-                        f"deadlock: event queue empty at cycle {self.now} "
-                        f"while waiting for {event!r}"
-                    )
+                    raise self._stall(event)
                 if budget is not None:
                     if budget <= 0:
                         raise SimulationError(

@@ -56,6 +56,16 @@ class StatsRegistry:
     #: The attached :class:`~repro.engine.trace.TraceBus`, or ``None``.
     trace = None
 
+    #: The attached :class:`~repro.engine.faultplane.FaultPlane`, or
+    #: ``None``. Same zero-cost discipline as :attr:`trace`: hook sites do
+    #: one attribute load plus a ``None`` check when no faults are armed.
+    hwfaults = None
+
+    #: The attached :class:`~repro.engine.watchdog.GCWatchdog`, or
+    #: ``None``. Heartbeat/outstanding-request hooks are skipped entirely
+    #: when no watchdog is supervising the collection.
+    watchdog = None
+
     def __init__(self) -> None:
         self._counters: Dict[str, Counter] = {}
 

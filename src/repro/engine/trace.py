@@ -47,6 +47,12 @@ Event taxonomy (category -> fields):
 ``sweep`` ``(block, freed, live)`` — a block sweeper finished one block.
 ``cpu``   ``(op, vaddr)`` — software-collector CPU memory op
           (``load`` / ``store`` / ``amo``).
+``fault`` ``(kind, component, op_index)`` — an injected hardware fault
+          fired (:mod:`repro.engine.faultplane`); never emitted unless a
+          fault plane is armed.
+``fallback`` ``(reason, culprit)`` — the driver aborted a hardware
+          collection and re-ran it on the software safety net; only
+          emitted on that degradation path.
 ========  ==================================================================
 """
 
@@ -115,8 +121,12 @@ class TraceMetrics:
     produces the same timelines and histograms.
     """
 
-    def __init__(self, events: Sequence[TraceEvent]):
+    def __init__(self, events: Sequence[TraceEvent], stats: Any = None):
         self.events = list(events)
+        #: Optional :class:`~repro.engine.stats.StatsRegistry` captured
+        #: alongside the trace; enables counter-backed views (queue put
+        #: stalls) that have no per-event representation.
+        self.stats = stats
 
     # -- phases ------------------------------------------------------------
 
@@ -187,6 +197,24 @@ class TraceMetrics:
                 series.sample(event[0], event[3])
         return series
 
+    def queue_stalls(self) -> Dict[str, int]:
+        """Per queue name, how many producer ``put()`` calls blocked on a
+        full queue (``queue.<name>.put_stalls`` counters).
+
+        Backpressure has no per-event trace record — a stalled put is the
+        *absence* of progress — so this view needs the stats registry
+        captured with the trace; without one it is empty.
+        """
+        if self.stats is None:
+            return {}
+        prefix = "queue."
+        suffix = ".put_stalls"
+        return {
+            key[len(prefix):-len(suffix)]: value
+            for key, value in sorted(self.stats.with_prefix(prefix).items())
+            if key.endswith(suffix) and value
+        }
+
     def queue_peak(self, name: str) -> int:
         return max(
             (e[3] for e in self.events if e[1] == "queue" and e[2] == name),
@@ -232,6 +260,24 @@ class TraceMetrics:
             lines.append(
                 f"    {source:10s} {by_source[source]:>10,} ({share:4.1f}%)"
             )
+        stalls = self.queue_stalls()
+        if stalls:
+            lines.append("  queue backpressure (blocked puts):")
+            for name in sorted(stalls):
+                lines.append(f"    {name:12s} {stalls[name]:>10,}")
+        faults = [e for e in self.events if e[1] == "fault"]
+        if faults:
+            lines.append(f"  {len(faults)} injected fault(s) fired:")
+            for cycle, _, kind, component, op_index in faults:
+                lines.append(
+                    f"    {kind}:{component} at cycle {cycle:,} "
+                    f"(op #{op_index})")
+        for event in self.events:
+            if event[1] == "fallback":
+                cycle, _, reason, culprit = event
+                lines.append(
+                    f"  FALLBACK at cycle {cycle:,}: {reason}"
+                    + (f" [{culprit}]" if culprit else ""))
         return "\n".join(lines)
 
 

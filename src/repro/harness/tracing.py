@@ -68,6 +68,9 @@ class TraceCapture:
     bus: TraceBus
     #: Collector name -> {phase name: cycles} from the collection results.
     phase_cycles: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: The run's stats registry, for counter-backed views (queue put
+    #: stalls) that have no per-event trace representation.
+    stats: Optional[object] = None
 
     @property
     def events(self) -> list:
@@ -78,7 +81,7 @@ class TraceCapture:
         return trace_digest(self.bus.events)
 
     def metrics(self) -> TraceMetrics:
-        return TraceMetrics(self.bus.events)
+        return TraceMetrics(self.bus.events, stats=self.stats)
 
 
 def trace_collection(
@@ -134,6 +137,7 @@ def trace_collection(
         collectors=wanted,
         bus=bus,
         phase_cycles=phase_cycles,
+        stats=heap.memsys.stats,
     )
 
 

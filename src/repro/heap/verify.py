@@ -62,12 +62,20 @@ class HeapVerifier:
 
     def check_marks(self, parity: Optional[int] = None,
                     report: Optional[VerificationReport] = None,
+                    live: Optional[Set[int]] = None,
                     ) -> VerificationReport:
-        """Every tracked object's mark bit must match functional liveness."""
+        """Every tracked object's mark bit must match functional liveness.
+
+        ``live`` lets the caller supply a pre-computed oracle (e.g. the
+        reachable set captured *before* a hardware run). That matters under
+        fault injection: a corrupting fault mutates the object graph, so a
+        post-hoc BFS would agree with the corrupted heap and miss the
+        damage.
+        """
         heap = self.heap
         parity = parity if parity is not None else heap.mark_parity
         report = report or VerificationReport()
-        expected_live = self.software_mark_set()
+        expected_live = live if live is not None else self.software_mark_set()
         for addr in heap.objects:
             view = heap.view(addr)
             report.objects_checked += 1
@@ -79,12 +87,17 @@ class HeapVerifier:
         return report
 
     def check_sweep(self, report: Optional[VerificationReport] = None,
-                    parity: Optional[int] = None) -> VerificationReport:
-        """After a sweep: dead MarkSweep cells are free, live ones intact."""
+                    parity: Optional[int] = None,
+                    live: Optional[Set[int]] = None) -> VerificationReport:
+        """After a sweep: dead MarkSweep cells are free, live ones intact.
+
+        ``live`` optionally supplies a pre-computed oracle reachable set
+        (see :meth:`check_marks`).
+        """
         heap = self.heap
         parity = parity if parity is not None else heap.mark_parity
         report = report or VerificationReport()
-        live = self.software_mark_set()
+        live = live if live is not None else self.software_mark_set()
         ms = heap.plan.marksweep
         for desc in heap.block_list:
             base_paddr = heap.to_physical(desc.base_vaddr)
@@ -121,11 +134,12 @@ class HeapVerifier:
             report.freelist_errors.append(str(exc))
         return report
 
-    def full_check(self, parity: Optional[int] = None) -> VerificationReport:
+    def full_check(self, parity: Optional[int] = None,
+                   live: Optional[Set[int]] = None) -> VerificationReport:
         """Marks + sweep + free lists in one report."""
         report = VerificationReport()
-        self.check_marks(parity=parity, report=report)
-        self.check_sweep(parity=parity, report=report)
+        self.check_marks(parity=parity, report=report, live=live)
+        self.check_sweep(parity=parity, report=report, live=live)
         self.check_free_lists(report=report)
         return report
 
@@ -154,6 +168,47 @@ def snapshot_heap(heap: ManagedHeap) -> Dict[int, ObjectSnapshot]:
             refs=tuple(view.refs()),
         )
     return out
+
+
+def heap_digest(heap: ManagedHeap) -> str:
+    """SHA-256 over the heap's *logical* post-GC state.
+
+    Hashes the live-set snapshots (address, refcount, array flag, mark
+    bit, outgoing references), each block's rebuilt free list, and the
+    mark parity — the state a collection is supposed to produce. It
+    deliberately excludes raw memory outside that (the hardware path
+    leaves spill-ring residue the software path does not), so a hardware
+    collection, a software collection, and a fault-recovered fallback of
+    the same heap all digest identically — which is exactly the identity
+    the CI fault smoke asserts.
+    """
+    import hashlib
+    hasher = hashlib.sha256()
+    hasher.update(f"parity={heap.mark_parity}\n".encode())
+    # Live objects only: swept dead cells have had their scan word
+    # overwritten by the free-list relink and no longer decode as objects.
+    for addr in sorted(heap.reachable()):
+        snap = heap.view(addr)
+        hasher.update(
+            f"obj {addr:#x} {snap.n_refs} {int(snap.is_array)} "
+            f"{snap.mark_bit} {tuple(snap.refs())!r}\n".encode())
+    for desc in heap.block_list:
+        cells = []
+        cur = desc.freelist_head
+        # Bounded walk: a corrupted list (cycle, garbage pointer) must
+        # still terminate with a distinctive digest, not an exception.
+        for _ in range(desc.n_cells + 1):
+            if cur == 0:
+                break
+            cells.append(cur)
+            try:
+                cur = heap.mem.read_word(heap.to_physical(cur))
+            except Exception:
+                cells.append(-1)
+                break
+        hasher.update(
+            f"free block={desc.index} {cells!r}\n".encode())
+    return hasher.hexdigest()
 
 
 def diff_snapshots(before: Dict[int, ObjectSnapshot],

@@ -209,6 +209,12 @@ class DRAMController:
         if target is not None and target != self._next_pump_at:
             return
         self._next_pump_at = None
+        plane = self.stats.hwfaults
+        if plane is not None and plane.is_stuck("dram"):
+            # Stuck controller: requests accumulate, nothing dispatches,
+            # and no further wakeup is armed — the watchdog's outstanding
+            # tracking (or the queue-drain deadlock) names us.
+            return
         now = self.sim.now
         reads, writes = self._reads, self._writes
         while True:
@@ -250,7 +256,61 @@ class DRAMController:
         self._bus_free_at = done
         bank.busy_until = done
         self._record_complete(req, done, transfer)
+        stats = self.stats
+        if stats.hwfaults is not None or stats.watchdog is not None:
+            self._dispatch_supervised(req, event, now, done)
+            return
         self.sim.schedule(done - now, event.trigger, done)
+
+    def _dispatch_supervised(self, req: MemRequest, event: Event,
+                             now: int, done: int) -> None:
+        """Response delivery with fault injection and/or watchdog tracking.
+
+        Off the hot path: :meth:`_dispatch` only lands here when a fault
+        plane or watchdog is attached. Tracking is registered *before* the
+        fault is applied so a dropped or wedged response stays visible as
+        the oldest outstanding request in the stall diagnosis.
+        """
+        wd = self.stats.watchdog
+        if wd is not None:
+            wd.beat("dram", now)
+            wd.note_submit(
+                "dram", id(event), req.issue_time,
+                f"{req.kind.value} {req.size}B @0x{req.addr:x} "
+                f"from {req.source}")
+        plane = self.stats.hwfaults
+        fault = plane.fire("dram", now) if plane is not None else None
+        if fault is not None:
+            if fault.kind in ("drop", "stuck"):
+                # The response never arrives (stuck also wedges the pump
+                # via the is_stuck latch checked there).
+                return
+            if fault.kind == "delay":
+                done += fault.delay_cycles
+            elif fault.kind == "corrupt":
+                # Flip a payload bit in the backing store: the functional
+                # read/write split means whoever consumes this word next
+                # observes the corruption.
+                plane.corrupt_word(None, req.addr - req.addr % 8)
+        if wd is not None:
+            self.sim.schedule(done - now, self._complete_tracked, event, done)
+        else:
+            self.sim.schedule(done - now, event.trigger, done)
+
+    def _complete_tracked(self, event: Event, done: int) -> None:
+        wd = self.stats.watchdog
+        if wd is not None:
+            wd.note_complete("dram", id(event))
+        event.trigger(done)
+
+    def abort_pending(self) -> int:
+        """Drop every queued request and cancel the pump (safety-net abort
+        of an abandoned collection). Returns how many were discarded."""
+        dropped = len(self._reads) + len(self._writes)
+        self._reads.clear()
+        self._writes.clear()
+        self._next_pump_at = None
+        return dropped
 
     def _schedule_pump(self, delay: int) -> None:
         """Schedule a pump, keeping only the earliest pending wakeup live.

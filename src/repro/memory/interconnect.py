@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Optional, Union
 
+from repro.engine.faultplane import plane_from_env
 from repro.engine.simulator import Simulator
 from repro.engine.stats import BandwidthTracker, StatsRegistry
 from repro.memory.cache import Cache
@@ -136,4 +137,10 @@ def build_memory_system(
     # entire DRAM address space", §VII), optionally with superpages.
     page_table.map_linear(VIRT_OFFSET, 0, config.total_bytes,
                           superpages=config.use_superpages)
+    # Arm the hardware fault plane if REPRO_HWFAULTS requests one. With the
+    # variable unset this is a no-op and ``stats.hwfaults`` stays the
+    # class-level None — the zero-cost disabled path.
+    plane = plane_from_env()
+    if plane is not None:
+        plane.install(stats, phys)
     return MemorySystem(sim, config, phys, model, page_table, stats, bandwidth)

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.engine.simulator import Completion, Simulator, fastpath_enabled
+from repro.engine.simulator import Completion, Event, Simulator, fastpath_enabled
 from repro.engine.stats import BandwidthTracker, IntervalTracker, StatsRegistry
 from repro.memory.config import PipeConfig
 from repro.memory.request import AccessKind, MemRequest
@@ -56,15 +56,60 @@ class LatencyBandwidthPipe:
         self._bus_free_at = start + transfer
         done = start + transfer + self.config.latency
         self._record_complete(req, done, transfer)
+        plane = self.stats.hwfaults
+        if plane is not None:
+            faulted = self._apply_fault(plane, req, done)
+            if faulted is not None:
+                return faulted
         if self._fast:
             return Completion(self.sim, done, done)
         event = self.sim.event(name=f"pipe.{req.source}")
         self.sim.at(done, event.trigger, done)
         return event
 
+    def _apply_fault(self, plane, req: MemRequest, done: int):
+        """Fault hooks for the pipe model (it *is* the ``dram`` component).
+
+        Returns a replacement wait handle, or ``None`` to deliver normally
+        (possibly after mutating memory for ``corrupt``). Off the hot path:
+        only reached with a fault plane attached.
+        """
+        now = self.sim.now
+        if plane.is_stuck("dram"):
+            dead = Event(self.sim, name=f"pipe.{req.source}.stuck")
+            self._note_lost(req, dead)
+            return dead
+        fault = plane.fire("dram", now)
+        if fault is None:
+            return None
+        if fault.kind in ("drop", "stuck"):
+            dead = Event(self.sim, name=f"pipe.{req.source}.{fault.kind}")
+            self._note_lost(req, dead)
+            return dead
+        if fault.kind == "delay":
+            late = done + fault.delay_cycles
+            event = Event(self.sim, name=f"pipe.{req.source}.delay")
+            self.sim.at(late, event.trigger, late)
+            return event
+        # corrupt: flip a payload bit; timing is unchanged.
+        plane.corrupt_word(None, req.addr - req.addr % 8)
+        return None
+
+    def _note_lost(self, req: MemRequest, handle) -> None:
+        wd = self.stats.watchdog
+        if wd is not None:
+            wd.note_submit(
+                "dram", id(handle), req.issue_time,
+                f"{req.kind.value} {req.size}B @0x{req.addr:x} "
+                f"from {req.source}")
+
     @property
     def pending(self) -> int:
         """The pipe never queues; pending work is implicit in bus occupancy."""
+        return 0
+
+    def abort_pending(self) -> int:
+        """The pipe holds no queued state; nothing to discard."""
         return 0
 
     def _record_submit(self, req: MemRequest) -> None:

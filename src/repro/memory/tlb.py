@@ -162,6 +162,9 @@ class TLB:
                 self.sim.schedule(self.l2.latency, event.trigger, l2_paddr)
                 return event
 
+        stats = self.stats
+        if stats.hwfaults is not None or stats.watchdog is not None:
+            return self._walk_supervised(vaddr)
         event = Event(self.sim, name=self._ev_translate)
 
         def _walked(walked_paddr: int) -> None:
@@ -170,6 +173,54 @@ class TLB:
             if self.l2 is not None:
                 self.l2.insert(vaddr, walked_paddr, superpage)
             event.trigger(walked_paddr)
+
+        self.ptw.walk(vaddr).add_callback(_walked)
+        return event
+
+    def _walk_supervised(self, vaddr: int):
+        """Page-walk path with fault injection and watchdog tracking.
+
+        Only reached on an L1+L2 miss when a fault plane or watchdog is
+        attached — hit paths above are untouched. The walk is tracked as an
+        outstanding ``tlb`` request until its translation is *delivered*,
+        so dropped, wedged and delayed walks all stay visible to the stall
+        diagnosis.
+        """
+        sim = self.sim
+        event = Event(sim, name=self._ev_translate)
+        wd = self.stats.watchdog
+        if wd is not None:
+            wd.note_submit("tlb", id(event), sim.now,
+                           f"page walk for 0x{vaddr:x} ({self.name})")
+        plane = self.stats.hwfaults
+        fault = None
+        if plane is not None:
+            if plane.is_stuck("tlb"):
+                return event
+            fault = plane.fire("tlb", sim.now)
+            if fault is not None and fault.kind in ("drop", "stuck"):
+                # The walk never happens: the requester waits forever.
+                return event
+
+        def _deliver(walked_paddr: int) -> None:
+            if wd is not None:
+                wd.note_complete("tlb", id(event))
+            event.trigger(walked_paddr)
+
+        def _walked(walked_paddr: int) -> None:
+            if fault is not None and fault.kind == "corrupt":
+                # Deliver a corrupted translation without caching it (the
+                # fault is transient, not a poisoned TLB entry).
+                _deliver(plane.corrupt_value(walked_paddr))
+                return
+            superpage = self.ptw.page_table.is_superpage(vaddr)
+            self._store.insert(vaddr, walked_paddr, superpage)
+            if self.l2 is not None:
+                self.l2.insert(vaddr, walked_paddr, superpage)
+            if fault is not None and fault.kind == "delay":
+                sim.schedule(fault.delay_cycles, _deliver, walked_paddr)
+            else:
+                _deliver(walked_paddr)
 
         self.ptw.walk(vaddr).add_callback(_walked)
         return event

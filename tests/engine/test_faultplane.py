@@ -1,0 +1,164 @@
+"""The deterministic fault-injection plane (spec grammar + fire semantics)."""
+
+import pytest
+
+from repro.engine.faultplane import (
+    CORRUPT_BIT,
+    DEFAULT_DELAY_CYCLES,
+    COMPONENTS,
+    ENV_VAR,
+    FaultPlane,
+    HWFault,
+    HWFaultSpecError,
+    KINDS,
+    parse_hwfault_spec,
+    plane_from_env,
+)
+from repro.engine.stats import StatsRegistry
+from repro.engine.trace import TraceBus
+
+
+class TestSpecGrammar:
+    def test_minimal_spec(self):
+        plane = parse_hwfault_spec("drop:dram")
+        assert len(plane.faults) == 1
+        fault = plane.faults[0]
+        assert (fault.kind, fault.component, fault.nth) == ("drop", "dram", 1)
+        assert fault.at_cycle is None
+
+    def test_nth_trigger(self):
+        (fault,) = parse_hwfault_spec("corrupt:marker:7").faults
+        assert fault.nth == 7
+
+    def test_cycle_trigger(self):
+        (fault,) = parse_hwfault_spec("stuck:sweeper:@12345").faults
+        assert fault.at_cycle == 12345
+
+    def test_multiple_faults(self):
+        plane = parse_hwfault_spec("drop:dram:2, delay:tlb:@99")
+        assert [f.component for f in plane.faults] == ["dram", "tlb"]
+
+    def test_spec_roundtrip(self):
+        for spec in ("drop:dram", "delay:tlb:3", "stuck:marker:@1000"):
+            (fault,) = parse_hwfault_spec(spec).faults
+            assert fault.spec() == spec if ":@" in spec or spec.count(":") == 2 \
+                else fault.spec().startswith(spec)
+            (again,) = parse_hwfault_spec(fault.spec()).faults
+            assert again == fault
+
+    @pytest.mark.parametrize("bad", [
+        "explode:dram",          # unknown kind
+        "drop:gpu",              # unknown component
+        "drop",                  # missing component
+        "drop:dram:0",           # nth must be >= 1
+        "drop:dram:-3",          # negative count
+        "drop:dram:@-5",         # negative cycle
+        "drop:dram:x",           # non-numeric trigger
+        "drop:dram:1:extra",     # too many fields
+    ])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(HWFaultSpecError):
+            parse_hwfault_spec(bad)
+
+    def test_env_unset_means_no_plane(self):
+        assert plane_from_env(environ={}) is None
+        assert plane_from_env(environ={ENV_VAR: "  "}) is None
+
+    def test_env_set_builds_plane(self):
+        plane = plane_from_env(environ={ENV_VAR: "delay:markqueue"})
+        assert plane is not None
+        assert plane.faults[0].component == "markqueue"
+
+    def test_vocabulary_is_closed(self):
+        assert set(KINDS) == {"drop", "delay", "corrupt", "stuck"}
+        assert set(COMPONENTS) == {"dram", "tlb", "marker", "markqueue",
+                                   "sweeper"}
+
+
+class TestFireSemantics:
+    def test_nth_op_fires_once(self):
+        plane = parse_hwfault_spec("drop:dram:3")
+        assert plane.fire("dram", 10) is None
+        assert plane.fire("dram", 20) is None
+        fault = plane.fire("dram", 30)
+        assert fault is not None and fault.kind == "drop"
+        # One-shot: consumed after firing.
+        assert plane.fire("dram", 40) is None
+        assert len(plane.fired) == 1
+        assert plane.fired[0].cycle == 30 and plane.fired[0].op_index == 3
+
+    def test_other_components_untouched(self):
+        plane = parse_hwfault_spec("drop:dram")
+        assert plane.fire("tlb", 5) is None
+        assert plane.fire("dram", 6) is not None
+
+    def test_cycle_trigger_fires_at_first_op_past_cycle(self):
+        plane = parse_hwfault_spec("delay:tlb:@100")
+        assert plane.fire("tlb", 99) is None
+        fault = plane.fire("tlb", 100)
+        assert fault is not None and fault.delay_cycles == DEFAULT_DELAY_CYCLES
+
+    def test_kinds_filter(self):
+        plane = parse_hwfault_spec("corrupt:markqueue")
+        # A site that only admits stuck/delay never sees the corrupt fault.
+        assert plane.fire("markqueue", 1, kinds=("stuck", "delay")) is None
+        assert plane.fire("markqueue", 2, kinds=("drop", "corrupt")) is not None
+
+    def test_stuck_latches(self):
+        plane = parse_hwfault_spec("stuck:marker")
+        assert not plane.is_stuck("marker")
+        first = plane.fire("marker", 10)
+        assert first is not None
+        # Latched: every later op on the component keeps hitting the fault,
+        # but only the first firing is recorded.
+        assert plane.fire("marker", 11) is first
+        assert plane.is_stuck("marker")
+        assert not plane.is_stuck("dram")
+        assert len(plane.fired) == 1
+
+    def test_suspend_masks_everything(self):
+        plane = parse_hwfault_spec("stuck:marker,drop:dram")
+        plane.fire("marker", 1)
+        plane.suspend()
+        assert plane.fire("dram", 2) is None
+        assert not plane.is_stuck("marker")
+        plane.resume()
+        assert plane.is_stuck("marker")
+
+    def test_reset_rearms(self):
+        plane = parse_hwfault_spec("drop:dram")
+        assert plane.fire("dram", 1) is not None
+        plane.reset()
+        assert plane.fired == []
+        assert plane.fire("dram", 2) is not None
+
+    def test_bool(self):
+        assert parse_hwfault_spec("drop:dram")
+        assert not FaultPlane(faults=())
+
+
+class TestInstrumentation:
+    def test_install_exports_counters_and_trace(self):
+        stats = StatsRegistry()
+        stats.trace = TraceBus()
+        plane = parse_hwfault_spec("drop:dram")
+        plane.install(stats)
+        assert stats.hwfaults is plane
+        plane.fire("dram", 42)
+        assert stats.get("hwfault.drop.dram") == 1
+        assert (42, "fault", "drop", "dram", 1) in stats.trace.events
+        plane.uninstall()
+        assert stats.hwfaults is None
+
+    def test_unfired_plane_emits_nothing(self):
+        stats = StatsRegistry()
+        stats.trace = TraceBus()
+        plane = parse_hwfault_spec("drop:dram:999")
+        plane.install(stats)
+        plane.fire("dram", 1)
+        assert stats.with_prefix("hwfault.") == {}
+        assert len(stats.trace) == 0
+
+    def test_corrupt_value_flips_the_poison_bit(self):
+        assert FaultPlane.corrupt_value(0) == CORRUPT_BIT
+        assert FaultPlane.corrupt_value(CORRUPT_BIT) == 0
