@@ -105,7 +105,8 @@ def _cmd_run_all(args) -> int:
         runs = run_suite(jobs=jobs, only=only,
                          progress=lambda msg: print(msg, flush=True),
                          timeout=args.timeout, retries=args.retries,
-                         keep_going=args.keep_going, store=store)
+                         keep_going=args.keep_going, store=store,
+                         shard_figures=args.shard_figures)
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
@@ -279,6 +280,10 @@ def main(argv=None) -> int:
     all_parser.add_argument("--retries", type=int, default=0,
                             help="retry a crashed/failed/hung figure up to "
                             "N times (exponential backoff)")
+    all_parser.add_argument("--shard-figures", action="store_true",
+                            help="also split benchmark-axis figures "
+                            "(fig15, fig01a) across the --jobs workers; "
+                            "digests are unchanged")
     all_parser.add_argument("--keep-going", action="store_true",
                             help="on exhausted retries, annotate the "
                             "report and continue instead of aborting "

@@ -14,6 +14,9 @@ hands newly marked objects with outbound references to the tracer queue.
 
 Request slots are modeled as a token pool: the marker stalls when all
 ``marker_slots`` are in flight, the unit's analogue of MSHR pressure.
+The slot contents live in :class:`~repro.memory.request.RequestSlots`
+columns indexed by tag — in-flight callbacks carry only the integer tag,
+exactly the "tag and a 64-bit address" the paper's tag table holds.
 """
 
 from __future__ import annotations
@@ -27,6 +30,7 @@ from repro.heap.header import decode_refcount, header_is_marked, header_with_mar
 from repro.core.markbitcache import MarkBitCache
 from repro.core.markqueue import MarkQueue
 from repro.memory.memimage import PhysicalMemory
+from repro.memory.request import RequestSlots
 from repro.memory.tlb import TLB
 
 
@@ -60,10 +64,13 @@ class Marker:
         #: issuing requests that hit while misses walk in the background
         #: (requires a PTW with ``max_concurrent > 1`` to pay off).
         self.nonblocking_tlb = nonblocking_tlb
-        # Request-slot token pool (Fig. 13's tag table).
+        # Request-slot token pool (Fig. 13's tag table): free tags queue
+        # here, in-flight (ref, paddr) state lives in the tag-indexed
+        # columns.
         self._slots = HWQueue(sim, slots, name="marker.slots")
         for tag in range(slots):
             self._slots.put_nowait(tag)
+        self._tags = RequestSlots(slots)
         self.objects_marked = 0
         self.already_marked = 0
         self.filtered = 0
@@ -86,21 +93,26 @@ class Marker:
             if self.nonblocking_tlb:
                 # Park the miss with its walk; keep consuming the queue.
                 translate.add_callback(
-                    lambda paddr, r=ref, t=tag: self._issue(r, paddr, t)
+                    lambda paddr, r=ref, t=tag: self._issue_to(t, r, paddr)
                 )
             else:
                 # The paper's design: misses serialize the marker behind
                 # the blocking PTW (§VI-A).
                 paddr = yield translate
-                self._issue(ref, paddr, tag)
+                self._issue_to(tag, ref, paddr)
 
-    def _issue(self, ref: int, paddr: int, tag: int) -> None:
+    def _issue_to(self, tag: int, ref: int, paddr: int) -> None:
+        """Fill the slot's columns and issue the mark read under its tag."""
+        self._tags.store(tag, ref, paddr)
         self.port.read(paddr, 8).add_callback(
-            lambda _v, r=ref, p=paddr, t=tag: self._response(r, p, t)
+            lambda _v, t=tag: self._response(t)
         )
 
-    def _response(self, ref: int, paddr: int, tag: int) -> None:
+    def _response(self, tag: int) -> None:
         """Handle a returning mark access (any order, matched by tag)."""
+        tags = self._tags
+        ref = tags.ref[tag]
+        paddr = tags.paddr[tag]
         stats = self.stats
         if stats.hwfaults is not None or stats.watchdog is not None:
             if not self._supervised_response(ref, paddr, tag):
@@ -156,8 +168,9 @@ class Marker:
         if fault.kind in ("drop", "stuck"):
             return False
         if fault.kind == "delay":
-            self.sim.schedule(fault.delay_cycles, self._response,
-                              ref, paddr, tag)
+            # The slot stays occupied, so its columns remain valid for the
+            # re-delivered response.
+            self.sim.schedule(fault.delay_cycles, self._response, tag)
             return False
         plane.corrupt_word(self.mem, paddr)
         return True

@@ -50,6 +50,13 @@ class HWQueue:
         self._ev_put = f"{name}.put"
         self._ev_get = f"{name}.get"
         self._fast = fastpath_enabled()
+        # Shared always-ready handle for immediate puts: a Completion with
+        # time 0 is triggered at every cycle >= 0 and carries value None,
+        # which is observably identical to the fresh zero-latency
+        # Completion ``put`` used to allocate per call — so one handle per
+        # queue serves every immediate put for the simulation's lifetime.
+        # (``get`` cannot share: its value is the dequeued item.)
+        self._put_done = Completion(sim, 0, None)
         # Statistics.
         self.total_puts = 0
         self.total_gets = 0
@@ -95,13 +102,13 @@ class HWQueue:
     def put(self, item: Any):
         """Yieldable put: completes when the item has been accepted."""
         if not self._putters and len(self._items) < self.capacity:
-            # Immediate acceptance. The fast path returns a zero-latency
-            # Completion — observably identical to an Event triggered
-            # before any waiter attaches (consumed synchronously either
-            # way), minus the Event allocation and trigger call.
+            # Immediate acceptance. The fast path returns the queue's
+            # shared pre-resolved handle — observably identical to an
+            # Event triggered before any waiter attaches (consumed
+            # synchronously either way), minus any per-put allocation.
             if self._fast:
                 self._accept(item)
-                return Completion(self.sim, self.sim.now, None)
+                return self._put_done
             event = Event(self.sim, name=self._ev_put)
             self._accept(item)
             event.trigger()

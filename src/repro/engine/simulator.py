@@ -26,12 +26,17 @@ Two interchangeable kernels implement the event queue:
   the priority queue.
 * :class:`HeapqSimulator` — the original ``heapq`` kernel, kept as a
   reference implementation for determinism cross-checks.
+* :class:`VectorSimulator` — the array-batched kernel: per-cycle event
+  state lives in flat interleaved columns (callback, args, callback,
+  args, ...) instead of per-event pair tuples, and the run loops
+  batch-advance a whole epoch — every completion scheduled for the
+  current cycle — in one zip-paired pass over the columns.
 
-Both kernels process same-cycle events in strict scheduling order (a stable
+All kernels process same-cycle events in strict scheduling order (a stable
 FIFO within a cycle), so they produce *identical* simulations. Select the
-kernel with the ``REPRO_ENGINE`` environment variable (``bucket`` or
-``heapq``); instantiating :class:`Simulator` dispatches to the configured
-kernel.
+kernel with the ``REPRO_ENGINE`` environment variable (``bucket``,
+``heapq``, or ``vector``); instantiating :class:`Simulator` dispatches to
+the configured kernel.
 """
 
 from __future__ import annotations
@@ -262,11 +267,11 @@ class Simulator:
     """The event queue and clock (facade over the configured kernel).
 
     ``Simulator()`` instantiates the kernel selected by the ``REPRO_ENGINE``
-    environment variable (``bucket``, the default, or ``heapq``); both
-    subclasses share this public API. Events scheduled for the same cycle
-    run in scheduling order (a stable FIFO within a cycle), which keeps
-    hardware handshakes deterministic — and makes the two kernels produce
-    bit-identical simulations.
+    environment variable (``bucket``, the default, ``heapq``, or
+    ``vector``); all subclasses share this public API. Events scheduled for
+    the same cycle run in scheduling order (a stable FIFO within a cycle),
+    which keeps hardware handshakes deterministic — and makes every kernel
+    produce bit-identical simulations.
     """
 
     now: int
@@ -633,8 +638,228 @@ class HeapqSimulator(Simulator):
         return event.value
 
 
-#: Kernel registry for the ``REPRO_ENGINE`` environment variable.
+class VectorSimulator(Simulator):
+    """Array-batched kernel: interleaved event columns, epoch batch drain.
+
+    Where :class:`BucketSimulator` stores one ``(callback, args)`` pair
+    tuple per event, this kernel stores each cycle's events as a single
+    flat column ``[cb0, args0, cb1, args1, ...]``: scheduling into a busy
+    cycle is two list appends with **no** per-event tuple allocation, and
+    handles into the column are plain integer offsets (the exception and
+    ``run_until`` partial-drain paths slice by item index, not by entry).
+
+    The run loops advance one *epoch* — every completion scheduled for the
+    current cycle — per heap pop: ``zip(it, it)`` over the column's list
+    iterator re-pairs callback and args at C speed and dispatches them in
+    one pass. The dispatch "handler table" is the callback column itself:
+    each slot holds the pre-bound handler for that completion's type
+    (``Process._step`` for coroutine resumes, ``Event.trigger`` for
+    deferred handshakes, ``Completion._deliver`` for fast-path handles,
+    ``DRAMController._pump`` for scheduler wakeups), so batch dispatch is
+    one indirect call per event with zero re-dispatch logic.
+
+    Mid-epoch appends land on the live column and are picked up by the
+    same iterator — the zero-delay fast path, identical to the bucket
+    kernel's — which is what keeps intra-cycle FIFO order, and therefore
+    cycle counts and trace digests, bit-identical to the other kernels.
+
+    Invariants: ``_times`` holds exactly the keys of ``_buckets`` (each
+    once), every column's time is ``>= now``, and every column holds an
+    even number of items (callback/args interleaving is never torn:
+    ``schedule`` appends both or neither, and the drains consume pairs).
+    """
+
+    def __init__(self) -> None:
+        self.now = 0
+        self.events_processed = 0
+        self._buckets: dict = {}
+        self._times: List[int] = []
+
+    def schedule(self, delay: int, callback: Callable, *args: Any) -> None:
+        """Run ``callback(*args)`` ``delay`` cycles from now."""
+        time = self.now + delay
+        bucket = self._buckets.get(time)
+        if bucket is not None:
+            bucket.append(callback)
+            bucket.append(args)
+        elif delay >= 0:
+            self._buckets[time] = [callback, args]
+            heapq.heappush(self._times, time)
+        else:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+
+    @property
+    def pending_events(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values()) // 2
+
+    def discard_pending(self) -> int:
+        dropped = self.pending_events
+        self._buckets.clear()
+        self._times.clear()
+        return dropped
+
+    def _retire(self, time: int, bucket: list, consumed: int) -> None:
+        """Account for a partial drain (``consumed`` column *items*, i.e.
+        ``2 *`` events) and keep the remainder queued."""
+        del bucket[:consumed]
+        self.events_processed += consumed // 2
+        if bucket:
+            heapq.heappush(self._times, time)
+        else:
+            del self._buckets[time]
+
+    def _requeue_rest(self, time: int, bucket: list, rest: list,
+                      head: Optional[tuple]) -> int:
+        """Replace a partially zip-drained column with its unexecuted tail.
+
+        ``rest`` is what the column iterator had not yet consumed; ``head``
+        is the already-consumed-but-unexecuted current pair (``run_until``
+        stopping on a trigger), or ``None`` when the current pair executed
+        and failed (exception parity: dequeued but not counted). Returns
+        the number of *executed* events, matching the bucket kernel's
+        ``_retire`` accounting exactly.
+        """
+        executed = (len(bucket) - len(rest)) // 2 - 1
+        if head is not None:
+            rest[:0] = head
+        if rest:
+            self._buckets[time] = rest
+            heapq.heappush(self._times, time)
+        else:
+            del self._buckets[time]
+        return executed
+
+    # -- run loops ---------------------------------------------------------
+
+    def run(
+        self,
+        until: Optional[int] = None,
+        max_events: Optional[int] = None,
+    ) -> int:
+        if until is not None and self.now > until:
+            return self.now
+        if max_events is not None:
+            self._run_budgeted(until, max_events)
+        else:
+            # Unbudgeted hot loop: one epoch per heap pop, no per-event
+            # bookkeeping — the zip pairs the columns at C speed.
+            buckets, times = self._buckets, self._times
+            pop = heapq.heappop
+            while times:
+                time = times[0]
+                if until is not None and time > until:
+                    break
+                pop(times)
+                self.now = time
+                bucket = buckets[time]
+                it = iter(bucket)
+                try:
+                    for callback, args in zip(it, it):
+                        callback(*args)
+                except BaseException:
+                    # Parity with bucket/heapq: the failing event was
+                    # dequeued but not counted; later same-cycle events
+                    # stay queued.
+                    self.events_processed += self._requeue_rest(
+                        time, bucket, list(it), None)
+                    raise
+                self.events_processed += len(bucket) // 2
+                del buckets[time]
+        if until is not None and self.now < until:
+            self.now = until
+        return self.now
+
+    def _run_budgeted(self, until: Optional[int], max_events: int) -> None:
+        budget = max_events
+        buckets, times = self._buckets, self._times
+        while times and budget > 0:
+            time = times[0]
+            if until is not None and time > until:
+                return
+            heapq.heappop(times)
+            self.now = time
+            bucket = buckets[time]
+            i = 0
+            try:
+                while i < len(bucket) and budget > 0:
+                    callback = bucket[i]
+                    args = bucket[i + 1]
+                    i += 2
+                    budget -= 1
+                    callback(*args)
+            finally:
+                self._retire(time, bucket, i)
+        if budget <= 0 and self._times:
+            raise SimulationError(
+                f"max_events={max_events} exhausted at cycle {self.now}; "
+                "simulation is likely livelocked"
+            )
+
+    def run_until(self, event: Event, max_events: Optional[int] = None) -> Any:
+        if max_events is not None:
+            return self._run_until_budgeted(event, max_events)
+        buckets, times = self._buckets, self._times
+        pop = heapq.heappop
+        while not event.triggered:
+            if not times:
+                raise self._stall(event)
+            time = pop(times)
+            self.now = time
+            bucket = buckets[time]
+            it = iter(bucket)
+            try:
+                for callback, args in zip(it, it):
+                    if event.triggered:
+                        # The current pair has not executed: requeue it at
+                        # the head of the remainder (same stop point as the
+                        # bucket kernel's index-based retire).
+                        self.events_processed += self._requeue_rest(
+                            time, bucket, list(it), (callback, args))
+                        return event.value
+                    callback(*args)
+            except BaseException:
+                self.events_processed += self._requeue_rest(
+                    time, bucket, list(it), None)
+                raise
+            self.events_processed += len(bucket) // 2
+            del buckets[time]
+        return event.value
+
+    def _run_until_budgeted(self, event: Event, max_events: int) -> Any:
+        budget = max_events
+        buckets, times = self._buckets, self._times
+        while not event.triggered:
+            if not times:
+                raise self._stall(event)
+            time = heapq.heappop(times)
+            self.now = time
+            bucket = buckets[time]
+            i = 0
+            try:
+                while i < len(bucket):
+                    if event.triggered:
+                        break
+                    if budget <= 0:
+                        raise SimulationError(
+                            f"max_events={max_events} exhausted at "
+                            f"cycle {self.now}"
+                        )
+                    budget -= 1
+                    callback = bucket[i]
+                    args = bucket[i + 1]
+                    i += 2
+                    callback(*args)
+            finally:
+                self._retire(time, bucket, i)
+        return event.value
+
+
+#: Kernel registry for the ``REPRO_ENGINE`` environment variable. Growing
+#: it automatically grows the unknown-engine error message (``Simulator``
+#: formats ``sorted(ENGINES)`` at raise time), so a new kernel never ships
+#: with a stale kernel list in the diagnostic.
 ENGINES = {
     "bucket": BucketSimulator,
     "heapq": HeapqSimulator,
+    "vector": VectorSimulator,
 }

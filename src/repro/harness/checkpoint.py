@@ -83,6 +83,7 @@ def figure_run_to_payload(run: FigureRun) -> Dict[str, Any]:
         "attempts": run.attempts,
         "error": run.error,
         "attempt_history": list(run.attempt_history),
+        "shard_digests": list(run.shard_digests),
     }
 
 
@@ -99,6 +100,7 @@ def figure_run_from_payload(payload: Dict[str, Any]) -> FigureRun:
             attempts=int(payload.get("attempts", 1)),
             error=payload.get("error"),
             attempt_history=list(payload.get("attempt_history", [])),
+            shard_digests=list(payload.get("shard_digests", [])),
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise CheckpointCorrupt(f"checkpoint payload invalid: {exc}") from exc

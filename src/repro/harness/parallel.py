@@ -222,11 +222,14 @@ def _ordered(completed: Dict[int, FigureRun]) -> List[FigureRun]:
 
 def _run_inline(states: List[_TaskState], sched: _Scheduler,
                 plan: Optional[faults.FaultPlan],
-                say: Callable[[str], None]) -> None:
+                say: Callable[[str], None],
+                runner: Optional[Callable[..., FigureRun]] = None) -> None:
     """jobs=1: execute in-process (shared heap cache, no pickling).
 
     Timeouts are not enforceable without a worker process; ``crash`` and
-    ``hang`` faults execute literally in this process.
+    ``hang`` faults execute literally in this process. ``runner``
+    overrides ``run_entry`` for the intra-figure sharded path (which fans
+    its own workers out from this process).
     """
     for state in states:
         while True:
@@ -237,7 +240,8 @@ def _run_inline(states: List[_TaskState], sched: _Scheduler,
             try:
                 if plan is not None:
                     faults.execute(fault, plan.hang_seconds)
-                run = run_entry(state.index, state.exp_id, state.kwargs)
+                execute = runner if runner is not None else run_entry
+                run = execute(state.index, state.exp_id, state.kwargs)
             except KeyboardInterrupt:
                 raise
             except Exception as exc:
@@ -359,6 +363,7 @@ def run_suite(
     keep_going: bool = False,
     store=None,
     fault_plan: Optional[faults.FaultPlan] = None,
+    shard_figures: bool = False,
 ) -> List[FigureRun]:
     """Run the figure suite with ``jobs`` workers; results in suite order.
 
@@ -369,6 +374,12 @@ def run_suite(
     Entries that exhaust ``retries`` raise :class:`SuiteRunError`, or —
     with ``keep_going`` — come back as ``FigureRun(status="failed")``
     records that :func:`render_report` annotates.
+
+    ``shard_figures`` (with ``jobs > 1``) additionally splits figures
+    with a benchmark axis (see :mod:`repro.harness.sharding`) across the
+    ``jobs`` workers — those entries run first, each using the whole
+    worker pool, then the remaining entries fan out one-per-worker.
+    Digests are unchanged either way.
     """
     entries = select(only)
     tasks = [(i, exp_id, kwargs) for i, (exp_id, kwargs) in enumerate(entries)]
@@ -390,6 +401,18 @@ def run_suite(
     sched = _Scheduler(retries=retries, backoff=backoff,
                        keep_going=keep_going, store=store, say=say,
                        completed=completed)
+    if states and shard_figures and jobs > 1:
+        from repro.harness.sharding import can_shard, run_entry_sharded
+
+        sharded = [s for s in states if can_shard(s.exp_id, s.kwargs, jobs)]
+        if sharded:
+            say(f"sharding {len(sharded)} figure(s) across {jobs} workers "
+                "each ...")
+            _run_inline(
+                sharded, sched, fault_plan, say,
+                runner=lambda i, e, k: run_entry_sharded(i, e, k, jobs))
+            remaining = {id(s) for s in sharded}
+            states = [s for s in states if id(s) not in remaining]
     if states:
         jobs = max(1, min(jobs, len(states)))
         if jobs == 1:

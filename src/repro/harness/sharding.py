@@ -1,0 +1,194 @@
+"""Intra-figure sharding: split one figure across worker processes.
+
+``run_suite(jobs=N)`` parallelizes *across* figures, which strands N-1
+workers once only the slowest figure remains. The figures that dominate the
+suite's critical path (fig15, fig01a) are embarrassingly parallel *inside*:
+they iterate one independent GC comparison per benchmark. This module
+splits such a figure's benchmark axis into contiguous chunks, fans the
+chunks out over ``fork`` worker processes, and merges the per-chunk
+:class:`~repro.harness.experiments.ExperimentResult` rows back into a
+single figure whose rendered table — and therefore its determinism digest
+— is byte-identical to the unsharded run.
+
+Identity argument: each benchmark's comparison runs on its own simulator
+and heap, so per-chunk rows equal the unsharded rows exactly; chunks are
+contiguous and merged in order, so row order is preserved; and the geomean
+row is recomputed from the merged rows' float values in the same order the
+unsharded code folds them, so even the floating-point summation order
+matches. The per-shard digests are recorded on the
+:class:`~repro.harness.suite.FigureRun` (and in its checkpoint) for
+forensics, but excluded from the figure digest itself.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.harness.suite import FigureRun, run_entry
+from repro.workloads.profiles import BENCHMARK_ORDER
+
+
+def _concat_merge(results: List[Any]) -> Any:
+    """Merge chunk results whose rows simply concatenate (no summary row)."""
+    merged = replace(results[0])
+    merged.rows = [row for result in results for row in result.rows]
+    merged.extras = {}
+    return merged
+
+
+def _geomean_tail_merge(*speedup_cols: int) -> Callable[[List[Any]], Any]:
+    """Merge for figures ending in a geomean row over ``speedup_cols``.
+
+    Each chunk computed its own trailing geomean over its slice; drop
+    those, concatenate the per-benchmark rows, and refold the geomean from
+    the merged rows — same float values, same left-to-right order as the
+    unsharded loop, hence a bit-identical summary row.
+    """
+    from repro.engine.stats import geomean
+
+    def merge(results: List[Any]) -> Any:
+        merged = replace(results[0])
+        merged.rows = [row for result in results for row in result.rows[:-1]]
+        summary: List[Any] = ["geomean"] + [""] * (len(merged.headers) - 1)
+        for col in speedup_cols:
+            summary[col] = geomean([row[col] for row in merged.rows])
+        merged.rows = merged.rows + [summary]
+        merged.extras = {}
+        return merged
+
+    return merge
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """How one experiment splits: the kwarg axis and the row merge."""
+
+    axis: str
+    merge: Callable[[List[Any]], Any]
+
+
+#: Experiments that accept a ``benchmarks=`` axis of independent units of
+#: work. fig15's table ends in a geomean row (speedups in columns 3 and 6);
+#: fig01a's rows concatenate directly.
+SHARDABLE: Dict[str, ShardSpec] = {
+    "fig15": ShardSpec(axis="benchmarks", merge=_geomean_tail_merge(3, 6)),
+    "fig01a": ShardSpec(axis="benchmarks", merge=_concat_merge),
+}
+
+
+def axis_values(exp_id: str, kwargs: Dict[str, Any]) -> Optional[List[str]]:
+    """The benchmark list a sharded run would split, or ``None``."""
+    spec = SHARDABLE.get(exp_id)
+    if spec is None:
+        return None
+    values = kwargs.get(spec.axis)
+    return list(values) if values is not None else list(BENCHMARK_ORDER)
+
+
+def split_axis(values: Sequence[str], n_shards: int) -> List[List[str]]:
+    """Deterministic contiguous chunks, earlier chunks one longer.
+
+    Contiguity is what makes the merge a plain ordered concatenation.
+    """
+    n_shards = max(1, min(n_shards, len(values)))
+    base, extra = divmod(len(values), n_shards)
+    chunks: List[List[str]] = []
+    start = 0
+    for i in range(n_shards):
+        size = base + (1 if i < extra else 0)
+        chunks.append(list(values[start:start + size]))
+        start += size
+    return chunks
+
+
+def can_shard(exp_id: str, kwargs: Dict[str, Any], jobs: int) -> bool:
+    """Whether splitting this entry over ``jobs`` workers buys anything."""
+    if jobs < 2:
+        return False
+    values = axis_values(exp_id, kwargs)
+    return values is not None and len(values) >= 2
+
+
+def _shard_child(conn, exp_id: str, kwargs: Dict[str, Any]) -> None:
+    """Worker: run one chunk's experiment, ship the result over a pipe.
+
+    ``extras`` can hold unpicklable/heavy simulation objects and feeds
+    neither the rendered table nor the digest, so it is stripped before
+    the send.
+    """
+    try:
+        from repro.harness.experiments import ALL_EXPERIMENTS
+
+        result = ALL_EXPERIMENTS[exp_id](**kwargs)
+        result.extras = {}
+        conn.send(("ok", result))
+    except BaseException as exc:
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+def run_entry_sharded(index: int, exp_id: str, kwargs: Dict[str, Any],
+                      jobs: int) -> FigureRun:
+    """Run one suite entry split across ``jobs`` worker processes.
+
+    Falls back to the inline :func:`~repro.harness.suite.run_entry` when
+    the entry is not shardable (unknown axis, one benchmark, jobs < 2).
+    A shard failure raises — the caller's retry accounting treats it like
+    any other failed attempt.
+    """
+    from repro.harness.parallel import _pool_context
+
+    spec = SHARDABLE.get(exp_id)
+    values = axis_values(exp_id, kwargs)
+    if spec is None or jobs < 2 or values is None or len(values) < 2:
+        return run_entry(index, exp_id, kwargs)
+
+    chunks = split_axis(values, jobs)
+    ctx = _pool_context()
+    t0 = time.time()
+    workers = []
+    for chunk in chunks:
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        shard_kwargs = dict(kwargs)
+        shard_kwargs[spec.axis] = chunk
+        proc = ctx.Process(target=_shard_child,
+                           args=(child_conn, exp_id, shard_kwargs))
+        proc.start()
+        child_conn.close()
+        workers.append((parent_conn, proc, chunk))
+
+    results, errors, shard_digests = [], [], []
+    for parent_conn, proc, chunk in workers:
+        try:
+            msg = parent_conn.recv()
+        except (EOFError, OSError):
+            msg = ("error", "shard worker died before reporting")
+        parent_conn.close()
+        proc.join(5.0)
+        if msg[0] == "ok":
+            results.append(msg[1])
+            shard_digests.append(hashlib.sha256(
+                msg[1].render().encode()).hexdigest())
+        else:
+            errors.append(f"shard {chunk}: {msg[1]}")
+    if errors:
+        raise RuntimeError(
+            f"{exp_id} sharded over {len(chunks)} workers failed: "
+            + "; ".join(errors))
+
+    merged = spec.merge(results)
+    return FigureRun(
+        index=index,
+        exp_id=exp_id,
+        kwargs=dict(kwargs),
+        rendered=merged.render(),
+        elapsed=time.time() - t0,
+        shard_digests=shard_digests,
+    )

@@ -115,8 +115,9 @@ class ObjectView:
             meta = self.meta
             if not 0 <= index < meta.n_refs[i]:
                 raise IndexError(f"ref index {index} out of {meta.n_refs[i]}")
-            self.mem.words[meta.ref_base_index[i] + index] = (
-                target_vaddr & 0xFFFFFFFFFFFFFFFF)
+            word_index = meta.ref_base_index[i] + index
+            self.mem.words[word_index] = target_vaddr & 0xFFFFFFFFFFFFFFFF
+            self.mem.note_dirty(word_index)
             return
         self.mem.write_word(self.ref_paddr(index), target_vaddr)
 

@@ -28,15 +28,6 @@ from repro.memory.config import DRAMConfig
 from repro.memory.request import AccessKind, MemRequest
 
 
-class _Bank:
-    __slots__ = ("busy_until", "open_row", "last_activate")
-
-    def __init__(self) -> None:
-        self.busy_until = 0
-        self.open_row: Optional[int] = None
-        self.last_activate = -(10**9)
-
-
 class DRAMController:
     """Event-driven DDR3 controller; ``submit`` returns a completion event."""
 
@@ -52,13 +43,18 @@ class DRAMController:
         self.stats = stats if stats is not None else StatsRegistry()
         self.bandwidth = bandwidth if bandwidth is not None else BandwidthTracker("dram")
         self.request_intervals = IntervalTracker("dram.requests")
-        self._banks = [_Bank() for _ in range(config.n_banks)]
+        # Bank state lives in parallel columns indexed by bank number —
+        # the scheduler's scan touches ``_bank_busy[idx]`` as one list
+        # index instead of chasing a per-bank object's attribute.
+        self._bank_busy: List[int] = [0] * config.n_banks
+        self._bank_row: List[Optional[int]] = [None] * config.n_banks
+        self._bank_activate: List[int] = [-(10**9)] * config.n_banks
         self._bus_free_at = 0
-        # Queue entries are (request, completion event, bank, row): the
-        # bank/row decode is done once at submit so the scheduler's scans
-        # never recompute it.
-        self._reads: Deque[Tuple[MemRequest, Event, _Bank, int]] = deque()
-        self._writes: Deque[Tuple[MemRequest, Event, _Bank, int]] = deque()
+        # Queue entries are (request, completion event, bank index, row):
+        # the bank/row decode is done once at submit so the scheduler's
+        # scans never recompute it.
+        self._reads: Deque[Tuple[MemRequest, Event, int, int]] = deque()
+        self._writes: Deque[Tuple[MemRequest, Event, int, int]] = deque()
         self._next_pump_at: Optional[int] = None
         self._submit_counters: dict = {}
         self._ev_names: dict = {}
@@ -89,10 +85,9 @@ class DRAMController:
             name = self._ev_names[req.source] = f"dram.{req.source}"
         event = Event(self.sim, name=name)
         row_index = req.addr // self._row_bytes
-        bank = self._banks[row_index % self._n_banks]
-        row = row_index // self._n_banks
         queue = self._writes if req.kind is AccessKind.WRITE else self._reads
-        queue.append((req, event, bank, row))
+        queue.append((req, event, row_index % self._n_banks,
+                      row_index // self._n_banks))
         now = self.sim.now
         self.request_intervals.record(now)
         self._record_submit(req)
@@ -114,8 +109,7 @@ class DRAMController:
         row_index = addr // self.config.row_bytes
         return row_index % self.config.n_banks, row_index // self.config.n_banks
 
-    @staticmethod
-    def _scan(queue, limit: int, now: int):
+    def _scan(self, queue, limit: int, now: int):
         """Oldest ready entry, oldest ready row-hit, and next bank-free time.
 
         Queue position order *is* issue-time order (requests are appended at
@@ -127,18 +121,20 @@ class DRAMController:
         saw the whole window — i.e. whenever no row hit was found — which is
         exactly the case the pump uses it in.
         """
+        busy = self._bank_busy
+        rows = self._bank_row
         first_ready = None
         wake = None
         pos = 0
         for entry in queue:
             if pos >= limit:
                 break
-            bank = entry[2]
-            busy_until = bank.busy_until
+            bank_idx = entry[2]
+            busy_until = busy[bank_idx]
             if busy_until <= now:
                 if first_ready is None:
                     first_ready = (pos, entry)
-                if bank.open_row == entry[3]:
+                if rows[bank_idx] == entry[3]:
                     return first_ready, (pos, entry), wake
             elif wake is None or busy_until < wake:
                 wake = busy_until
@@ -163,13 +159,13 @@ class DRAMController:
         if not writes:
             if len(reads) == 1:
                 entry = reads[0]
-                busy_until = entry[2].busy_until
+                busy_until = self._bank_busy[entry[2]]
                 if busy_until <= now:
                     return (False, 0, entry), None
                 return None, busy_until
         elif not reads and len(writes) == 1:
             entry = writes[0]
-            busy_until = entry[2].busy_until
+            busy_until = self._bank_busy[entry[2]]
             if busy_until <= now:
                 return (True, 0, entry), None
             return None, busy_until
@@ -232,8 +228,8 @@ class DRAMController:
             self._schedule_pump(wake - now)
 
     def _dispatch(self, entry: tuple, now: int) -> None:
-        req, event, bank, row = entry
-        open_row = bank.open_row
+        req, event, bank_idx, row = entry
+        open_row = self._bank_row[bank_idx]
         if open_row == row:
             access_latency = self._t_cas
         else:
@@ -242,19 +238,19 @@ class DRAMController:
             else:
                 access_latency = self._t_rp_rcd_cas
             # Respect the minimum row-cycle time before re-activating.
-            earliest_activate = bank.last_activate + self._t_ras
+            earliest_activate = self._bank_activate[bank_idx] + self._t_ras
             if now < earliest_activate:
                 access_latency += earliest_activate - now
-                bank.last_activate = earliest_activate
+                self._bank_activate[bank_idx] = earliest_activate
             else:
-                bank.last_activate = now
-            bank.open_row = row
+                self._bank_activate[bank_idx] = now
+            self._bank_row[bank_idx] = row
             self._c_activates.value += 1
         transfer = max(1, -(-req.size // self._bus_bpc))
         data_start = max(now + access_latency, self._bus_free_at)
         done = data_start + transfer
         self._bus_free_at = done
-        bank.busy_until = done
+        self._bank_busy[bank_idx] = done
         self._record_complete(req, done, transfer)
         stats = self.stats
         if stats.hwfaults is not None or stats.watchdog is not None:

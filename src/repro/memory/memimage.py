@@ -21,15 +21,48 @@ from repro.memory.config import WORD_BYTES
 
 _U64_MASK = (1 << 64) - 1
 
+#: Dirty-tracking granularity: 4096 words = 32 KiB per block. A GC run
+#: touches a few percent of the image (mark bits, free-list links, spill
+#: region), so block-sparse restore copies megabytes instead of the full
+#: multi-hundred-MB array — profiling showed the dense ``ndarray.copy``/
+#: ``copyto`` pair was ~40% of a cold ``run_gc_comparison``.
+_BLOCK_SHIFT = 12
+_BLOCK_WORDS = 1 << _BLOCK_SHIFT
+
 
 class PhysicalMemory:
-    """Word-granularity physical memory with atomic-update helpers."""
+    """Word-granularity physical memory with atomic-update helpers.
+
+    Mutations are tracked at block granularity (:data:`_BLOCK_WORDS` words)
+    relative to the current *clean point* — the snapshot the image was last
+    taken from or restored to. :meth:`restore` back to that same snapshot
+    copies only the dirty blocks; restoring a foreign snapshot falls back
+    to a dense copy and re-bases the clean point there. The handful of
+    direct ``words[...] = ...`` writers outside this class (the SoA
+    object-view fast path, the page-table bulk mapper) must call
+    :meth:`note_dirty` — everything else funnels through the write helpers
+    here.
+    """
 
     def __init__(self, size_bytes: int):
         if size_bytes % WORD_BYTES != 0:
             raise ValueError(f"memory size must be word-aligned: {size_bytes}")
         self.size_bytes = size_bytes
         self.words = np.zeros(size_bytes // WORD_BYTES, dtype=np.uint64)
+        #: Block indices written since the clean point (see class docstring).
+        self._dirty_blocks: set = set()
+        #: The snapshot array the image currently equals modulo
+        #: ``_dirty_blocks`` (``None`` until the first snapshot/restore).
+        self._clean_snap = None
+
+    def note_dirty(self, index: int, count: int = 1) -> None:
+        """Record an out-of-band write of ``count`` words at word ``index``."""
+        if count == 1:
+            self._dirty_blocks.add(index >> _BLOCK_SHIFT)
+        else:
+            self._dirty_blocks.update(
+                range(index >> _BLOCK_SHIFT,
+                      ((index + count - 1) >> _BLOCK_SHIFT) + 1))
 
     def _index(self, addr: int) -> int:
         if addr % WORD_BYTES != 0:
@@ -52,7 +85,9 @@ class PhysicalMemory:
         """Write the 64-bit word at byte address ``addr``."""
         if addr % WORD_BYTES or not 0 <= addr < self.size_bytes:
             self._index(addr)
-        self.words[addr // WORD_BYTES] = np.uint64(value & _U64_MASK)
+        idx = addr // WORD_BYTES
+        self.words[idx] = np.uint64(value & _U64_MASK)
+        self._dirty_blocks.add(idx >> _BLOCK_SHIFT)
 
     # -- atomics (the marker's fetch-or / fetch-and, §IV-A) ---------------
 
@@ -61,6 +96,7 @@ class PhysicalMemory:
         idx = self._index(addr)
         old = int(self.words[idx])
         self.words[idx] = np.uint64((old | mask) & _U64_MASK)
+        self._dirty_blocks.add(idx >> _BLOCK_SHIFT)
         return old
 
     def fetch_and(self, addr: int, mask: int) -> int:
@@ -68,6 +104,7 @@ class PhysicalMemory:
         idx = self._index(addr)
         old = int(self.words[idx])
         self.words[idx] = np.uint64(old & mask & _U64_MASK)
+        self._dirty_blocks.add(idx >> _BLOCK_SHIFT)
         return old
 
     # -- bulk access (the tracer's unit-stride reference copies) ----------
@@ -86,23 +123,49 @@ class PhysicalMemory:
         if idx + len(vals) > len(self.words):
             raise IndexError(f"bulk write past end: {addr:#x} +{len(vals)} words")
         self.words[idx : idx + len(vals)] = vals
+        self.note_dirty(idx, len(vals))
 
     def fill(self, addr: int, count: int, value: int = 0) -> None:
         """Fill ``count`` words starting at ``addr`` with ``value``."""
         idx = self._index(addr)
         self.words[idx : idx + count] = np.uint64(value & _U64_MASK)
+        self.note_dirty(idx, count)
 
     # -- snapshots (runs mutate mark bits / free lists) --------------------
 
     def snapshot(self) -> np.ndarray:
-        """A copy of the entire image, for restoring between GC runs."""
-        return self.words.copy()
+        """A copy of the entire image, for restoring between GC runs.
+
+        The copy becomes the image's clean point: until another snapshot
+        (or a foreign restore) supersedes it, restores back to it are
+        block-sparse.
+        """
+        snap = self.words.copy()
+        self._clean_snap = snap
+        self._dirty_blocks.clear()
+        return snap
 
     def restore(self, snap: np.ndarray) -> None:
-        """Restore a snapshot taken from this memory."""
+        """Restore a snapshot taken from this memory.
+
+        Restoring the current clean point copies only the blocks written
+        since it was established — the common checkpoint/collect/restore/
+        collect pattern of every comparison harness. Any other snapshot is
+        restored densely and becomes the new clean point.
+        """
         if snap.shape != self.words.shape:
             raise ValueError("snapshot shape mismatch")
-        np.copyto(self.words, snap)
+        dirty = self._dirty_blocks
+        if snap is self._clean_snap:
+            words = self.words
+            for block in dirty:
+                lo = block << _BLOCK_SHIFT
+                hi = lo + _BLOCK_WORDS
+                words[lo:hi] = snap[lo:hi]
+        else:
+            np.copyto(self.words, snap)
+            self._clean_snap = snap
+        dirty.clear()
 
     def __repr__(self) -> str:
         return f"PhysicalMemory({self.size_bytes // (1024 * 1024)} MiB)"

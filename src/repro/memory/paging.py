@@ -188,6 +188,7 @@ class PageTable:
                 (ppns << np.uint64(PTE_PPN_SHIFT))
                 | np.uint64(PTE_VALID | PTE_LEAF)
             )
+            self.mem.note_dirty(start, count)
             self.pages_mapped += count
             page += count
 

@@ -66,6 +66,27 @@ class MemRequest:
         return self.kind is AccessKind.WRITE
 
 
+class RequestSlots:
+    """The marker's tag table (Fig. 13) as parallel columns indexed by tag.
+
+    "Instead of full memory requests, we only hold a tag and a 64-bit
+    address for each request" — so the model holds exactly that: one
+    ``ref`` and one ``paddr`` column, preallocated to the slot count.
+    In-flight state is a pair of list stores at issue and a pair of list
+    loads at response; the response callback carries only the integer tag.
+    """
+
+    __slots__ = ("ref", "paddr")
+
+    def __init__(self, n_slots: int):
+        self.ref: list = [0] * n_slots
+        self.paddr: list = [0] * n_slots
+
+    def store(self, tag: int, ref: int, paddr: int) -> None:
+        self.ref[tag] = ref
+        self.paddr[tag] = paddr
+
+
 def validate_tilelink(req: MemRequest) -> None:
     """Enforce the interconnect's transfer rules (power-of-two 8..64B, aligned).
 

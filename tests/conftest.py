@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.engine.simulator import Simulator
+from repro.engine.simulator import ENGINES
 from repro.heap.heapimage import ManagedHeap
 from repro.memory.config import MemorySystemConfig
 from repro.workloads.graphgen import HeapGraphBuilder
@@ -13,9 +13,12 @@ from repro.workloads.profiles import DACAPO_PROFILES
 SMALL_MEM = 32 * 1024 * 1024
 
 
-@pytest.fixture
-def sim():
-    return Simulator()
+@pytest.fixture(params=sorted(ENGINES))
+def sim(request):
+    """Every test taking ``sim`` runs once per kernel class — the kernels
+    are interchangeable by contract, so the whole engine test surface
+    doubles as a per-kernel conformance suite."""
+    return ENGINES[request.param]()
 
 
 @pytest.fixture

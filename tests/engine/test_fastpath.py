@@ -183,10 +183,65 @@ class TestOnOffIdentity:
         assert fast_events[0] <= slow_events[0]
         assert fast_events[1] <= slow_events[1]
 
-    def test_cross_kernel_with_fastpath_off(self, monkeypatch):
-        monkeypatch.setenv("REPRO_FASTPATH", "0")
-        monkeypatch.setenv("REPRO_ENGINE", "bucket")
-        bucket = self._run_gc(150, 1)
-        monkeypatch.setenv("REPRO_ENGINE", "heapq")
-        heapq_run = self._run_gc(150, 1)
-        assert bucket == heapq_run
+    @pytest.mark.parametrize("fastpath", ["0", "1"])
+    def test_cross_kernel_identity(self, monkeypatch, fastpath):
+        """All three kernels agree, with the fast path both off and on."""
+        monkeypatch.setenv("REPRO_FASTPATH", fastpath)
+        runs = {}
+        for engine in ("bucket", "heapq", "vector"):
+            monkeypatch.setenv("REPRO_ENGINE", engine)
+            runs[engine] = self._run_gc(150, 1)
+        assert runs["bucket"] == runs["heapq"] == runs["vector"]
+
+
+#: avrora @ scale=0.05 seed=1 — sw mark/sweep, hw mark/sweep cycles and
+#: objects marked, from the paper-scale gc_comparison. Every kernel, with
+#: the fast path on or off, must land on exactly these numbers.
+PINNED_CYCLES = [1_096_061, 662_575, 310_147, 339_682, 6_637]
+#: sha256(repr(bus events))[:16] for the same workload's traced collection.
+PINNED_TRACE_DIGEST = "4e25471016662c74"
+
+
+@pytest.mark.slow
+class TestPinnedIdentityGate:
+    """The 3x2 identity gate: {bucket, heapq, vector} x {fastpath on, off}.
+
+    Unlike the relative cross-kernel checks above, this pins *absolute*
+    constants at a paper-relevant scale, so a regression that shifts every
+    kernel in lockstep (e.g. a timing change in the DRAM model) still
+    trips the gate.
+    """
+
+    @staticmethod
+    def _comparison_cycles():
+        from repro.harness.runners import run_gc_comparison
+        from repro.workloads.profiles import DACAPO_PROFILES
+
+        comp = run_gc_comparison(DACAPO_PROFILES["avrora"], scale=0.05,
+                                 seed=1)
+        return [comp.sw.mark_cycles, comp.sw.sweep_cycles,
+                comp.hw.mark_cycles, comp.hw.sweep_cycles,
+                comp.sw.objects_marked]
+
+    @staticmethod
+    def _trace_digest():
+        import hashlib
+
+        from repro.harness.tracing import trace_collection
+
+        cap = trace_collection("avrora", scale=0.05, seed=1)
+        blob = repr(list(cap.bus)).encode()
+        return hashlib.sha256(blob).hexdigest()[:16]
+
+    @pytest.mark.parametrize("engine", ["bucket", "heapq", "vector"])
+    @pytest.mark.parametrize("fastpath", ["0", "1"])
+    def test_pinned_cycles(self, monkeypatch, engine, fastpath):
+        monkeypatch.setenv("REPRO_ENGINE", engine)
+        monkeypatch.setenv("REPRO_FASTPATH", fastpath)
+        assert self._comparison_cycles() == PINNED_CYCLES
+
+    @pytest.mark.parametrize("engine", ["bucket", "heapq", "vector"])
+    def test_pinned_trace_digest(self, monkeypatch, engine):
+        monkeypatch.setenv("REPRO_ENGINE", engine)
+        monkeypatch.setenv("REPRO_FASTPATH", "1")
+        assert self._trace_digest() == PINNED_TRACE_DIGEST

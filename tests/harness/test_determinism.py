@@ -3,7 +3,8 @@
 The simulation is only trustworthy if the same ``(profile, scale, seed)``
 produces bit-identical cycle counts and ``events_processed`` regardless of
 
-* which event-queue kernel runs it (``REPRO_ENGINE=bucket`` vs ``heapq``),
+* which event-queue kernel runs it (``REPRO_ENGINE=bucket``, ``heapq``,
+  or ``vector``),
 * whether figures are regenerated serially or fanned out across worker
   processes (``run-all --jobs 1`` vs ``--jobs N``),
 * whether the heap came from a fresh build or a warm ``REPRO_HEAP_CACHE``.
@@ -16,10 +17,12 @@ is a per-event assertion of identical execution.
 import pytest
 
 from repro.engine.simulator import (
+    ENGINES,
     BucketSimulator,
     HeapqSimulator,
     SimulationError,
     Simulator,
+    VectorSimulator,
 )
 from repro.harness import heapcache
 from repro.harness.parallel import digests, run_suite
@@ -63,10 +66,25 @@ class TestKernelSelection:
         monkeypatch.setenv("REPRO_ENGINE", "heapq")
         assert isinstance(Simulator(), HeapqSimulator)
 
+    def test_env_selects_vector(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "vector")
+        assert isinstance(Simulator(), VectorSimulator)
+
     def test_unknown_engine_rejected(self, monkeypatch):
         monkeypatch.setenv("REPRO_ENGINE", "quantum")
         with pytest.raises(SimulationError, match="REPRO_ENGINE"):
             Simulator()
+
+    def test_unknown_engine_error_lists_kernels(self, monkeypatch):
+        """The rejection names every registered kernel, sorted, so a typo'd
+        env var is self-correcting from the error message alone."""
+        monkeypatch.setenv("REPRO_ENGINE", "simd")
+        with pytest.raises(SimulationError) as excinfo:
+            Simulator()
+        message = str(excinfo.value)
+        assert "'simd'" in message
+        assert str(sorted(ENGINES)) in message
+        assert "vector" in message
 
     def test_direct_instantiation_bypasses_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_ENGINE", "heapq")
@@ -79,11 +97,11 @@ class TestKernelDeterminism:
         """Both kernels must agree on every cycle count and event count."""
         profile = DACAPO_PROFILES["avrora"]
         prints = {}
-        for engine in ("bucket", "heapq"):
+        for engine in ("bucket", "heapq", "vector"):
             monkeypatch.setenv("REPRO_ENGINE", engine)
             heapcache.reset_cache()  # rebuild under this kernel
             prints[engine] = _collect_fingerprint(profile, SCALE, seed=1)
-        assert prints["bucket"] == prints["heapq"]
+        assert prints["bucket"] == prints["heapq"] == prints["vector"]
 
     @pytest.mark.slow
     def test_same_seed_same_result(self):
@@ -105,12 +123,12 @@ class TestKernelDeterminism:
                 assert got == i
 
         outcomes = []
-        for kernel in (BucketSimulator, HeapqSimulator):
+        for kernel in (BucketSimulator, HeapqSimulator, VectorSimulator):
             sim = kernel()
             sim.process(pinger(sim, 500))
             sim.run()
             outcomes.append((sim.now, sim.events_processed))
-        assert outcomes[0] == outcomes[1]
+        assert outcomes[0] == outcomes[1] == outcomes[2]
 
 
 class TestTraceDeterminism:
@@ -120,13 +138,14 @@ class TestTraceDeterminism:
     @pytest.mark.slow
     def test_trace_digest_identical_across_kernels(self, monkeypatch):
         digests_by_engine = {}
-        for engine in ("bucket", "heapq"):
+        for engine in ("bucket", "heapq", "vector"):
             monkeypatch.setenv("REPRO_ENGINE", engine)
             heapcache.reset_cache()
             capture = trace_collection("avrora", scale=SCALE, seed=1)
             assert len(capture.bus) > 0
             digests_by_engine[engine] = capture.digest
-        assert digests_by_engine["bucket"] == digests_by_engine["heapq"]
+        assert (digests_by_engine["bucket"] == digests_by_engine["heapq"]
+                == digests_by_engine["vector"])
 
     @pytest.mark.slow
     def test_trace_digest_identical_warm_vs_cold_cache(self, monkeypatch,

@@ -1,0 +1,144 @@
+"""Intra-figure sharding: split figures must reproduce unsharded digests.
+
+The whole value of :mod:`repro.harness.sharding` rests on one invariant —
+a figure split across worker processes renders the byte-identical table
+(same digest) as the inline run — plus honest bookkeeping: per-shard
+digests land on the ``FigureRun`` and round-trip through checkpoints, and
+non-shardable entries silently fall back to the inline path.
+"""
+
+import pytest
+
+from repro.harness import heapcache
+from repro.harness.sharding import (
+    SHARDABLE,
+    axis_values,
+    can_shard,
+    run_entry_sharded,
+    split_axis,
+)
+from repro.harness.suite import FigureRun, run_entry
+from repro.workloads.profiles import BENCHMARK_ORDER
+
+SCALE = 0.008
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache(monkeypatch):
+    monkeypatch.delenv("REPRO_HEAP_CACHE", raising=False)
+    heapcache.reset_cache()
+    yield
+    heapcache.reset_cache()
+
+
+class TestSplit:
+    def test_contiguous_and_exhaustive(self):
+        values = list("abcdefg")
+        for n in range(1, 9):
+            chunks = split_axis(values, n)
+            assert [v for chunk in chunks for v in chunk] == values
+            assert all(chunk for chunk in chunks)
+            assert len(chunks) == min(n, len(values))
+
+    def test_earlier_chunks_take_the_remainder(self):
+        assert split_axis(["a", "b", "c"], 2) == [["a", "b"], ["c"]]
+
+    def test_axis_defaults_to_benchmark_order(self):
+        assert axis_values("fig15", {}) == list(BENCHMARK_ORDER)
+        assert axis_values("fig15", {"benchmarks": ["avrora"]}) == ["avrora"]
+        assert axis_values("fig01b", {}) is None
+
+    def test_can_shard(self):
+        assert can_shard("fig15", {}, 2)
+        assert not can_shard("fig15", {}, 1)
+        assert not can_shard("fig15", {"benchmarks": ["avrora"]}, 4)
+        assert not can_shard("fig01b", {}, 4)
+
+
+class TestShardedIdentity:
+    """The gate: sharded digest == unsharded digest, rows and geomean."""
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("exp_id,kwargs", [
+        ("fig15", dict(scale=SCALE, seed=1,
+                       benchmarks=["avrora", "luindex", "lusearch"])),
+        ("fig01a", dict(scale=SCALE, seed=1, n_gcs=1,
+                        benchmarks=["avrora", "luindex"])),
+    ])
+    def test_sharded_matches_unsharded(self, exp_id, kwargs):
+        inline = run_entry(0, exp_id, kwargs)
+        heapcache.reset_cache()
+        sharded = run_entry_sharded(0, exp_id, kwargs, jobs=2)
+        assert sharded.rendered == inline.rendered
+        assert sharded.digest == inline.digest
+        assert len(sharded.shard_digests) == 2
+        assert inline.shard_digests == []
+
+    def test_fallback_for_non_shardable(self):
+        kwargs = dict(scale=SCALE, seed=1, n_gcs=1, n_queries=200, warmup=10)
+        run = run_entry_sharded(3, "fig01b", kwargs, jobs=4)
+        assert run.exp_id == "fig01b"
+        assert run.shard_digests == []
+        assert run.ok
+
+    def test_single_benchmark_falls_back(self):
+        kwargs = dict(scale=SCALE, seed=1, n_gcs=1, benchmarks=["avrora"])
+        run = run_entry_sharded(0, "fig01a", kwargs, jobs=4)
+        assert run.shard_digests == []
+        assert run.ok
+
+
+class TestCheckpointRoundTrip:
+    def test_shard_digests_survive_checkpoint(self, tmp_path):
+        from repro.harness.checkpoint import CheckpointStore
+
+        run = FigureRun(index=0, exp_id="fig15", kwargs={"scale": 0.01},
+                        rendered="## table", elapsed=1.0,
+                        shard_digests=["aa" * 32, "bb" * 32])
+        store = CheckpointStore.open(tmp_path, [(0, "fig15", {"scale": 0.01})])
+        store.save(run)
+        loaded = store.load_completed()[0]
+        assert loaded.shard_digests == run.shard_digests
+        assert loaded.digest == run.digest
+
+    def test_legacy_payload_defaults_to_empty(self):
+        from repro.harness.checkpoint import (
+            figure_run_from_payload,
+            figure_run_to_payload,
+        )
+
+        payload = figure_run_to_payload(FigureRun(
+            index=1, exp_id="fig16", kwargs={}, rendered="x", elapsed=0.1))
+        payload.pop("shard_digests")  # a pre-sharding checkpoint file
+        assert figure_run_from_payload(payload).shard_digests == []
+
+
+class TestSuiteIntegration:
+    @pytest.mark.slow
+    def test_run_suite_shard_figures_matches_serial(self):
+        """``run-all --jobs 2 --shard-figures`` digests == serial digests."""
+        from repro.harness.parallel import digests, run_suite
+        from repro.harness.suite import SUITE
+
+        # Shrink fig15 to a tiny two-benchmark slice for test runtime; the
+        # suite entry itself is patched in-place and restored.
+        import repro.harness.suite as suite_mod
+
+        original = list(suite_mod.SUITE)
+        tiny = [("fig15", dict(scale=SCALE, seed=1,
+                               benchmarks=["avrora", "luindex"]))]
+        suite_mod.SUITE[:] = tiny
+        try:
+            serial = run_suite(jobs=1, only=["fig15"])
+            heapcache.reset_cache()
+            sharded = run_suite(jobs=2, only=["fig15"], shard_figures=True)
+        finally:
+            suite_mod.SUITE[:] = original
+        assert digests(serial) == digests(sharded)
+        assert sharded[0].shard_digests and not serial[0].shard_digests
+
+    def test_shardable_registry_names_are_suite_entries(self):
+        from repro.harness.suite import SUITE
+
+        suite_ids = {exp_id for exp_id, _ in SUITE}
+        assert set(SHARDABLE) <= suite_ids

@@ -89,6 +89,78 @@ class TestSnapshot:
             mem.restore(np.zeros(3, dtype=np.uint64))
 
 
+class TestDirtyBlockRestore:
+    """The block-sparse restore must be byte-exact vs. a dense copy.
+
+    Every write helper, both atomics, and the out-of-band ``note_dirty``
+    contract feed the dirty set; restoring the clean-point snapshot copies
+    only those blocks, so a missed dirty bit would silently leave stale
+    data behind — these tests pin exactness for every mutation path.
+    """
+
+    # A memory spanning several 32 KiB blocks.
+    SIZE = 256 * 1024
+
+    def _scribble_then_restore(self, mutate):
+        mem = PhysicalMemory(self.SIZE)
+        for addr in range(0, self.SIZE, 4096 * 8):
+            mem.write_word(addr, addr | 1)
+        snap = mem.snapshot()
+        reference = snap.copy()
+        mutate(mem)
+        mem.restore(snap)
+        assert np.array_equal(mem.words, reference)
+        # The clean point survives a sparse restore: a second
+        # mutate/restore round must also be exact.
+        mutate(mem)
+        mem.restore(snap)
+        assert np.array_equal(mem.words, reference)
+
+    def test_write_word_tracked(self):
+        self._scribble_then_restore(
+            lambda m: [m.write_word(a, 0xBAD) for a in (0, 40960, self.SIZE - 8)])
+
+    def test_atomics_tracked(self):
+        def mutate(m):
+            m.fetch_or(32768, 0xFF)
+            m.fetch_and(self.SIZE - 16, 0)
+        self._scribble_then_restore(mutate)
+
+    def test_bulk_writes_tracked(self):
+        def mutate(m):
+            m.write_words(8, list(range(100)))
+            m.fill(65536, 5000, 7)  # spans a block boundary
+        self._scribble_then_restore(mutate)
+
+    def test_note_dirty_covers_direct_writes(self):
+        def mutate(m):
+            # The SoA fast-path idiom: raw array store + note_dirty.
+            m.words[5000] = np.uint64(123)
+            m.note_dirty(5000)
+            m.words[9000:9300] = np.uint64(9)
+            m.note_dirty(9000, 300)
+        self._scribble_then_restore(mutate)
+
+    def test_foreign_snapshot_restores_densely_and_rebases(self):
+        mem = PhysicalMemory(self.SIZE)
+        snap_a = mem.snapshot()
+        mem.write_word(0, 1)
+        foreign = mem.words.copy()  # not produced by snapshot()
+        mem.write_word(0, 2)
+        mem.restore(foreign)
+        assert mem.read_word(0) == 1
+        # ``foreign`` is now the clean point; sparse restore back to it
+        # must still be exact.
+        mem.write_word(0, 3)
+        mem.write_word(self.SIZE - 8, 4)
+        mem.restore(foreign)
+        assert mem.read_word(0) == 1
+        assert mem.read_word(self.SIZE - 8) == 0
+        # And the original snapshot still restores correctly (densely).
+        mem.restore(snap_a)
+        assert mem.read_word(0) == 0
+
+
 @given(
     writes=st.lists(
         st.tuples(st.integers(0, 1023), st.integers(0, U64)),

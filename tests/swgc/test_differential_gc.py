@@ -261,10 +261,10 @@ class TestFastpathIdentity:
         )
 
     def test_cross_kernel_each_fastpath_mode(self, monkeypatch):
-        """2x2: both kernels agree within each fast-path mode."""
+        """3x2: all kernels agree within each fast-path mode."""
         results = {}
         for fast in ("1", "0"):
-            for kernel in ("bucket", "heapq"):
+            for kernel in ("bucket", "heapq", "vector"):
                 monkeypatch.setenv("REPRO_FASTPATH", fast)
                 monkeypatch.setenv("REPRO_ENGINE", kernel)
                 results[(fast, kernel)] = self._full_run(
