@@ -195,17 +195,20 @@ def _cmd_fault_drill(args) -> int:
         return 2
 
     def fresh():
-        heap = HeapGraphBuilder(profile, scale=args.scale,
-                                seed=args.seed).build().heap
+        built = HeapGraphBuilder(profile, scale=args.scale,
+                                 seed=args.seed).build()
         # The drill arms its plane explicitly on the faulted run only; an
         # env-armed plane would otherwise also hit the reference run.
-        env_plane = heap.memsys.stats.hwfaults
+        env_plane = built.heap.memsys.stats.hwfaults
         if env_plane is not None:
             env_plane.uninstall()
-        return heap
+        return built
 
-    # Fault-free reference: the logical heap state recovery must converge to.
-    heap = fresh()
+    # Fault-free reference: the logical heap state recovery must converge
+    # to (a fallback from a concurrent cycle restores the pre-cycle
+    # snapshot and finishes STW, so the STW reference applies there too).
+    built = fresh()
+    heap = built.heap
     driver = HWGCDriver(heap, GCUnitConfig())
     driver.init_device()
     clean = driver.run_gc_safe()
@@ -217,22 +220,39 @@ def _cmd_fault_drill(args) -> int:
     reference = heap_digest(heap)
     print(f"fault-free reference digest: {reference}")
 
-    heap = fresh()
+    built = fresh()
+    heap = built.heap
     oracle = heap.reachable()
     plane.install(heap.memsys.stats, heap.memsys.phys)
     driver = HWGCDriver(heap, GCUnitConfig())
     driver.init_device()
-    safe = driver.run_gc_safe()
-    print(f"armed:   {spec}")
+    if args.mode == "concurrent":
+        from repro.workloads.mutator import ConcurrentMutator
+
+        mutator = ConcurrentMutator(built, seed=args.seed)
+        safe = driver.run_gc_safe(mode="concurrent", mutator=mutator,
+                                  relocate_blocks=args.relocate_blocks)
+    else:
+        safe = driver.run_gc_safe()
+    print(f"armed:   {spec} (mode: {args.mode})")
     print(f"fired:   {'; '.join(str(f) for f in safe.faults) or 'nothing'}")
     print(f"outcome: {safe.outcome} ({safe.reason()})")
     if safe.stall is not None:
         print(f"diagnosis: {safe.stall}")
-    live_ok = heap.reachable() == oracle
-    heap.prune_dead(heap.reachable())
-    digest_ok = heap_digest(heap) == reference
-    print(f"recovered live set == oracle: {live_ok}")
-    print(f"recovered heap digest == reference: {digest_ok}")
+    if safe.outcome == "hardware" and args.mode == "concurrent":
+        # The mutator ran during marking, so the pre-GC oracle no longer
+        # applies; the valid identity is the handshake oracle the cycle
+        # itself was verified against.
+        live_ok = heap.reachable() == safe.result.oracle
+        digest_ok = safe.verification is not None and safe.verification.ok
+        print(f"live set == handshake oracle: {live_ok}")
+        print(f"software verification passed: {digest_ok}")
+    else:
+        live_ok = heap.reachable() == oracle
+        heap.prune_dead(heap.reachable())
+        digest_ok = heap_digest(heap) == reference
+        print(f"recovered live set == oracle: {live_ok}")
+        print(f"recovered heap digest == reference: {digest_ok}")
     if not (live_ok and digest_ok):
         return 1
     if args.expect_fallback and not safe.fallback:
@@ -322,6 +342,14 @@ def main(argv=None) -> int:
     drill_parser.add_argument("--expect-fallback", action="store_true",
                               help="fail unless the fault actually forced "
                               "the software fallback")
+    drill_parser.add_argument("--mode", default="stw",
+                              choices=("stw", "concurrent"),
+                              help="drill a stop-the-world collection or a "
+                              "concurrent one (mutator racing the mark)")
+    drill_parser.add_argument("--relocate-blocks", type=int, default=0,
+                              metavar="N",
+                              help="concurrent mode: evacuate N blocks in "
+                              "the relocation prologue")
     args = parser.parse_args(argv)
     return {
         "list": _cmd_list,

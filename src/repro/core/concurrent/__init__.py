@@ -27,6 +27,11 @@ from repro.core.concurrent.refload import (
     BarrierCostModel,
     BARRIER_MODELS,
 )
+from repro.core.concurrent.collect import (
+    ConcurrentCycle,
+    ConcurrentGCResult,
+    relocate_prologue,
+)
 
 __all__ = [
     "ForwardingTable",
@@ -36,4 +41,7 @@ __all__ = [
     "BarrierKind",
     "BarrierCostModel",
     "BARRIER_MODELS",
+    "ConcurrentCycle",
+    "ConcurrentGCResult",
+    "relocate_prologue",
 ]

@@ -62,6 +62,10 @@ class MutatorBarriers:
             # Publish the overwritten reference where the reader will see it.
             self.heap.roots.append(old)
             self.write_barrier_hits += 1
+            trace = self.heap.memsys.stats.trace
+            if trace is not None:
+                trace.events.append(
+                    (self.heap.sim.now, "barrier", "write", old))
         parent.set_ref(index, new_ref)
 
     # -- read barrier ---------------------------------------------------------
@@ -80,6 +84,11 @@ class MutatorBarriers:
             # A real mutator would also heal the field (store the new
             # address back) so the barrier only pays once per field.
             parent.set_ref(index, ref + delta)
+            trace = self.heap.memsys.stats.trace
+            if trace is not None:
+                trace.events.append(
+                    (self.heap.sim.now, "barrier", "read_fix", ref,
+                     ref + delta))
         return ref + delta
 
 

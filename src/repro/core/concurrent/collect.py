@@ -1,0 +1,215 @@
+"""A full concurrent collection cycle (§IV-D/E), end to end.
+
+The prototype evaluates the unit stop-the-world; this module assembles the
+pause-free cycle the design generalizes to, from the pieces that already
+exist: the write/read barriers (:mod:`.barriers`), the forwarding table
+(:mod:`.forwarding`), and relocation (:mod:`.relocate`), orchestrated
+around the unmodified traversal and reclamation units.
+
+Phase structure of one cycle (the pause the application observes is only
+the handshake + sweep):
+
+1. **Relocation prologue** (optional, brief STW): evacuate a few blocks
+   with ``defer_free`` — the forwarding table stays keyed by old
+   addresses, so the evacuated cells are quarantined (not reallocatable)
+   until the cycle's own sweep relinks them. Tracked addresses and the
+   root table are remapped immediately; live heap *fields* stay stale and
+   are served by the forwarding table mid-traversal.
+2. **Concurrent mark**: snapshot-at-the-beginning. New objects are
+   allocated black (mark value = the cycle's parity) so the sweep cannot
+   reclaim them; the write barrier publishes every overwritten reference
+   into hwgc-space, where the polling reader funnels it back into the mark
+   queue; the read barrier heals stale fields through the forwarding
+   table, and the traversal unit resolves every queued reference through
+   the same table.
+3. **Termination handshake** (pause begins): mutation has quiesced; the
+   reader drains the final publications and the traversal completes.
+4. **Root reconciliation + fixup**: hwgc-space is rewritten with the
+   mutator's *actual* root set (barrier publications were queue traffic,
+   not roots), and — if relocation ran — every remaining stale reference
+   is rewritten via the forwarding table.
+5. **Sweep** (STW, as in the paper): unreachable-and-unmarked cells are
+   freed. Objects that died *during* marking were still marked (floating
+   garbage, the SATB guarantee's price); they are reclaimed by the next
+   cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Set, Tuple
+
+from repro.core.concurrent.barriers import MutatorBarriers
+from repro.core.concurrent.forwarding import ForwardingTable
+from repro.core.concurrent.relocate import RelocatingSweep
+from repro.core.config import GCUnitConfig
+from repro.core.unit import GCUnit
+from repro.heap.heapimage import ManagedHeap
+
+
+def relocate_prologue(
+    heap: ManagedHeap, n_blocks: int
+) -> Tuple[Optional[ForwardingTable], Optional[RelocatingSweep]]:
+    """Evacuate the first ``n_blocks`` allocated blocks (deterministic
+    choice), quarantining the sources for the lifetime of the returned
+    forwarding table.
+
+    At cycle start every allocated cell carries the allocator's current
+    mark value, so evacuating at that parity moves *all* objects in the
+    chosen blocks — garbage moves too and is reclaimed by this cycle's
+    sweep, the conservative choice a cycle-start relocation must make.
+    """
+    indices: List[int] = []
+    for desc in heap.block_list:
+        indices.append(desc.index)
+        if len(indices) >= n_blocks:
+            break
+    if not indices:
+        return None, None
+    relocator = RelocatingSweep(heap, parity=heap.allocator.alloc_mark_value)
+    table = relocator.evacuate_blocks(indices, defer_free=True)
+    heap.remap_tracked(table.resolve)
+    heap.roots.write_roots(
+        [table.resolve(r) for r in heap.roots.read_all()])
+    return table, relocator
+
+
+@dataclass
+class ConcurrentGCResult:
+    """Outcome of one concurrent cycle.
+
+    ``mark_cycles`` spans the whole concurrent mark (racing span +
+    handshake); only ``handshake_cycles`` of it pauses the application, so
+    ``pause_cycles`` — the quantity the latency figures attribute to GC —
+    is handshake + sweep.
+    """
+
+    mark_cycles: int
+    handshake_cycles: int
+    sweep_cycles: int
+    objects_marked: int
+    cells_freed: int
+    cells_live: int
+    write_barrier_hits: int
+    read_barrier_fixes: int
+    barrier_appends_read: int
+    refs_forwarded: int
+    objects_relocated: int
+    fields_fixed: int
+    mutator_ops: int
+    mutator_allocs: int
+    alloc_failures: int
+    #: Reachable set captured at the handshake (after root reconciliation
+    #: and fixup) — the only oracle valid for verifying a collection whose
+    #: object graph changed mid-cycle.
+    oracle: Set[int] = field(default_factory=set)
+
+    @property
+    def pause_cycles(self) -> int:
+        return self.handshake_cycles + self.sweep_cycles
+
+    @property
+    def concurrent_cycles(self) -> int:
+        """Marking cycles that overlapped the running mutator."""
+        return self.mark_cycles - self.handshake_cycles
+
+
+class ConcurrentCycle:
+    """Orchestrates one concurrent collection against a live mutator.
+
+    ``mutator`` is duck-typed: it must provide ``process(barriers)`` (a
+    simulation-process generator performing every reference operation
+    through the given :class:`MutatorBarriers`) and ``final_roots()`` (the
+    logical root set after mutation, consulted once the mutator has
+    quiesced). :class:`repro.workloads.mutator.ConcurrentMutator` is the
+    standard implementation.
+    """
+
+    def __init__(
+        self,
+        heap: ManagedHeap,
+        config: Optional[GCUnitConfig] = None,
+        mutator=None,
+        relocate_blocks: int = 0,
+    ):
+        if mutator is None:
+            raise ValueError("a concurrent cycle needs a mutator")
+        self.heap = heap
+        self.config = config if config is not None else GCUnitConfig()
+        self.mutator = mutator
+        self.relocate_blocks = relocate_blocks
+        self.barriers: Optional[MutatorBarriers] = None
+        self.forwarding: Optional[ForwardingTable] = None
+        self.result: Optional[ConcurrentGCResult] = None
+
+    def run(self, unit: Optional[GCUnit] = None,
+            on_phase: Optional[Callable[[str], None]] = None,
+            ) -> ConcurrentGCResult:
+        heap = self.heap
+        unit = unit if unit is not None else GCUnit(heap, self.config)
+        notify = on_phase if on_phase is not None else (lambda _p: None)
+
+        # 1. Relocation prologue (STW, brief).
+        relocator: Optional[RelocatingSweep] = None
+        if self.relocate_blocks:
+            notify("relocate")
+            self.forwarding, relocator = relocate_prologue(
+                heap, self.relocate_blocks)
+
+        # 2+3. Concurrent mark with allocate-black, then the handshake.
+        # New objects must survive this cycle's sweep even if the traversal
+        # never reaches them: they are born with the marking parity.
+        allocator = heap.allocator
+        prev_alloc_mark = allocator.alloc_mark_value
+        allocator.alloc_mark_value = heap.mark_parity
+        self.barriers = MutatorBarriers(heap, forwarding=self.forwarding)
+        notify("mark")
+        try:
+            mark_cycles, handshake_cycles = unit.mark_concurrent(
+                self.mutator, self.barriers, forwarding=self.forwarding)
+        finally:
+            allocator.alloc_mark_value = prev_alloc_mark
+
+        # 4. Root reconciliation + fixup. The hwgc region accumulated the
+        # write barrier's publications; those were queue traffic, not
+        # roots. Rewrite it with the mutator's logical root set, then (if
+        # relocation ran) rewrite every remaining stale field.
+        logical_roots = self.mutator.final_roots()
+        if self.forwarding is not None:
+            logical_roots = [self.forwarding.resolve(r)
+                             for r in logical_roots]
+        heap.set_roots(logical_roots)
+        fields_fixed = 0
+        if relocator is not None:
+            fields_fixed = relocator.fixup_references(self.forwarding)
+        oracle = heap.reachable()
+
+        # 5. STW sweep. Floating garbage (died during marking, but marked)
+        # survives to the next cycle; quarantined evacuated cells are
+        # relinked here, ending the forwarding table's lifetime.
+        notify("sweep")
+        sweep_cycles = unit.sweep()
+
+        trav = unit.traversal
+        recl = unit.reclamation
+        assert trav is not None and recl is not None
+        self.result = ConcurrentGCResult(
+            mark_cycles=mark_cycles,
+            handshake_cycles=handshake_cycles,
+            sweep_cycles=sweep_cycles,
+            objects_marked=trav.marker.objects_marked,
+            cells_freed=recl.cells_freed,
+            cells_live=recl.cells_live,
+            write_barrier_hits=self.barriers.write_barrier_hits,
+            read_barrier_fixes=self.barriers.read_barrier_fixes,
+            barrier_appends_read=trav.reader.barrier_appends_read,
+            refs_forwarded=trav.refs_forwarded,
+            objects_relocated=(relocator.objects_moved
+                               if relocator is not None else 0),
+            fields_fixed=fields_fixed,
+            mutator_ops=getattr(self.mutator, "ops", 0),
+            mutator_allocs=getattr(self.mutator, "allocs", 0),
+            alloc_failures=getattr(self.mutator, "alloc_failures", 0),
+            oracle=oracle,
+        )
+        return self.result

@@ -53,7 +53,16 @@ class BarrierCostModel:
 
     def overhead_cycles(self, ref_ops: int, slow_fraction: float,
                         mutator_exec_cycles: int = 0) -> float:
-        """Total extra cycles for ``ref_ops`` guarded operations."""
+        """Total extra cycles for ``ref_ops`` guarded operations.
+
+        A zero-length burst (``ref_ops == 0``) is a legal degenerate case —
+        a mutator phase with no reference operations still pays the
+        instruction-footprint term, and nothing else."""
+        if ref_ops < 0:
+            raise ValueError(f"ref_ops must be >= 0, got {ref_ops}")
+        if mutator_exec_cycles < 0:
+            raise ValueError(
+                f"mutator_exec_cycles must be >= 0, got {mutator_exec_cycles}")
         if not 0.0 <= slow_fraction <= 1.0:
             raise ValueError(f"slow_fraction out of range: {slow_fraction}")
         fast = ref_ops * (1.0 - slow_fraction) * self.fast_path_cycles
@@ -62,10 +71,15 @@ class BarrierCostModel:
 
     def slowdown(self, mutator_cycles: int, ref_ops: int,
                  slow_fraction: float) -> float:
-        """Mutator slowdown factor (1.0 = no overhead)."""
+        """Mutator slowdown factor (1.0 = no overhead).
+
+        ``slow_fraction = 1.0`` models a burst entirely against relocated
+        pages (every REFLOAD resolves through the reclamation unit, the
+        worst case during an in-progress relocation)."""
         if mutator_cycles <= 0:
             raise ValueError("mutator_cycles must be positive")
-        extra = self.overhead_cycles(ref_ops, slow_fraction)
+        extra = self.overhead_cycles(ref_ops, slow_fraction,
+                                     mutator_exec_cycles=mutator_cycles)
         return (mutator_cycles + extra) / mutator_cycles
 
 

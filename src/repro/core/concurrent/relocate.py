@@ -54,12 +54,22 @@ class RelocatingSweep:
 
     # -- evacuation -------------------------------------------------------------
 
-    def evacuate_blocks(self, block_indices: Iterable[int]) -> ForwardingTable:
+    def evacuate_blocks(self, block_indices: Iterable[int],
+                        defer_free: bool = False) -> ForwardingTable:
         """Evacuate the live objects of the given blocks.
 
         Returns the forwarding table; the evacuated blocks end up fully
         free (their free lists rebuilt), and every page they span is marked
         invalidated for the read-barrier protocol.
+
+        With ``defer_free`` the source blocks are *quarantined* instead:
+        scan words cleared, free-list head left empty. A concurrent cycle
+        needs this because the forwarding table is keyed by old addresses —
+        if the allocator handed an evacuated cell out again while the table
+        is live, a reference to the new object would resolve through the
+        stale forwarding entry (the ABA race). The cycle's own sweep
+        relinks the quarantined cells, so they become allocatable exactly
+        when the table is dropped.
         """
         heap = self.heap
         mem = heap.mem
@@ -95,7 +105,10 @@ class RelocatingSweep:
                 self.bytes_copied += desc.cell_bytes
             # The whole source block is now free: rebuild its free list and
             # invalidate its pages.
-            self._free_whole_block(desc)
+            if defer_free:
+                self._quarantine_block(desc)
+            else:
+                self._free_whole_block(desc)
             span = desc.cell_bytes * desc.n_cells
             for off in range(0, span, PAGE_SIZE):
                 table.invalidate_page(desc.base_vaddr + off)
@@ -111,6 +124,17 @@ class RelocatingSweep:
             )
             mem.write_word(self.heap.to_physical(cell_vaddr), next_vaddr)
         self.heap.block_list.set_freelist_head(desc.index, desc.base_vaddr)
+
+    def _quarantine_block(self, desc: BlockDescriptor) -> None:
+        """Empty the block without making its cells allocatable: scan words
+        cleared (so the sweeper relinks every cell as free) and the
+        free-list head zeroed (so the allocator cannot reuse an old address
+        while the forwarding table still maps it)."""
+        mem = self.heap.mem
+        for i in range(desc.n_cells):
+            cell_vaddr = desc.base_vaddr + i * desc.cell_bytes
+            mem.write_word(self.heap.to_physical(cell_vaddr), 0)
+        self.heap.block_list.set_freelist_head(desc.index, 0)
 
     # -- remap / fixup -------------------------------------------------------------
 

@@ -120,10 +120,47 @@ class HWGCDriver:
         self.mmio.set_status(Status.READY)
         return result
 
+    def run_gc_concurrent(self, mutator, relocate_blocks: int = 0):
+        """Initiate a concurrent collection (§IV-D) and run it to DONE.
+
+        The mutator keeps running during marking: its reference operations
+        go through the write/read barriers, and (with ``relocate_blocks``)
+        relocation is served mid-traversal from the forwarding table. Only
+        the termination handshake and the sweep pause the application.
+        """
+        from repro.core.concurrent.collect import ConcurrentCycle
+
+        if not self._initialized:
+            raise RuntimeError("driver not initialized; call init_device()")
+        if self.mmio.status != Status.READY:
+            raise RuntimeError(f"unit busy: {self.mmio.status}")
+        self.mmio.write(Reg.MARK_PARITY, self.heap.mark_parity)
+        self.mmio.write(Reg.COMMAND, int(Command.START_CONCURRENT_GC))
+        cycle = ConcurrentCycle(self.heap, self.config, mutator,
+                                relocate_blocks=relocate_blocks)
+        unit = GCUnit(self.heap, self.config)
+        result = cycle.run(unit, on_phase=self._concurrent_phase)
+        self.mmio.set_status(Status.DONE)
+        self.mmio.write(Reg.OBJECTS_MARKED, result.objects_marked)
+        self.mmio.write(Reg.CELLS_FREED, result.cells_freed)
+        self.mmio.write(Reg.BARRIER_HITS, result.write_barrier_hits)
+        self.mmio.write(Reg.OBJECTS_RELOCATED, result.objects_relocated)
+        self.mmio.write(Reg.COMMAND, int(Command.IDLE))
+        self.mmio.set_status(Status.READY)
+        return result
+
+    def _concurrent_phase(self, phase: str) -> None:
+        """Status-register transitions as the concurrent cycle progresses."""
+        if phase == "mark":
+            self.mmio.set_status(Status.CONC_MARKING)
+        elif phase == "sweep":
+            self.mmio.set_status(Status.SWEEPING)
+
     # -- the safety net (§V-E's replaceable libhwgc) -----------------------
 
     def run_gc_safe(self, watchdog: Optional[GCWatchdog] = None,
-                    verify: bool = True) -> SafeGCResult:
+                    verify: bool = True, mode: str = "stw",
+                    mutator=None, relocate_blocks: int = 0) -> SafeGCResult:
         """Run a collection with supervision and graceful degradation.
 
         The hardware collection runs under a :class:`GCWatchdog`; its
@@ -135,9 +172,20 @@ class HWGCDriver:
         dead unit are discarded, the pre-GC heap snapshot is restored —
         and the collection re-runs on the software safety net. Either way
         the final live set equals the oracle exactly.
+
+        ``mode="concurrent"`` supervises a concurrent cycle instead (pass
+        the ``mutator``; see :meth:`run_gc_concurrent`). The same safety
+        net applies, with one honest caveat: falling back restores the
+        pre-cycle snapshot, so the mutator's work during the doomed cycle
+        is lost and the software collector finishes a plain STW pause.
         """
         from repro.swgc.marksweep import SoftwareCollector
 
+        if mode == "concurrent":
+            return self._run_gc_safe_concurrent(
+                watchdog, verify, mutator, relocate_blocks)
+        if mode != "stw":
+            raise ValueError(f"unknown GC mode {mode!r}")
         if not self._initialized:
             raise RuntimeError("driver not initialized; call init_device()")
         if self.mmio.status != Status.READY:
@@ -227,6 +275,120 @@ class HWGCDriver:
                         f"unmarked live object at {addr:#x}")
             verifier = HeapVerifier(heap)
             verifier.check_sweep(report=report, parity=parity, live=oracle)
+            verifier.check_free_lists(report=report)
+        except Exception as exc:
+            report.sweep_errors.append(
+                f"verifier crashed: {type(exc).__name__}: {exc}")
+        return report
+
+    # -- concurrent collection under the same safety net --------------------
+
+    def _run_gc_safe_concurrent(self, watchdog: Optional[GCWatchdog],
+                                verify: bool, mutator,
+                                relocate_blocks: int) -> SafeGCResult:
+        """Supervised concurrent collection with software fallback.
+
+        The success path verifies against the reachability oracle captured
+        at the termination handshake (the only oracle valid for a graph
+        that changed mid-cycle). The fallback path restores the pre-cycle
+        snapshot — losing the doomed cycle's mutator work — and re-runs as
+        a software STW collection verified against the *pre-cycle* oracle.
+        """
+        from repro.core.concurrent.collect import ConcurrentCycle
+        from repro.swgc.marksweep import SoftwareCollector
+
+        if mutator is None:
+            raise ValueError("mode='concurrent' needs a mutator")
+        if not self._initialized:
+            raise RuntimeError("driver not initialized; call init_device()")
+        if self.mmio.status != Status.READY:
+            raise RuntimeError(f"unit busy: {self.mmio.status}")
+        heap = self.heap
+        stats = heap.memsys.stats
+        snapshot = heap.checkpoint()
+        pre_oracle = heap.reachable()  # valid only for the restored snapshot
+        wd = watchdog if watchdog is not None else GCWatchdog()
+        wd.attach(heap.sim, stats)
+        stall: Optional[StallReport] = None
+        hardware_error: Optional[str] = None
+        result = None
+        self.mmio.write(Reg.MARK_PARITY, heap.mark_parity)
+        self.mmio.write(Reg.COMMAND, int(Command.START_CONCURRENT_GC))
+        unit = GCUnit(heap, self.config)
+        cycle = ConcurrentCycle(heap, self.config, mutator,
+                                relocate_blocks=relocate_blocks)
+        try:
+            result = cycle.run(unit, on_phase=self._concurrent_phase)
+        except StallReport as exc:
+            stall = exc
+        except Exception as exc:  # a fault surfacing as a model error
+            hardware_error = f"{type(exc).__name__}: {exc}"
+        finally:
+            wd.detach(heap.sim)
+        verification: Optional[VerificationReport] = None
+        if result is not None and verify:
+            verification = self._post_concurrent_check(result.oracle)
+        plane = stats.hwfaults
+        fired = list(plane.fired) if plane is not None else []
+        if result is not None and (verification is None or verification.ok):
+            self.mmio.set_status(Status.DONE)
+            self.mmio.write(Reg.OBJECTS_MARKED, result.objects_marked)
+            self.mmio.write(Reg.CELLS_FREED, result.cells_freed)
+            self.mmio.write(Reg.BARRIER_HITS, result.write_barrier_hits)
+            self.mmio.write(Reg.OBJECTS_RELOCATED, result.objects_relocated)
+            self.mmio.write(Reg.COMMAND, int(Command.IDLE))
+            self.mmio.set_status(Status.READY)
+            return SafeGCResult(result=result, outcome="hardware",
+                                verification=verification, faults=fired)
+        # -- graceful degradation: abandon the cycle and its mutator work --
+        discarded_events, discarded_requests = self._abort_hardware(snapshot)
+        self.mmio.set_status(Status.FALLBACK)
+        stats.inc("driver.fallbacks")
+        safe = SafeGCResult(result=None, outcome="fallback", stall=stall,
+                            hardware_error=hardware_error,
+                            verification=verification, faults=fired,
+                            discarded_events=discarded_events,
+                            discarded_requests=discarded_requests)
+        trace = stats.trace
+        if trace is not None:
+            trace.emit(heap.sim.now, "fallback", safe.reason(),
+                       stall.culprit if stall is not None else "")
+        sw = SoftwareCollector(heap)
+        safe.result = sw.collect()
+        if verify:
+            after = self._post_collection_check(pre_oracle)
+            if not after.ok:
+                after.raise_if_failed()  # double fault: nothing left to try
+        self.mmio.write(Reg.OBJECTS_MARKED, safe.result.objects_marked)
+        self.mmio.write(Reg.CELLS_FREED, safe.result.cells_freed)
+        self.mmio.write(Reg.FALLBACKS, self.mmio.read(Reg.FALLBACKS) + 1)
+        self.mmio.write(Reg.COMMAND, int(Command.IDLE))
+        self.mmio.set_status(Status.READY)
+        return safe
+
+    def _post_concurrent_check(self, oracle: Set[int]) -> VerificationReport:
+        """Software check of a finished *concurrent* collection.
+
+        The oracle is the reachable set captured at the termination
+        handshake. Two concurrent-specific relaxations versus
+        :meth:`_post_collection_check`: floating garbage (objects that died
+        during marking but were marked under SATB) legitimately survives
+        this cycle's sweep, so the strict surviving-garbage differential is
+        off; everything else — every handshake-live object marked, no
+        unswept dead cells, valid free lists — still holds exactly.
+        """
+        heap = self.heap
+        report = VerificationReport()
+        parity = heap.mark_parity
+        try:
+            for addr in sorted(oracle):
+                report.objects_checked += 1
+                if not heap.view(addr).is_marked(parity):
+                    report.mark_errors.append(
+                        f"unmarked live object at {addr:#x}")
+            verifier = HeapVerifier(heap)
+            verifier.check_sweep(report=report, parity=parity, live=oracle,
+                                 floating_ok=True)
             verifier.check_free_lists(report=report)
         except Exception as exc:
             report.sweep_errors.append(

@@ -31,6 +31,8 @@ class Reg(enum.IntEnum):
     OBJECTS_MARKED = 0x50  # read-only result counter
     CELLS_FREED = 0x58  # read-only result counter
     FALLBACKS = 0x60  # read-only: collections finished by the SW safety net
+    BARRIER_HITS = 0x68  # read-only: write-barrier publications (§IV-D)
+    OBJECTS_RELOCATED = 0x70  # read-only: objects evacuated this cycle
 
 
 class Command(enum.IntEnum):
@@ -38,6 +40,9 @@ class Command(enum.IntEnum):
     START_MARK = 1
     START_SWEEP = 2
     START_FULL_GC = 3
+    #: Concurrent collection (§IV-D): marking races the mutator; only the
+    #: termination handshake and the sweep pause the application.
+    START_CONCURRENT_GC = 4
 
 
 class Status(enum.IntEnum):
@@ -48,6 +53,9 @@ class Status(enum.IntEnum):
     #: The hardware collection was aborted and the software safety net
     #: (§V-E's replaceable libhwgc) is finishing the pause.
     FALLBACK = 4
+    #: Concurrent marking in progress: the mutator is running; the reader
+    #: is polling hwgc-space for write-barrier publications.
+    CONC_MARKING = 5
 
 
 class MMIORegisterFile:

@@ -40,6 +40,12 @@ class RootReader:
         self.unit = unit
         self.stats = stats if stats is not None else StatsRegistry()
         self.roots_read = 0
+        #: Count-word polls that found no new entries (concurrent mode).
+        self.idle_polls = 0
+        #: Entries consumed after the first drain — in concurrent mode these
+        #: are the write barrier's publications (plus any roots the mutator
+        #: registered mid-cycle).
+        self.barrier_appends_read = 0
 
     #: Cycles between root-table polls in concurrent mode.
     POLL_INTERVAL = 200
@@ -54,13 +60,22 @@ class RootReader:
         # Read the count word.
         yield self.port.read(self.roots.base, 8)
         consumed = 0
+        initial_count = self.roots.count
         while True:
             count = self.roots.count
             if consumed >= count:
                 if self.unit.concurrent and not self.unit.stop_requested:
+                    self.idle_polls += 1
                     yield self.POLL_INTERVAL
                     continue
                 break
+            if consumed >= initial_count:
+                appended = count - max(consumed, initial_count)
+                self.barrier_appends_read += appended
+                trace = self.stats.trace
+                if trace is not None:
+                    trace.events.append(
+                        (self.sim.now, "barrier", "drain", appended))
             # Stream pending entries: 64B transfers when aligned with at
             # least a full line of entries left, single words otherwise.
             while consumed < count:

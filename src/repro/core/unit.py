@@ -80,6 +80,7 @@ class TraversalUnit:
         heap: ManagedHeap,
         config: Optional[GCUnitConfig] = None,
         concurrent: bool = False,
+        forwarding=None,
     ):
         self.heap = heap
         self.sim: Simulator = heap.sim
@@ -88,6 +89,12 @@ class TraversalUnit:
         #: write-barrier appends until :meth:`request_stop`.
         self.concurrent = concurrent
         self.stop_requested = False
+        #: Forwarding table of an in-progress relocation (§IV-D): every
+        #: reference entering the pipeline — root, barrier publication, or
+        #: traced field — is resolved through it, the unit-side half of the
+        #: read-barrier protocol (the mutator side heals its own fields).
+        self.forwarding = forwarding
+        self.refs_forwarded = 0
         memsys = heap.memsys
         self.stats: StatsRegistry = memsys.stats
         self.mark_parity = heap.mark_parity
@@ -171,6 +178,16 @@ class TraversalUnit:
     # -- work accounting (references in flight anywhere in the pipeline) ---
 
     def enqueue_ref(self, ref: int) -> None:
+        fwd = self.forwarding
+        if fwd is not None:
+            resolved = fwd.resolve(ref)
+            if resolved != ref:
+                self.refs_forwarded += 1
+                trace = self.stats.trace
+                if trace is not None:
+                    trace.events.append(
+                        (self.sim.now, "forward", "resolve", ref, resolved))
+                ref = resolved
         self._inflight += 1
         self.mark_queue.enqueue(ref)
 
@@ -295,6 +312,59 @@ class GCUnit:
         self.mark_stats = self._stats_delta(before, stats.as_dict())
         self.mark_window = (start, end)
         return end - start
+
+    def mark_concurrent(self, mutator, barriers, forwarding=None):
+        """Run the mark phase with a live mutator (§IV-D).
+
+        ``mutator`` provides ``process(barriers)``, a simulation-process
+        generator that keeps allocating and mutating while the traversal
+        marks; ``barriers`` is its :class:`MutatorBarriers` instance. The
+        phase has two parts: the racing span (mutator + traversal, no
+        pause) and the termination handshake (mutation quiesced, traversal
+        drains the final write-barrier publications) — only the handshake
+        is a pause the application observes.
+
+        Returns ``(mark_cycles, handshake_cycles)``.
+        """
+        self.traversal = TraversalUnit(self.heap, self.config,
+                                       concurrent=True, forwarding=forwarding)
+        stats = self.heap.memsys.stats
+        wd = stats.watchdog
+        if wd is not None:
+            trav = self.traversal
+            wd.register_probe("marker.slots_in_flight", "marker",
+                              lambda: trav.marker.slots_in_flight)
+            wd.register_probe("markq.entries", "markqueue",
+                              lambda: trav.mark_queue.total_entries)
+            wd.register_probe("tracerq.entries", "tracer",
+                              lambda: trav.tracer_queue.occupancy)
+        before = stats.as_dict()
+        start = self.sim.now
+        trace = stats.trace
+        if trace is not None:
+            trace.emit(start, "phase", "hw.conc_mark", "B")
+        done = self.traversal.run()
+        barriers.marking_active = True
+        mutator_proc = self.sim.process(mutator.process(barriers),
+                                        name="mutator")
+        try:
+            # Racing span: the traversal can only finish after the stop
+            # request, so this wait always ends with the mutator quiescing.
+            quiesced = self._run_until(mutator_proc)
+            barriers.marking_active = False
+            if trace is not None:
+                trace.emit(quiesced, "phase", "hw.handshake", "B")
+            self.traversal.request_stop()
+            end = self._run_until(done)
+        finally:
+            self._export_queue_stalls(stats, self.traversal.tracer_queue,
+                                      self.traversal.mark_queue.main)
+        if trace is not None:
+            trace.emit(end, "phase", "hw.handshake", "E")
+            trace.emit(end, "phase", "hw.conc_mark", "E")
+        self.mark_stats = self._stats_delta(before, stats.as_dict())
+        self.mark_window = (start, end)
+        return end - start, end - quiesced
 
     def sweep(self) -> int:
         """Run the sweep phase; returns its cycle count."""

@@ -198,6 +198,26 @@ class ManagedHeap:
         ms = self.plan.marksweep
         return {a for a in self.reachable() if ms.contains(self.to_physical(a))}
 
+    def remap_tracked(self, mapper) -> int:
+        """Apply an address mapping to the tracked object lists.
+
+        Used by relocation: after evacuation the forwarding table's
+        ``resolve`` is the mapping from old to new addresses, and the
+        tracking lists (which feed the metadata sidecar and the BFS
+        oracle) must follow the objects. Returns how many entries moved.
+        """
+        moved = 0
+        new_objects = []
+        for addr in self.objects:
+            new = mapper(addr)
+            if new != addr:
+                moved += 1
+            new_objects.append(new)
+        self.objects = new_objects
+        self.los_objects = [mapper(addr) for addr in self.los_objects]
+        self._metadata = None
+        return moved
+
     def prune_dead(self, live: Set[int]) -> int:
         """Drop freed MarkSweep objects from the tracking list after a GC."""
         ms = self.plan.marksweep

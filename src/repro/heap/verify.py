@@ -88,11 +88,15 @@ class HeapVerifier:
 
     def check_sweep(self, report: Optional[VerificationReport] = None,
                     parity: Optional[int] = None,
-                    live: Optional[Set[int]] = None) -> VerificationReport:
+                    live: Optional[Set[int]] = None,
+                    floating_ok: bool = False) -> VerificationReport:
         """After a sweep: dead MarkSweep cells are free, live ones intact.
 
         ``live`` optionally supplies a pre-computed oracle reachable set
-        (see :meth:`check_marks`).
+        (see :meth:`check_marks`). ``floating_ok`` relaxes the "surviving
+        garbage" arm: a *concurrent* cycle legitimately keeps marked
+        objects that died during marking (SATB floating garbage), so only
+        unswept-dead cells are errors there.
         """
         heap = self.heap
         parity = parity if parity is not None else heap.mark_parity
@@ -116,7 +120,7 @@ class HeapVerifier:
                 obj_addr = desc.base_vaddr + i * desc.cell_bytes \
                     + WORD_BYTES * (1 + n_refs)
                 if header_is_marked(status, parity):
-                    if obj_addr not in live:
+                    if obj_addr not in live and not floating_ok:
                         report.sweep_errors.append(
                             f"surviving garbage cell at {obj_addr:#x}")
                 else:
@@ -208,6 +212,27 @@ def heap_digest(heap: ManagedHeap) -> str:
                 break
         hasher.update(
             f"free block={desc.index} {cells!r}\n".encode())
+    return hasher.hexdigest()
+
+
+def reachable_digest(heap: ManagedHeap, include_marks: bool = False) -> str:
+    """SHA-256 over the *reachable object graph only* — addresses, shapes
+    and reference fields, excluding free lists, parity and (by default)
+    mark bits.
+
+    This is the differential currency for concurrent collections: a
+    concurrent cycle and an untimed functional replay of the same mutator
+    must produce byte-identical reachable graphs, even though their mark
+    bits, free lists and floating garbage legitimately differ.
+    """
+    import hashlib
+    hasher = hashlib.sha256()
+    for addr in sorted(heap.reachable()):
+        view = heap.view(addr)
+        mark = view.mark_bit if include_marks else 0
+        hasher.update(
+            f"obj {addr:#x} {view.n_refs} {int(view.is_array)} "
+            f"{mark} {tuple(view.refs())!r}\n".encode())
     return hasher.hexdigest()
 
 

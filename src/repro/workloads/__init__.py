@@ -16,8 +16,20 @@ through the same memory system.
 
 from repro.workloads.profiles import BenchmarkProfile, DACAPO_PROFILES
 from repro.workloads.graphgen import HeapGraphBuilder, BuiltHeap
-from repro.workloads.mutator import MutatorModel, GCPauseRecord, MutatorRunResult
-from repro.workloads.latency import QuerySimulator, QueryRecord, latency_cdf
+from repro.workloads.mutator import (
+    ConcurrentMutator,
+    GCPauseRecord,
+    MutatorModel,
+    MutatorRunResult,
+)
+from repro.workloads.latency import (
+    LatencyComparison,
+    QueryRecord,
+    QuerySimulator,
+    compare_stw_concurrent,
+    latency_cdf,
+    percentile_summary,
+)
 
 __all__ = [
     "BenchmarkProfile",
@@ -25,9 +37,13 @@ __all__ = [
     "HeapGraphBuilder",
     "BuiltHeap",
     "MutatorModel",
+    "ConcurrentMutator",
     "GCPauseRecord",
     "MutatorRunResult",
     "QuerySimulator",
     "QueryRecord",
     "latency_cdf",
+    "percentile_summary",
+    "compare_stw_concurrent",
+    "LatencyComparison",
 ]

@@ -138,6 +138,86 @@ def latency_cdf(records: Sequence[QueryRecord]) -> List[Tuple[float, float]]:
     return [(lat, (i + 1) / n) for i, lat in enumerate(latencies)]
 
 
+def percentile_summary(
+    records: Sequence[QueryRecord],
+    percentiles: Sequence[float] = (50.0, 90.0, 99.0, 99.9),
+) -> dict:
+    """{"p50": ms, ..., "max": ms} latency summary of a query run."""
+    latencies = sorted(r.latency_ms for r in records)
+    if not latencies:
+        raise ValueError("no records")
+    out = {}
+    for p in percentiles:
+        rank = max(1, math.ceil(p / 100.0 * len(latencies)))
+        key = f"p{p:g}"
+        out[key] = latencies[rank - 1]
+    out["max"] = latencies[-1]
+    return out
+
+
+@dataclass
+class LatencyComparison:
+    """STW vs concurrent collection under the same open-loop query stream.
+
+    The schedule (inter-arrival gap, service-time distribution, RNG seed)
+    is derived once from the STW run and applied to both timelines, so any
+    difference in the percentile columns is pause-attributed by
+    construction.
+    """
+
+    stw: dict  # percentile_summary of the STW run
+    concurrent: dict
+    stw_max_pause_ms: float
+    concurrent_max_pause_ms: float
+    interval_cycles: int
+    service_mean_cycles: int
+    n_queries: int
+
+    @property
+    def tail_improvement(self) -> float:
+        """p99.9 ratio, STW over concurrent (>1 means concurrent wins)."""
+        conc = self.concurrent["p99.9"]
+        return self.stw["p99.9"] / conc if conc > 0 else float("inf")
+
+
+def compare_stw_concurrent(
+    stw_run: MutatorRunResult,
+    concurrent_run: MutatorRunResult,
+    n_queries: int = 10_000,
+    warmup: int = 1_000,
+    interval_cycles: int = 0,
+    service_mean_cycles: int = 0,
+    seed: int = 42,
+) -> LatencyComparison:
+    """Replay one query schedule against both timelines (Fig. 1b extended).
+
+    Zero ``interval_cycles``/``service_mean_cycles`` means "derive from the
+    STW run's mean pause", preserving the paper's ratio of pause duration
+    to arrival interval at our scaled-down heap sizes.
+    """
+    if not stw_run.pauses:
+        raise ValueError("STW run has no pauses to scale the schedule from")
+    mean_pause = stw_run.gc_cycles // len(stw_run.pauses)
+    interval = interval_cycles or max(50_000, mean_pause // 6)
+    service = service_mean_cycles or max(4_000, mean_pause // 60)
+
+    def summarize(run: MutatorRunResult) -> dict:
+        sim = QuerySimulator(run, interval_cycles=interval,
+                             service_mean_cycles=service, seed=seed)
+        return percentile_summary(sim.run_queries(n_queries, warmup))
+
+    return LatencyComparison(
+        stw=summarize(stw_run),
+        concurrent=summarize(concurrent_run),
+        stw_max_pause_ms=max(p.pause_ms for p in stw_run.pauses),
+        concurrent_max_pause_ms=max(
+            p.pause_ms for p in concurrent_run.pauses),
+        interval_cycles=interval,
+        service_mean_cycles=service,
+        n_queries=n_queries - warmup,
+    )
+
+
 def tail_ratio(records: Sequence[QueryRecord],
                p_low: float = 50.0, p_high: float = 99.9) -> float:
     """How many times longer the p_high tail is than the median —

@@ -30,7 +30,13 @@ from repro.workloads.graphgen import BuiltHeap
 
 @dataclass
 class GCPauseRecord:
-    """One stop-the-world pause."""
+    """One GC pause.
+
+    For a stop-the-world collection ``mark_cycles`` is the whole mark; for
+    a concurrent collection it is only the termination handshake (the part
+    that pauses the application) and ``concurrent_mark_cycles`` holds the
+    marking span that raced the running mutator.
+    """
 
     index: int
     start_cycle: int  # position on the run's virtual timeline
@@ -38,6 +44,7 @@ class GCPauseRecord:
     sweep_cycles: int
     objects_marked: int
     cells_freed: int
+    concurrent_mark_cycles: int = 0
 
     @property
     def pause_cycles(self) -> int:
@@ -95,6 +102,138 @@ class MutatorRunResult:
         return segments
 
 
+class ConcurrentMutator:
+    """A deterministic application process that runs *during* marking.
+
+    Implements the duck type :class:`repro.core.concurrent.collect.
+    ConcurrentCycle` expects: ``process(barriers)`` is a simulation-process
+    generator whose every reference operation goes through the given
+    :class:`~repro.core.concurrent.barriers.MutatorBarriers`, and
+    ``final_roots()`` is the logical root set once mutation has quiesced.
+
+    Two properties the test battery leans on:
+
+    * **Replayability**: the generator yields only integer delays, so the
+      differential oracle can step it functionally (plain iteration, no
+      simulator) against a restored checkpoint and perform the *identical*
+      operation sequence — same RNG stream, same allocation order, same
+      addresses.
+    * **Forwarding hygiene**: after a relocation prologue the BFS oracle
+      still reports old addresses for objects referenced by stale fields
+      (quarantined source cells keep decodable headers), so the working
+      pool is normalized through the forwarding table before first use.
+
+    Operation mix per step: allocate-and-attach (exercising allocate-black
+    and the hidden-object race of Fig. 3), or detach/stash/reattach moves
+    (read through the read barrier, two barriered writes — the exact
+    interleaving SATB exists to survive). Root removals are deferred to
+    ``final_roots()`` so the traversal's snapshot stays stable.
+    """
+
+    def __init__(
+        self,
+        built: BuiltHeap,
+        n_ops: int = 240,
+        period: int = 400,
+        seed: int = 0,
+        alloc_fraction: float = 0.35,
+        root_add_fraction: float = 0.3,
+        drop_root_fraction: float = 0.1,
+    ):
+        self.built = built
+        self.heap = built.heap
+        self.n_ops = n_ops
+        self.period = period
+        self.seed = seed
+        self.alloc_fraction = alloc_fraction
+        self.root_add_fraction = root_add_fraction
+        self.drop_root_fraction = drop_root_fraction
+        self.rng = random.Random(seed)
+        from repro.workloads.graphgen import HeapGraphBuilder
+        self._builder = HeapGraphBuilder(built.profile, built.scale,
+                                         built.seed)
+        self.ops = 0
+        self.allocs = 0
+        #: Addresses allocated during the cycle (allocate-black evidence).
+        self.allocated: List[int] = []
+        self.alloc_failures = 0
+        self.ref_reads = 0
+        self.ref_writes = 0
+        self.roots_added = 0
+        self._final_roots: Optional[List[int]] = None
+
+    def process(self, barriers):
+        from repro.heap.allocator import OutOfMemoryError
+
+        heap = self.heap
+        rng = self.rng
+        fwd = barriers.forwarding
+        resolve = fwd.resolve if fwd is not None else (lambda a: a)
+        # Normalize through the forwarding table: pre-fixup BFS yields old
+        # addresses for stale-referenced relocated objects.
+        pool = sorted({resolve(a) for a in heap.reachable()})
+        roots = [resolve(r) for r in heap.roots.read_all()]
+        allocating = True
+        for _ in range(self.n_ops):
+            yield self.period
+            self.ops += 1
+            if rng.random() < self.alloc_fraction and allocating:
+                shape = self._builder._sample_shape(rng)
+                try:
+                    addr = heap.alloc(shape)
+                except MemoryError:
+                    self.alloc_failures += 1
+                    allocating = False
+                    continue
+                self.allocs += 1
+                self.allocated.append(addr)
+                view = heap.view(addr)
+                for i in range(view.n_refs):
+                    if rng.random() < 0.5 and pool:
+                        # Initializing store into a fresh (null) field: the
+                        # barrier has nothing old to publish, skip it.
+                        view.set_ref(i, rng.choice(pool))
+                if pool and rng.random() >= self.root_add_fraction:
+                    parent = heap.view(rng.choice(pool))
+                    if parent.n_refs:
+                        barriers.write_ref(
+                            parent, rng.randrange(parent.n_refs), addr)
+                        self.ref_writes += 1
+                else:
+                    # Physical publish so the polling reader marks the new
+                    # root mid-cycle; the logical list feeds final_roots().
+                    heap.roots.append(addr)
+                    roots.append(addr)
+                    self.roots_added += 1
+                pool.append(addr)
+            elif len(pool) >= 2:
+                # The Fig. 3 interleaving: detach a subtree, stash the only
+                # reference while the collector may scan both parents, then
+                # reattach elsewhere.
+                src = heap.view(rng.choice(pool))
+                dst = heap.view(rng.choice(pool))
+                if src.n_refs == 0 or dst.n_refs == 0:
+                    continue
+                slot = rng.randrange(src.n_refs)
+                moved = barriers.read_ref(src, slot)
+                self.ref_reads += 1
+                if moved == 0:
+                    continue
+                barriers.write_ref(src, slot, 0)
+                yield max(1, self.period // 4)
+                barriers.write_ref(dst, rng.randrange(dst.n_refs), moved)
+                self.ref_writes += 2
+        # Root drops deferred to quiescence: dropping during marking would
+        # invalidate the traversal's SATB snapshot.
+        self._final_roots = [r for r in roots
+                             if rng.random() >= self.drop_root_fraction]
+
+    def final_roots(self) -> List[int]:
+        if self._final_roots is None:
+            raise RuntimeError("mutator has not quiesced yet")
+        return list(self._final_roots)
+
+
 class MutatorModel:
     """Alternates mutator churn phases with collections."""
 
@@ -107,8 +246,11 @@ class MutatorModel:
         churn_fraction: float = 0.5,
         attach_probability: float = 0.55,
         seed: Optional[int] = None,
+        conc_ops: int = 160,
+        conc_period: int = 400,
+        relocate_blocks: int = 0,
     ):
-        if collector not in ("sw", "hw"):
+        if collector not in ("sw", "hw", "concurrent"):
             raise ValueError(f"unknown collector {collector!r}")
         self.built = built
         self.heap = built.heap
@@ -118,6 +260,9 @@ class MutatorModel:
         self.churn_fraction = churn_fraction
         self.attach_probability = attach_probability
         self.rng = random.Random(seed if seed is not None else built.seed + 7)
+        self.conc_ops = conc_ops
+        self.conc_period = conc_period
+        self.relocate_blocks = relocate_blocks
         self._sw: Optional[SoftwareCollector] = None
         self.last_gc_result: Union[SoftwareGCResult, HardwareGCResult, None] = None
 
@@ -172,11 +317,11 @@ class MutatorModel:
                 self._sw = SoftwareCollector(heap, cpu_config=self.cpu_config)
             result: Union[SoftwareGCResult, HardwareGCResult] = \
                 self._sw.collect()
-            cells_freed = result.cells_freed
+        elif self.collector == "concurrent":
+            return self._collect_concurrent()
         else:
             unit = GCUnit(heap, self.unit_config)
             result = unit.collect()
-            cells_freed = result.cells_freed
         self.last_gc_result = result
         live = heap.reachable()
         heap.prune_dead(live)
@@ -187,7 +332,37 @@ class MutatorModel:
             mark_cycles=result.mark_cycles,
             sweep_cycles=result.sweep_cycles,
             objects_marked=result.objects_marked,
-            cells_freed=cells_freed,
+            cells_freed=result.cells_freed,
+        )
+
+    def _collect_concurrent(self) -> GCPauseRecord:
+        """One concurrent cycle with a fresh mutator racing the mark.
+
+        The pause the timeline records is handshake + sweep only; the
+        marking span that overlapped the application rides along in
+        ``concurrent_mark_cycles`` for reporting.
+        """
+        from repro.core.concurrent.collect import ConcurrentCycle
+
+        heap = self.heap
+        mutator = ConcurrentMutator(
+            self.built, n_ops=self.conc_ops, period=self.conc_period,
+            seed=self.rng.randrange(2 ** 31))
+        cycle = ConcurrentCycle(heap, self.unit_config, mutator,
+                                relocate_blocks=self.relocate_blocks)
+        result = cycle.run(GCUnit(heap, self.unit_config))
+        self.last_gc_result = result
+        live = heap.reachable()
+        heap.prune_dead(live)
+        heap.complete_gc_cycle()
+        return GCPauseRecord(
+            index=heap.gc_count - 1,
+            start_cycle=0,  # placed on the timeline by run()
+            mark_cycles=result.handshake_cycles,
+            sweep_cycles=result.sweep_cycles,
+            objects_marked=result.objects_marked,
+            cells_freed=result.cells_freed,
+            concurrent_mark_cycles=result.concurrent_cycles,
         )
 
     # -- full run -----------------------------------------------------------------

@@ -174,3 +174,55 @@ class TestBarrierCostModels:
             model.overhead_cycles(100, slow_fraction=2.0)
         with pytest.raises(ValueError):
             model.slowdown(0, 100, 0.1)
+
+
+class TestRefloadCostEdgeCases:
+    """Regressions for the refload cost-model fixes: zero-length bursts,
+    negative inputs, and the footprint term in ``slowdown``."""
+
+    def test_zero_length_burst_pays_footprint_only(self):
+        model = BARRIER_MODELS[BarrierKind.SOFTWARE_CONDITIONAL]
+        # No reference operations: the per-op terms contribute nothing,
+        # but the resident footprint tax on mutator execution remains.
+        assert model.overhead_cycles(
+            0, slow_fraction=0.5, mutator_exec_cycles=1_000) == \
+            1_000 * model.footprint_overhead
+        # And with no mutator window either, the overhead is exactly zero.
+        assert model.overhead_cycles(0, slow_fraction=0.5) == 0.0
+
+    def test_zero_burst_zero_for_footprint_free_kinds(self):
+        # VM_TRAP and REFLOAD have no footprint term: an empty burst
+        # costs nothing regardless of the mutator window.
+        for kind in (BarrierKind.VM_TRAP, BarrierKind.REFLOAD):
+            model = BARRIER_MODELS[kind]
+            assert model.overhead_cycles(
+                0, slow_fraction=1.0, mutator_exec_cycles=10**6) == 0.0
+
+    def test_negative_ref_ops_rejected(self):
+        model = BARRIER_MODELS[BarrierKind.COHERENCE]
+        with pytest.raises(ValueError):
+            model.overhead_cycles(-1, slow_fraction=0.1)
+
+    def test_negative_mutator_window_rejected(self):
+        model = BARRIER_MODELS[BarrierKind.COHERENCE]
+        with pytest.raises(ValueError):
+            model.overhead_cycles(10, slow_fraction=0.1,
+                                  mutator_exec_cycles=-5)
+
+    def test_slowdown_includes_footprint_term(self):
+        # Even a churn-free, ref-free application pays the barrier's
+        # code-footprint tax: slowdown floor is 1 + footprint_overhead.
+        model = BARRIER_MODELS[BarrierKind.SOFTWARE_CONDITIONAL]
+        assert model.slowdown(10**6, 0, 0.0) == pytest.approx(1.04)
+        assert BARRIER_MODELS[BarrierKind.REFLOAD].slowdown(
+            10**6, 0, 0.0) == pytest.approx(1.0)
+
+    def test_relocation_worst_case_monotone_in_slow_fraction(self):
+        # REFLOAD during relocation: every load hitting a forwarded page
+        # (slow_fraction=1.0) must cost at least as much as any partial
+        # overlap — monotone, no cliff, no negative overhead.
+        model = BARRIER_MODELS[BarrierKind.REFLOAD]
+        costs = [model.overhead_cycles(10_000, slow_fraction=f)
+                 for f in (0.0, 0.25, 0.5, 1.0)]
+        assert costs == sorted(costs)
+        assert all(c >= 0.0 for c in costs)

@@ -1,0 +1,403 @@
+"""Concurrent collection mode, end to end (§IV-D through the driver).
+
+The ground truth for a collection whose object graph changes mid-cycle is
+a **functional replay**: restore the pre-cycle checkpoint, run the same
+relocation prologue, step the identical mutator (same seed, same RNG
+stream, same allocation order) without a simulator, apply the same root
+reconciliation and fixup — and compare reachable-graph digests. The timed
+concurrent cycle must land on exactly that graph, on every profile, at
+several mutation rates, and under every injected-fault pair.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core.concurrent.barriers import MutatorBarriers
+from repro.core.concurrent.collect import ConcurrentCycle, relocate_prologue
+from repro.core.config import GCUnitConfig
+from repro.core.driver import HWGCDriver
+from repro.core.mmio import Command, Reg, Status
+from repro.engine.faultplane import COMPONENTS, KINDS, parse_hwfault_spec
+from repro.engine.simulator import StallReport
+from repro.engine.trace import TraceBus
+from repro.heap.verify import heap_digest, reachable_digest
+from repro.workloads import DACAPO_PROFILES, HeapGraphBuilder
+from repro.workloads.mutator import ConcurrentMutator
+from repro.workloads.profiles import BENCHMARK_ORDER
+
+PAIRS = list(itertools.product(KINDS, COMPONENTS))
+
+
+def _build(profile_name, scale=0.008, seed=13):
+    return HeapGraphBuilder(DACAPO_PROFILES[profile_name], scale=scale,
+                            seed=seed).build()
+
+
+def _functional_replay(built, checkpoint, n_ops, mut_seed, relocate_blocks):
+    """The untimed oracle: same prologue, same mutator, no simulator."""
+    heap = built.heap
+    heap.restore(checkpoint)
+    table = relocator = None
+    if relocate_blocks:
+        table, relocator = relocate_prologue(heap, relocate_blocks)
+    mutator = ConcurrentMutator(built, n_ops=n_ops, seed=mut_seed)
+    barriers = MutatorBarriers(heap, forwarding=table)
+    for _delay in mutator.process(barriers):
+        pass  # yielded values are simulation delays; irrelevant untimed
+    roots = mutator.final_roots()
+    if table is not None:
+        roots = [table.resolve(r) for r in roots]
+    heap.set_roots(roots)
+    if relocator is not None:
+        relocator.fixup_references(table)
+    return reachable_digest(heap), mutator
+
+
+class TestDifferentialMatrix:
+    """Timed concurrent cycle vs functional replay, all six profiles."""
+
+    @pytest.mark.parametrize("profile", BENCHMARK_ORDER)
+    @pytest.mark.parametrize("n_ops", [60, 180])
+    def test_concurrent_matches_functional_replay(self, profile, n_ops):
+        built = _build(profile)
+        heap = built.heap
+        checkpoint = heap.checkpoint()
+        mutator = ConcurrentMutator(built, n_ops=n_ops, seed=3)
+        result = ConcurrentCycle(heap, mutator=mutator,
+                                 relocate_blocks=2).run()
+        timed_digest = reachable_digest(heap)
+        # The sweep must not have touched the live graph.
+        assert heap.reachable() == result.oracle
+        heap.check_free_lists()
+        replay_digest, replay_mut = _functional_replay(
+            built, checkpoint, n_ops, 3, 2)
+        assert timed_digest == replay_digest
+        # The replay performed the identical operation sequence.
+        assert (mutator.ops, mutator.allocs, mutator.allocated) == \
+            (replay_mut.ops, replay_mut.allocs, replay_mut.allocated)
+        assert mutator.final_roots() == replay_mut.final_roots()
+
+    @pytest.mark.parametrize("profile", ["luindex", "xalan"])
+    def test_differential_holds_without_relocation(self, profile):
+        built = _build(profile)
+        heap = built.heap
+        checkpoint = heap.checkpoint()
+        mutator = ConcurrentMutator(built, n_ops=120, seed=7)
+        ConcurrentCycle(heap, mutator=mutator).run()
+        timed_digest = reachable_digest(heap)
+        replay_digest, _ = _functional_replay(built, checkpoint, 120, 7, 0)
+        assert timed_digest == replay_digest
+
+
+@pytest.fixture(scope="module")
+def conc_drill_env():
+    """Workload + checkpoint + pre-cycle oracle + the fault-free STW
+    reference digest a concurrent fallback must converge to (the fallback
+    restores the pre-cycle snapshot and finishes stop-the-world)."""
+    built = _build("luindex")
+    heap = built.heap
+    checkpoint = heap.checkpoint()
+    oracle = heap.reachable()
+    driver = HWGCDriver(heap, GCUnitConfig())
+    driver.init_device()
+    safe = driver.run_gc_safe()
+    assert safe.outcome == "hardware", safe.reason()
+    heap.prune_dead(heap.reachable())
+    reference = heap_digest(heap)
+    heap.restore(checkpoint)
+    return built, checkpoint, oracle, reference
+
+
+def _run_concurrent_with_fault(built, spec, n_ops=120, relocate_blocks=2):
+    heap = built.heap
+    plane = parse_hwfault_spec(spec)
+    plane.install(heap.memsys.stats, heap.memsys.phys)
+    try:
+        driver = HWGCDriver(heap, GCUnitConfig())
+        driver.init_device()
+        mutator = ConcurrentMutator(built, n_ops=n_ops, seed=3)
+        safe = driver.run_gc_safe(mode="concurrent", mutator=mutator,
+                                  relocate_blocks=relocate_blocks)
+        return safe, driver, plane
+    finally:
+        plane.uninstall()
+
+
+@pytest.mark.slow
+class TestFaultMatrixConcurrent:
+    """Every kind x component pair against a live concurrent cycle.
+
+    A fault is never silent: it fires, and the run either degrades to the
+    software net (heap == the fault-free STW reference — the mutator's
+    work during the doomed cycle is deliberately discarded with the
+    snapshot) or survives with a passing software verification against
+    the handshake oracle.
+    """
+
+    @pytest.mark.parametrize("kind,component", PAIRS,
+                             ids=[f"{k}:{c}" for k, c in PAIRS])
+    def test_fault_never_silent_under_concurrent_cycle(self, conc_drill_env,
+                                                       kind, component):
+        built, checkpoint, oracle, reference = conc_drill_env
+        heap = built.heap
+        heap.restore(checkpoint)
+        safe, driver, plane = _run_concurrent_with_fault(
+            built, f"{kind}:{component}")
+        assert plane.fired, "the armed fault never fired"
+        assert driver.mmio.status == Status.READY
+        if safe.fallback:
+            assert safe.result is not None  # the software net did collect
+            assert heap.reachable() == oracle
+            heap.prune_dead(heap.reachable())
+            assert heap_digest(heap) == reference
+        else:
+            assert safe.verification is not None and safe.verification.ok
+            assert heap.reachable() == safe.result.oracle
+            heap.check_free_lists()
+        if kind == "stuck":
+            # A wedged component can never be absorbed: the traversal or
+            # sweep stops making progress and the watchdog must trip.
+            assert safe.fallback, f"stuck:{component} silently absorbed"
+
+    def test_dropped_dram_names_dram(self, conc_drill_env):
+        built, checkpoint, _oracle, _reference = conc_drill_env
+        built.heap.restore(checkpoint)
+        safe, _driver, _plane = _run_concurrent_with_fault(built, "drop:dram")
+        assert safe.fallback
+        assert isinstance(safe.stall, StallReport)
+        assert safe.stall.culprit == "dram"
+
+    def test_stuck_marker_names_marker(self, conc_drill_env):
+        built, checkpoint, _oracle, _reference = conc_drill_env
+        built.heap.restore(checkpoint)
+        safe, _driver, _plane = _run_concurrent_with_fault(
+            built, "stuck:marker")
+        assert safe.fallback
+        assert isinstance(safe.stall, StallReport)
+        assert safe.stall.culprit == "marker"
+
+    def test_fallback_counted_in_stats_and_mmio(self, conc_drill_env):
+        built, checkpoint, _oracle, _reference = conc_drill_env
+        heap = built.heap
+        heap.restore(checkpoint)
+        before = heap.memsys.stats.get("driver.fallbacks")
+        safe, driver, _plane = _run_concurrent_with_fault(built, "stuck:tlb")
+        assert safe.fallback
+        assert heap.memsys.stats.get("driver.fallbacks") == before + 1
+        assert driver.mmio.read(Reg.FALLBACKS) == 1
+
+
+class TestRelocationMidTraversal:
+    """Relocated addresses are served while marking races the mutator."""
+
+    def test_forwarding_served_during_marking(self):
+        built = _build("avrora")
+        heap = built.heap
+        mutator = ConcurrentMutator(built, n_ops=150, seed=3)
+        cycle = ConcurrentCycle(heap, mutator=mutator, relocate_blocks=3)
+        result = cycle.run()
+        assert result.objects_relocated > 0
+        # The unit resolved queued refs through the table mid-traversal...
+        assert result.refs_forwarded > 0
+        # ...and the fixup pass rewrote whatever fields stayed stale.
+        assert result.fields_fixed > 0
+        # No live field dangles into an evacuated cell afterwards.
+        old = set(cycle.forwarding.old_addresses())
+        for addr in heap.reachable():
+            for ref in heap.view(addr).refs():
+                assert ref not in old
+
+    def test_quarantined_blocks_not_allocatable_mid_cycle(self):
+        """The prologue empties evacuated blocks without making their
+        cells reusable: a mid-cycle allocation must never land on an old
+        address the forwarding table still maps (the ABA race)."""
+        built = _build("luindex")
+        heap = built.heap
+        table, _relocator = relocate_prologue(heap, 2)
+        old = set(table.old_addresses())
+        assert old
+        for desc in heap.block_list:
+            if any(desc.base_vaddr <= a < desc.base_vaddr + desc.size_bytes
+                   for a in old):
+                assert desc.freelist_head == 0
+        # Allocation pressure: nothing may come back on an old address.
+        from repro.heap.layout import ObjectShape
+        for _ in range(64):
+            addr = heap.alloc(ObjectShape(2, 1))
+            assert addr not in old
+
+    def test_write_barrier_feeds_reader_mid_cycle(self):
+        built = _build("pmd")
+        heap = built.heap
+        mutator = ConcurrentMutator(built, n_ops=200, seed=11)
+        result = ConcurrentCycle(heap, mutator=mutator).run()
+        assert result.write_barrier_hits > 0
+        # The reader consumed the publications while marking was live.
+        assert result.barrier_appends_read >= result.write_barrier_hits
+        assert result.handshake_cycles < result.mark_cycles
+        # The pause is the handshake + sweep, strictly less than the mark.
+        assert result.pause_cycles < result.mark_cycles + result.sweep_cycles
+
+
+class TestDriverSurface:
+    """MMIO registers, status transitions, and trace events."""
+
+    def test_run_gc_concurrent_updates_registers(self):
+        built = _build("luindex")
+        driver = HWGCDriver(built.heap, GCUnitConfig())
+        driver.init_device()
+        mutator = ConcurrentMutator(built, n_ops=80, seed=3)
+        result = driver.run_gc_concurrent(mutator, relocate_blocks=2)
+        assert driver.mmio.read(Reg.OBJECTS_MARKED) == result.objects_marked
+        assert driver.mmio.read(Reg.CELLS_FREED) == result.cells_freed
+        assert driver.mmio.read(Reg.BARRIER_HITS) == \
+            result.write_barrier_hits
+        assert driver.mmio.read(Reg.OBJECTS_RELOCATED) == \
+            result.objects_relocated
+        assert driver.mmio.read(Reg.COMMAND) == int(Command.IDLE)
+        assert driver.mmio.status == Status.READY
+
+    def test_status_walks_conc_marking_then_sweeping(self):
+        built = _build("luindex")
+        driver = HWGCDriver(built.heap, GCUnitConfig())
+        driver.init_device()
+        seen = []
+        original = driver.mmio.set_status
+
+        def recording(status):
+            seen.append(status)
+            original(status)
+
+        driver.mmio.set_status = recording
+        driver.run_gc_concurrent(ConcurrentMutator(built, n_ops=40, seed=3))
+        assert seen.index(Status.CONC_MARKING) < seen.index(Status.SWEEPING)
+        assert seen.index(Status.SWEEPING) < seen.index(Status.DONE)
+        assert seen[-1] == Status.READY
+
+    def test_busy_unit_rejected(self):
+        built = _build("luindex")
+        driver = HWGCDriver(built.heap, GCUnitConfig())
+        driver.init_device()
+        driver.mmio.set_status(Status.CONC_MARKING)
+        with pytest.raises(RuntimeError, match="busy"):
+            driver.run_gc_concurrent(ConcurrentMutator(built, seed=3))
+
+    def test_uninitialized_driver_rejected(self):
+        built = _build("luindex")
+        driver = HWGCDriver(built.heap, GCUnitConfig())
+        with pytest.raises(RuntimeError, match="init_device"):
+            driver.run_gc_concurrent(ConcurrentMutator(built, seed=3))
+
+    def test_safe_mode_requires_mutator(self):
+        built = _build("luindex")
+        driver = HWGCDriver(built.heap, GCUnitConfig())
+        driver.init_device()
+        with pytest.raises(ValueError, match="mutator"):
+            driver.run_gc_safe(mode="concurrent")
+
+    def test_unknown_mode_rejected(self):
+        built = _build("luindex")
+        driver = HWGCDriver(built.heap, GCUnitConfig())
+        driver.init_device()
+        with pytest.raises(ValueError, match="mode"):
+            driver.run_gc_safe(mode="incremental")
+
+    def test_cycle_requires_mutator(self):
+        built = _build("luindex")
+        with pytest.raises(ValueError, match="mutator"):
+            ConcurrentCycle(built.heap)
+
+    def test_barrier_and_forwarding_activity_rides_the_trace(self):
+        built = _build("avrora")
+        heap = built.heap
+        stats = heap.memsys.stats
+        stats.trace = TraceBus()
+        try:
+            mutator = ConcurrentMutator(built, n_ops=150, seed=3)
+            result = ConcurrentCycle(heap, mutator=mutator,
+                                     relocate_blocks=2).run()
+            barrier_events = stats.trace.by_category("barrier")
+            kinds = {e[2] for e in barrier_events}
+            assert "write" in kinds  # write barrier published
+            assert "drain" in kinds  # reader consumed publications
+            writes = [e for e in barrier_events if e[2] == "write"]
+            assert len(writes) == result.write_barrier_hits
+            forwards = stats.trace.by_category("forward")
+            assert forwards and all(e[2] == "resolve" for e in forwards)
+            phases = {(e[2], e[3]) for e in stats.trace.by_category("phase")}
+            assert ("hw.conc_mark", "B") in phases
+            assert ("hw.handshake", "B") in phases
+            assert ("hw.handshake", "E") in phases
+        finally:
+            stats.trace = None
+
+
+class TestSafeConcurrent:
+    def test_clean_cycle_is_hardware_outcome(self):
+        built = _build("luindex")
+        heap = built.heap
+        driver = HWGCDriver(heap, GCUnitConfig())
+        driver.init_device()
+        mutator = ConcurrentMutator(built, n_ops=120, seed=3)
+        safe = driver.run_gc_safe(mode="concurrent", mutator=mutator,
+                                  relocate_blocks=2)
+        assert safe.outcome == "hardware"
+        assert safe.verification is not None and safe.verification.ok
+        assert heap.reachable() == safe.result.oracle
+        assert driver.mmio.status == Status.READY
+
+    def test_supervised_cycle_matches_bare_cycle(self):
+        """An untripped watchdog must not perturb the modeled collection:
+        the supervised run lands on the same heap and the same result
+        counters as the bare one."""
+        built = _build("luindex")
+        heap = built.heap
+        checkpoint = heap.checkpoint()
+        bare = ConcurrentCycle(
+            heap, mutator=ConcurrentMutator(built, n_ops=120, seed=3),
+            relocate_blocks=2).run()
+        bare_digest = reachable_digest(heap)
+
+        heap.restore(checkpoint)
+        driver = HWGCDriver(heap, GCUnitConfig())
+        driver.init_device()
+        safe = driver.run_gc_safe(
+            mode="concurrent",
+            mutator=ConcurrentMutator(built, n_ops=120, seed=3),
+            relocate_blocks=2)
+        assert safe.outcome == "hardware"
+        assert reachable_digest(heap) == bare_digest
+        assert safe.result.objects_marked == bare.objects_marked
+        assert safe.result.cells_freed == bare.cells_freed
+        assert safe.result.write_barrier_hits == bare.write_barrier_hits
+
+    def test_wedged_cycle_falls_back_and_restores(self):
+        built = _build("luindex")
+        heap = built.heap
+        oracle = heap.reachable()
+        safe, driver, plane = _run_concurrent_with_fault(
+            built, "stuck:marker")
+        assert plane.fired
+        assert safe.fallback
+        assert isinstance(safe.stall, StallReport)
+        # The pre-cycle snapshot was restored: the mutator's work during
+        # the doomed cycle is gone and the software net finished STW.
+        assert heap.reachable() == oracle
+        assert driver.mmio.status == Status.READY
+        assert driver.mmio.read(Reg.FALLBACKS) == 1
+
+    def test_fallback_reason_rides_the_trace(self):
+        built = _build("luindex")
+        heap = built.heap
+        stats = heap.memsys.stats
+        stats.trace = TraceBus()
+        try:
+            safe, _driver, _plane = _run_concurrent_with_fault(
+                built, "drop:dram")
+            assert safe.fallback
+            fallbacks = stats.trace.by_category("fallback")
+            assert len(fallbacks) == 1
+            assert "dram" in fallbacks[0][2]
+        finally:
+            stats.trace = None

@@ -1,0 +1,158 @@
+"""Property-based invariants for the concurrent collector (§IV-D).
+
+Each property runs a full concurrent cycle against a randomized workload
+(profile, mutation count, relocation depth drawn by hypothesis) and checks
+an invariant the design argues can never break:
+
+* **Safety** — no reachable object is ever swept (the SATB barrier closes
+  Fig. 3's hidden-object race).
+* **Completeness** — every reference the mutator overwrote during marking
+  is re-discovered: its (resolved) target ends the cycle marked live.
+* **Forwarding hygiene** — resolve() is idempotent, and after the fixup
+  pass no live field dangles into an evacuated cell.
+* **Allocate-black** — objects born during the cycle survive it, marked,
+  even when the mutator immediately drops them.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.concurrent.barriers import MutatorBarriers
+from repro.core.concurrent.collect import ConcurrentCycle, relocate_prologue
+from repro.core.concurrent.forwarding import ForwardingTable
+from repro.engine.trace import TraceBus
+from repro.workloads import DACAPO_PROFILES, HeapGraphBuilder
+from repro.workloads.mutator import ConcurrentMutator
+from repro.workloads.profiles import BENCHMARK_ORDER
+
+profiles = st.sampled_from(BENCHMARK_ORDER)
+n_ops = st.integers(min_value=20, max_value=200)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+reloc = st.integers(min_value=0, max_value=3)
+
+
+def _run_cycle(profile, ops, seed, relocate_blocks, trace=False):
+    built = HeapGraphBuilder(DACAPO_PROFILES[profile], scale=0.008,
+                             seed=13).build()
+    heap = built.heap
+    if trace:
+        heap.memsys.stats.trace = TraceBus()
+    mutator = ConcurrentMutator(built, n_ops=ops, seed=seed)
+    cycle = ConcurrentCycle(heap, mutator=mutator,
+                            relocate_blocks=relocate_blocks)
+    result = cycle.run()
+    return built, heap, mutator, cycle, result
+
+
+class TestNoReachableObjectSwept:
+    @given(profile=profiles, ops=n_ops, seed=seeds, blocks=reloc)
+    @settings(max_examples=12, deadline=None)
+    def test_sweep_never_frees_a_live_object(self, profile, ops, seed,
+                                             blocks):
+        _built, heap, _mut, _cycle, result = _run_cycle(
+            profile, ops, seed, blocks)
+        # The oracle is the BFS over the post-handshake graph; the sweep
+        # ran after it. If any live object were freed, it would vanish
+        # from a fresh BFS or decode garbage along the way.
+        assert heap.reachable() == result.oracle
+        heap.check_free_lists()
+
+    @given(ops=n_ops, seed=seeds)
+    @settings(max_examples=8, deadline=None)
+    def test_live_graph_decodes_after_cycle(self, ops, seed):
+        _built, heap, _mut, _cycle, _result = _run_cycle(
+            "avrora", ops, seed, 2)
+        parity = heap.mark_parity
+        for addr in heap.reachable():
+            view = heap.view(addr)
+            assert view.mark_bit == parity  # marked by this cycle
+            for ref in view.refs():
+                if ref:
+                    heap.view(ref)  # must decode, i.e. not swept/corrupt
+
+
+class TestOverwrittenRefsRediscovered:
+    @given(profile=profiles, ops=n_ops, seed=seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_every_barrier_published_ref_ends_marked(self, profile, ops,
+                                                     seed):
+        _built, heap, _mut, cycle, result = _run_cycle(
+            profile, ops, seed, 2, trace=True)
+        try:
+            writes = [e for e in heap.memsys.stats.trace.by_category(
+                "barrier") if e[2] == "write"]
+            assert len(writes) == result.write_barrier_hits
+            parity = heap.mark_parity
+            resolve = cycle.forwarding.resolve if cycle.forwarding else \
+                (lambda a: a)
+            for event in writes:
+                old_ref = resolve(event[3])
+                # The overwritten target was published, consumed by the
+                # reader, and marked — it cannot have been swept even if
+                # the mutation made it otherwise unreachable (floating
+                # garbage is the accepted cost, losing it is not).
+                assert heap.view(old_ref).mark_bit == parity
+        finally:
+            heap.memsys.stats.trace = None
+
+
+class TestForwardingHygiene:
+    @given(ops=n_ops, seed=seeds, blocks=st.integers(min_value=1,
+                                                     max_value=4))
+    @settings(max_examples=10, deadline=None)
+    def test_resolve_idempotent_and_no_dangling_fields(self, ops, seed,
+                                                       blocks):
+        _built, heap, _mut, cycle, result = _run_cycle(
+            "luindex", ops, seed, blocks)
+        table = cycle.forwarding
+        assert table is not None and result.objects_relocated > 0
+        old = set(table.old_addresses())
+        for addr in old:
+            moved = table.resolve(addr)
+            assert moved != addr
+            assert table.resolve(moved) == moved  # idempotent
+            # The relocated copy decodes at its new address.
+            heap.view(moved)
+        # After fixup_references, the live graph holds no old address.
+        for addr in heap.reachable():
+            assert addr not in old
+            for ref in heap.view(addr).refs():
+                assert ref not in old
+
+    @given(seed=seeds)
+    @settings(max_examples=8, deadline=None)
+    def test_prologue_resolves_roots_eagerly(self, seed):
+        built = HeapGraphBuilder(DACAPO_PROFILES["sunflow"], scale=0.008,
+                                 seed=13).build()
+        heap = built.heap
+        table, _relocator = relocate_prologue(heap, 2)
+        old = set(table.old_addresses())
+        assert old
+        for root in heap.roots.read_all():
+            assert root not in old
+
+    def test_double_forwarding_rejected(self):
+        table = ForwardingTable()
+        table.add(0x1000, 0x2000)
+        with pytest.raises(ValueError, match="twice"):
+            table.add(0x1000, 0x3000)
+        assert table.resolve(0x1000) == 0x2000
+
+
+class TestAllocateBlack:
+    @given(profile=profiles, ops=st.integers(min_value=40, max_value=240),
+           seed=seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_objects_born_during_cycle_are_marked(self, profile, ops, seed):
+        _built, heap, mutator, cycle, _result = _run_cycle(
+            profile, ops, seed, 2)
+        parity = heap.mark_parity
+        resolve = cycle.forwarding.resolve if cycle.forwarding else \
+            (lambda a: a)
+        assert mutator.allocs == len(mutator.allocated)
+        for addr in mutator.allocated:
+            # Born black: marked at the cycle's parity whether or not the
+            # mutator kept it reachable — a new object can never be swept
+            # by the cycle it was born into.
+            assert heap.view(resolve(addr)).mark_bit == parity
