@@ -15,6 +15,10 @@ Measures, for each simulation kernel (``bucket``, ``heapq``, and
 * **trace-bus overhead** — the same comparison with no bus attached
   (the shipping configuration; must stay within a few percent of the
   pre-trace baseline) and with a live bus capturing every event;
+* **end-to-end ``run-all`` wall time** — a tiny shadow suite timed cold,
+  sim-cache-warm, and sharded (``run_all_seconds`` in the history);
+  identity across all four configurations is gated, and the warm run must
+  re-simulate zero cells and beat the cold run;
 
 plus (with ``--full-suite``) the wall time of ``run_suite(jobs=1)``. The
 results land in ``BENCH_engine.json`` so the perf trajectory is tracked
@@ -217,6 +221,74 @@ def bench_trace_overhead(scale: float = 0.02, repeats: int = 3) -> dict:
     }
 
 
+def bench_run_all(jobs: int = 2) -> dict:
+    """End-to-end ``run-all`` wall time: cold, sim-cache-warm, sharded.
+
+    Times a tiny shadow suite (three figures, scale 0.008) through four
+    pipeline configurations: cold jobs=1 (every cell simulated), warm
+    jobs=1 (every cell from ``REPRO_SIM_CACHE``), sharded jobs=N against
+    the same warm cache (cells are shared between inline and sharded
+    runs), and sharded jobs=N cold against a second empty cache. Timings
+    are report-only; what gates the script is identity — all four runs
+    must produce the same per-figure digests — and incrementality: the
+    warm run must re-simulate **zero** cells.
+    """
+    import os
+    import tempfile
+
+    from repro.harness import suite as suite_mod
+    from repro.harness.heapcache import reset_cache
+    from repro.harness.parallel import digests, run_suite
+
+    tiny = [
+        ("fig01a", dict(scale=0.008, benchmarks=["avrora", "luindex"])),
+        ("fig19", dict(scale=0.008, queue_entries=[64, 2048])),
+        ("fig22", dict()),
+    ]
+    original = list(suite_mod.SUITE)
+    saved = os.environ.get("REPRO_SIM_CACHE")
+    cache_a = tempfile.mkdtemp(prefix="bench-simcache-a-")
+    cache_b = tempfile.mkdtemp(prefix="bench-simcache-b-")
+    suite_mod.SUITE[:] = tiny
+
+    def timed(cache_dir, **kw):
+        os.environ["REPRO_SIM_CACHE"] = cache_dir
+        reset_cache()
+        t0 = time.perf_counter()
+        runs = run_suite(**kw)
+        return round(time.perf_counter() - t0, 3), runs
+
+    try:
+        cold_s, cold = timed(cache_a, jobs=1)
+        warm_s, warm = timed(cache_a, jobs=1)
+        shard_warm_s, shard_warm = timed(cache_a, jobs=jobs,
+                                         shard_figures=True)
+        shard_cold_s, shard_cold = timed(cache_b, jobs=jobs,
+                                         shard_figures=True)
+    finally:
+        suite_mod.SUITE[:] = original
+        if saved is None:
+            os.environ.pop("REPRO_SIM_CACHE", None)
+        else:
+            os.environ["REPRO_SIM_CACHE"] = saved
+        reset_cache()
+
+    fingerprints = {json.dumps(digests(runs), sort_keys=True)
+                    for runs in (cold, warm, shard_warm, shard_cold)}
+    return {
+        "jobs": jobs,
+        "suite": [exp_id for exp_id, _ in tiny],
+        "cold_seconds": cold_s,
+        "warm_seconds": warm_s,
+        "sharded_warm_seconds": shard_warm_s,
+        "sharded_cold_seconds": shard_cold_s,
+        "cold_cells_simulated": sum(r.cache_misses for r in cold),
+        "warm_cells_simulated": sum(r.cache_misses for r in warm),
+        "warm_cells_hit": sum(r.cache_hits for r in warm),
+        "identical_digests": len(fingerprints) == 1,
+    }
+
+
 def bench_suite(jobs: int = 1) -> dict:
     """Wall time of the full figure suite (minutes; opt-in)."""
     from repro.harness.heapcache import reset_cache
@@ -243,6 +315,8 @@ def main() -> int:
                         help="also time run_suite(jobs=1) — takes minutes")
     parser.add_argument("--jobs", type=int, default=1,
                         help="workers for --full-suite")
+    parser.add_argument("--run-all-jobs", type=int, default=2,
+                        help="workers for the sharded run-all series")
     args = parser.parse_args()
 
     # Wall-clock trajectory across PRs: carry forward the previous file's
@@ -304,6 +378,24 @@ def main() -> int:
     print("trace overhead ...", flush=True)
     report["trace_overhead"] = bench_trace_overhead(args.scale)
 
+    print("run-all cold/warm/sharded ...", flush=True)
+    ra = bench_run_all(jobs=args.run_all_jobs)
+    report["run_all"] = ra
+    if not ra["identical_digests"]:
+        print("FATAL: cold/warm/sharded run-all digests disagree",
+              file=sys.stderr)
+        return 1
+    if ra["warm_cells_simulated"] != 0:
+        print(f"FATAL: warm run-all re-simulated "
+              f"{ra['warm_cells_simulated']} cell(s); expected 0",
+              file=sys.stderr)
+        return 1
+    if not ra["warm_seconds"] < ra["cold_seconds"]:
+        print("FATAL: sim-cache-warm run-all was not faster than cold "
+              f"({ra['warm_seconds']}s vs {ra['cold_seconds']}s)",
+              file=sys.stderr)
+        return 1
+
     history.append({
         "generated": report["generated"],
         "scale": args.scale,
@@ -316,6 +408,13 @@ def main() -> int:
                 "kernel_events_per_sec": k["events_per_sec"],
             }
             for c, k in zip(report["gc_comparison"], report["kernel"])
+        },
+        "run_all_seconds": {
+            "cold": ra["cold_seconds"],
+            "warm": ra["warm_seconds"],
+            "sharded_warm": ra["sharded_warm_seconds"],
+            "sharded_cold": ra["sharded_cold_seconds"],
+            "jobs": ra["jobs"],
         },
     })
     report["history"] = history
@@ -342,6 +441,11 @@ def main() -> int:
           f"{to['enabled_seconds']:.2f}s "
           f"({to['events_captured']:,} events, "
           f"+{to['enabled_overhead_pct']:.0f}%)")
+    print(f"  run-all cold {ra['cold_seconds']:.2f}s / warm "
+          f"{ra['warm_seconds']:.2f}s / sharded warm "
+          f"{ra['sharded_warm_seconds']:.2f}s / sharded cold "
+          f"{ra['sharded_cold_seconds']:.2f}s "
+          f"(jobs={ra['jobs']}, {ra['warm_cells_hit']} cells cached)")
     print(f"wrote {args.out}")
     return 0
 

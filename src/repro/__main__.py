@@ -8,11 +8,15 @@ Commands:
 * ``compare <benchmark> [opts]``— one SW-vs-HW collection on one profile.
 * ``area``                      — print the Fig. 22 area tables.
 * ``run-all [--jobs N] [--out EXPERIMENTS.md] [--only ids]
-  [--resume DIR] [--timeout S] [--retries N] [--keep-going]``
+  [--resume DIR] [--timeout S] [--retries N] [--keep-going]
+  [--shard-figures] [--worker-mode auto|pool|fresh]``
                                 — regenerate the full figure set, fanning
-                                  experiments across worker processes with
-                                  per-task timeouts, bounded retries, and
-                                  resumable checkpoints.
+                                  experiments across worker processes
+                                  (persistent pool or fresh-per-task) with
+                                  per-task timeouts, bounded retries,
+                                  resumable checkpoints, intra-figure
+                                  sharding, and the ``REPRO_SIM_CACHE``
+                                  content-addressed result cache.
 * ``trace <figure|profile> [opts]``
                                 — capture a cycle-stamped trace of one GC
                                   and export it (Chrome trace / JSONL / CSV).
@@ -106,11 +110,12 @@ def _cmd_run_all(args) -> int:
                          progress=lambda msg: print(msg, flush=True),
                          timeout=args.timeout, retries=args.retries,
                          keep_going=args.keep_going, store=store,
-                         shard_figures=args.shard_figures)
+                         shard_figures=args.shard_figures,
+                         worker_mode=args.worker_mode)
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
-    except (CheckpointError, FaultSpecError) as exc:
+    except (CheckpointError, FaultSpecError, ValueError) as exc:
         print(exc, file=sys.stderr)
         return 2
     except SuiteRunError as exc:
@@ -132,6 +137,11 @@ def _cmd_run_all(args) -> int:
     failed = [r for r in runs if not r.ok]
     print(f"{len(runs)} experiments in {elapsed:.0f}s wall "
           f"({busy:.0f}s of simulation on {jobs} worker(s))")
+    hits = sum(r.cache_hits for r in runs)
+    misses = sum(r.cache_misses for r in runs)
+    if hits or misses:
+        print(f"sim cache: {hits} hit(s), {misses} simulated "
+              f"cell(s)")
     if retried:
         print(f"{len(retried)} recovered after retries: "
               + ", ".join(f"{r.exp_id} x{r.attempts}" for r in retried))
@@ -301,9 +311,14 @@ def main(argv=None) -> int:
                             help="retry a crashed/failed/hung figure up to "
                             "N times (exponential backoff)")
     all_parser.add_argument("--shard-figures", action="store_true",
-                            help="also split benchmark-axis figures "
-                            "(fig15, fig01a) across the --jobs workers; "
-                            "digests are unchanged")
+                            help="also split shardable-axis figures "
+                            "(fig01a, fig15-fig21) across the --jobs "
+                            "workers; digests are unchanged")
+    all_parser.add_argument("--worker-mode", default="auto",
+                            choices=("auto", "pool", "fresh"),
+                            help="jobs>1 discipline: persistent worker "
+                            "pool, fresh process per task, or auto "
+                            "(fresh iff REPRO_FAULTS is armed)")
     all_parser.add_argument("--keep-going", action="store_true",
                             help="on exhausted retries, annotate the "
                             "report and continue instead of aborting "

@@ -84,6 +84,8 @@ def figure_run_to_payload(run: FigureRun) -> Dict[str, Any]:
         "error": run.error,
         "attempt_history": list(run.attempt_history),
         "shard_digests": list(run.shard_digests),
+        "cache_hits": run.cache_hits,
+        "cache_misses": run.cache_misses,
     }
 
 
@@ -101,6 +103,8 @@ def figure_run_from_payload(payload: Dict[str, Any]) -> FigureRun:
             error=payload.get("error"),
             attempt_history=list(payload.get("attempt_history", [])),
             shard_digests=list(payload.get("shard_digests", [])),
+            cache_hits=int(payload.get("cache_hits", 0)),
+            cache_misses=int(payload.get("cache_misses", 0)),
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise CheckpointCorrupt(f"checkpoint payload invalid: {exc}") from exc
@@ -145,6 +149,15 @@ def _atomic_write(path: Path, text: str) -> None:
         except OSError:
             pass
         raise
+
+
+#: Public aliases: the simulation result cache (:mod:`repro.harness
+#: .simcache`) reuses this module's sha256-verified envelope and atomic
+#: write, so cache entries get the same torn-write/bit-rot detection as
+#: run checkpoints.
+wrap_payload = _wrap
+unwrap_payload = _unwrap
+atomic_write_text = _atomic_write
 
 
 class CheckpointStore:

@@ -1,0 +1,106 @@
+"""Shared on-disk cache plumbing: atomic writes, LRU eviction, size caps.
+
+Both content-addressed caches — the heap-build cache
+(:mod:`repro.harness.heapcache`, ``REPRO_HEAP_CACHE``) and the simulation
+result cache (:mod:`repro.harness.simcache`, ``REPRO_SIM_CACHE``) — share
+the same disk discipline:
+
+* writes are tmp + ``os.replace`` so concurrent workers never observe a
+  torn entry;
+* the directory is a *bounded* LRU: with a ``*_MAX_MB`` cap configured,
+  the least-recently-used entries (by mtime; readers ``os.utime`` on hit)
+  are evicted after each write until the directory fits the cap;
+* disk trouble is never fatal — a cache is an optimization, so every
+  helper here swallows ``OSError`` and degrades to "no cache".
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+
+def max_mb_from_env(var: str) -> Optional[float]:
+    """Parse a ``*_MAX_MB`` cap; unset/empty/invalid/non-positive → None."""
+    raw = os.environ.get(var, "")
+    if not raw:
+        return None
+    try:
+        cap = float(raw)
+    except ValueError:
+        return None
+    return cap if cap > 0 else None
+
+
+def atomic_write_bytes(path: Path, blob: bytes) -> bool:
+    """tmp + rename write; returns False (instead of raising) on IO error."""
+    path = Path(path)
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(blob)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+    except OSError:
+        return False
+    return True
+
+
+def touch(path: Path) -> None:
+    """Refresh an entry's mtime on read so eviction is LRU, not FIFO."""
+    try:
+        os.utime(path)
+    except OSError:
+        pass
+
+
+def evict_lru(directory: Path, max_mb: Optional[float],
+              suffix: str = "") -> int:
+    """Delete least-recently-used ``*suffix`` entries until under the cap.
+
+    Returns how many entries were removed. A ``None`` cap, a missing
+    directory, or any IO trouble is a no-op. Entries that vanish
+    concurrently (another worker evicting) are skipped silently.
+    """
+    if max_mb is None:
+        return 0
+    directory = Path(directory)
+    entries: List[Tuple[float, int, Path]] = []
+    try:
+        for path in directory.iterdir():
+            if suffix and not path.name.endswith(suffix):
+                continue
+            if path.name.endswith(".tmp"):
+                continue
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+    except OSError:
+        return 0
+    budget = max_mb * 1024 * 1024
+    total = sum(size for _mtime, size, _path in entries)
+    if total <= budget:
+        return 0
+    removed = 0
+    # Oldest first; stop as soon as the survivors fit the cap.
+    for _mtime, size, path in sorted(entries):
+        if total <= budget:
+            break
+        try:
+            path.unlink()
+        except OSError:
+            continue
+        total -= size
+        removed += 1
+    return removed

@@ -226,59 +226,74 @@ def fig15(scale: float = 0.05, seed: int = 1,
 # ---------------------------------------------------------------------------
 
 def fig16(scale: float = 0.05, seed: int = 1, n_warm_gcs: int = 2,
-          bin_cycles: int = 20_000) -> ExperimentResult:
-    """Bandwidth during the last GC pause of avrora, CPU vs unit."""
-    built, _cp = build_heap(DACAPO_PROFILES["avrora"], scale=scale, seed=seed)
-    heap = built.heap
-    # Evolve the heap through a couple of collections ("last GC pause").
-    warm = MutatorModel(built, collector="sw")
-    warm.run(n_gcs=n_warm_gcs)
-    warm.mutate_phase()
-    evolved = heap.checkpoint()
+          bin_cycles: int = 20_000,
+          benchmarks: Sequence[str] = ("avrora",)) -> ExperimentResult:
+    """Bandwidth during the last GC pause, CPU vs unit, per benchmark.
 
-    bw = heap.memsys.bandwidth
-    start_sw = heap.sim.now
-    sw_result, sw_stats = run_software(heap)
-    sw_window = (start_sw, heap.sim.now)
-    sw_series = bw.binned_window(*sw_window, bin_cycles=bin_cycles)
-    sw_bytes = bw.window_bytes(*sw_window)
-    sw_requests = sum(v for k, v in sw_stats.items()
-                      if k.startswith("mem.requests."))
+    Each benchmark is a self-contained cell on a freshly built heap so the
+    figure shards along the benchmark axis (and caches per cell) with
+    byte-identical rows: no simulator or DRAM state leaks between cells.
+    """
+    rows = []
+    sw_series_all: Dict[str, Any] = {}
+    hw_series_all: Dict[str, Any] = {}
+    for name, profile in _profiles(benchmarks):
+        built, _cp = build_heap(profile, scale=scale, seed=seed)
+        heap = built.heap
+        # Evolve the heap through a couple of collections ("last GC pause").
+        warm = MutatorModel(built, collector="sw")
+        warm.run(n_gcs=n_warm_gcs)
+        warm.mutate_phase()
+        evolved = heap.checkpoint()
 
-    heap.restore(evolved)
-    hw_result, unit = run_hardware(heap)
-    hw_mark_series = bw.binned_window(*unit.mark_window, bin_cycles=bin_cycles)
-    hw_window = (unit.mark_window[0], unit.sweep_window[1])
-    hw_bytes = bw.window_bytes(*hw_window)
-    hw_requests = sum(v for k, v in unit.mark_stats.items()
-                      if k.startswith("mem.requests."))
-    hw_requests += sum(v for k, v in unit.sweep_stats.items()
-                       if k.startswith("mem.requests."))
+        bw = heap.memsys.bandwidth
+        start_sw = heap.sim.now
+        sw_result, sw_stats = run_software(heap)
+        sw_window = (start_sw, heap.sim.now)
+        sw_series_all[name] = bw.binned_window(*sw_window,
+                                               bin_cycles=bin_cycles)
+        sw_bytes = bw.window_bytes(*sw_window)
+        sw_requests = sum(v for k, v in sw_stats.items()
+                          if k.startswith("mem.requests."))
 
-    sw_cycles = sw_window[1] - sw_window[0]
-    hw_cycles = hw_window[1] - hw_window[0]
-    # The paper plots bandwidth "based on 64B cache line accesses": each
-    # memory request counts as one line access. That is the natural unit
-    # for comparing a line-fill CPU against the unit's sub-line requests.
-    sw_eq = 64.0 * sw_requests / sw_cycles
-    hw_eq = 64.0 * hw_requests / hw_cycles
-    rows = [
-        ["CPU", sw_eq, sw_bytes / sw_cycles, sw_result.total_cycles / 1e6],
-        ["GC unit", hw_eq, hw_bytes / hw_cycles,
-         hw_result.total_cycles / 1e6],
-        ["unit / CPU", hw_eq / sw_eq, (hw_bytes / hw_cycles)
-         / (sw_bytes / sw_cycles), ""],
-    ]
+        heap.restore(evolved)
+        hw_result, unit = run_hardware(heap)
+        hw_series_all[name] = bw.binned_window(*unit.mark_window,
+                                               bin_cycles=bin_cycles)
+        hw_window = (unit.mark_window[0], unit.sweep_window[1])
+        hw_bytes = bw.window_bytes(*hw_window)
+        hw_requests = sum(v for k, v in unit.mark_stats.items()
+                          if k.startswith("mem.requests."))
+        hw_requests += sum(v for k, v in unit.sweep_stats.items()
+                           if k.startswith("mem.requests."))
+
+        sw_cycles = sw_window[1] - sw_window[0]
+        hw_cycles = hw_window[1] - hw_window[0]
+        # The paper plots bandwidth "based on 64B cache line accesses":
+        # each memory request counts as one line access. That is the
+        # natural unit for comparing a line-fill CPU against the unit's
+        # sub-line requests.
+        sw_eq = 64.0 * sw_requests / sw_cycles
+        hw_eq = 64.0 * hw_requests / hw_cycles
+        rows += [
+            [name, "CPU", sw_eq, sw_bytes / sw_cycles,
+             sw_result.total_cycles / 1e6],
+            [name, "GC unit", hw_eq, hw_bytes / hw_cycles,
+             hw_result.total_cycles / 1e6],
+            [name, "unit / CPU", hw_eq / sw_eq, (hw_bytes / hw_cycles)
+             / (sw_bytes / sw_cycles), ""],
+        ]
     return ExperimentResult(
         exp_id="fig16",
-        title="Memory bandwidth, last GC pause of avrora",
+        title="Memory bandwidth, last GC pause",
         paper_claim="the unit is far more effective at exploiting memory "
         "bandwidth, particularly during the mark phase (plotted as 64B "
         "line accesses)",
-        headers=["collector", "64B-access GB/s", "raw data GB/s",
-                 "pause ms"],
+        headers=["benchmark", "collector", "64B-access GB/s",
+                 "raw data GB/s", "pause ms"],
         rows=rows,
-        extras={"sw_series": sw_series, "hw_mark_series": hw_mark_series},
+        extras={"sw_series": sw_series_all,
+                "hw_mark_series": hw_series_all},
     )
 
 
@@ -343,43 +358,44 @@ def _scaled_tlb_unit(cache_mode: str) -> GCUnitConfig:
 
 
 def fig18(scale: float = 0.04, seed: int = 1,
-          benchmark: str = "avrora") -> ExperimentResult:
-    """Traversal-unit request breakdown: shared cache vs partitioned."""
+          benchmark: str = "avrora",
+          cache_modes: Sequence[str] = ("shared", "partitioned"),
+          ) -> ExperimentResult:
+    """Traversal-unit request breakdown: shared cache vs partitioned.
+
+    Each cache mode is a self-contained cell on a freshly built heap; a
+    mode fills its own column pair and leaves the other mode's columns
+    blank, so a run restricted to one mode produces exactly the columns
+    the sharding merge overlays back together.
+    """
     profile = DACAPO_PROFILES[benchmark]
-    built, cp = build_heap(profile, scale=scale, seed=seed)
-    heap = built.heap
-
-    heap.restore(cp)
-    _hw_shared, unit_shared = run_hardware(heap, _scaled_tlb_unit("shared"))
-    shared_l1 = {
-        k.rsplit(".", 1)[-1]: v
-        for k, v in unit_shared.mark_stats.items()
-        if k.startswith("cache.gcu_l1.requests.")
-    }
-    shared_total = sum(shared_l1.values()) or 1
-
-    heap.restore(cp)
-    _hw_part, unit_part = run_hardware(heap, _scaled_tlb_unit("partitioned"))
-    part_mem = {
-        k.rsplit(".", 1)[-1]: v
-        for k, v in unit_part.mark_stats.items()
-        if k.startswith("mem.requests.")
-    }
-    part_total = sum(part_mem.values()) or 1
-
     sources = ["queue", "tracer", "ptw", "marker"]
-    rows = []
-    for source in sources:
-        rows.append([
-            source,
-            shared_l1.get(source, 0),
-            100.0 * shared_l1.get(source, 0) / shared_total,
-            part_mem.get(source, 0),
-            100.0 * part_mem.get(source, 0) / part_total,
-        ])
-    rows.append(["mark cycles", unit_shared.mark_window[1]
-                 - unit_shared.mark_window[0], "",
-                 unit_part.mark_window[1] - unit_part.mark_window[0], ""])
+    # Column pair (count, %) each mode owns in the combined table.
+    mode_cols = {"shared": (1, 2), "partitioned": (3, 4)}
+    rows: List[List[Any]] = [[source, "", "", "", ""] for source in sources]
+    cycles_row: List[Any] = ["mark cycles", "", "", "", ""]
+    for mode in cache_modes:
+        count_col, pct_col = mode_cols[mode]
+        built, cp = build_heap(profile, scale=scale, seed=seed)
+        heap = built.heap
+        heap.restore(cp)
+        _hw, unit = run_hardware(heap, _scaled_tlb_unit(mode))
+        # Shared mode reports what reaches the (shared) L1; partitioned
+        # mode reports what reaches memory — the paper's two panels.
+        prefix = ("cache.gcu_l1.requests." if mode == "shared"
+                  else "mem.requests.")
+        reqs = {
+            k.rsplit(".", 1)[-1]: v
+            for k, v in unit.mark_stats.items()
+            if k.startswith(prefix)
+        }
+        total = sum(reqs.values()) or 1
+        for row, source in zip(rows, sources):
+            row[count_col] = reqs.get(source, 0)
+            row[pct_col] = 100.0 * reqs.get(source, 0) / total
+        cycles_row[count_col] = (unit.mark_window[1]
+                                 - unit.mark_window[0])
+    rows.append(cycles_row)
     return ExperimentResult(
         exp_id="fig18",
         title=f"Traversal-unit requests by source ({benchmark}, "
@@ -401,10 +417,13 @@ def fig19(scale: float = 0.04, seed: int = 1,
           benchmark: str = "luindex",
           queue_entries: Sequence[int] = (128, 512, 2048, 16384),
           ) -> ExperimentResult:
-    """Spill traffic and mark time vs mark-queue size (Fig. 19)."""
+    """Spill traffic and mark time vs mark-queue size (Fig. 19).
+
+    Each queue size is a self-contained cell on a freshly built heap (the
+    three per-size configs still share that cell's heap), so the figure
+    shards along the queue-size axis with byte-identical rows.
+    """
     profile = DACAPO_PROFILES[benchmark]
-    built, cp = build_heap(profile, scale=scale, seed=seed)
-    heap = built.heap
     configs = [
         ("TQ=128", dict(tracer_queue_entries=128)),
         ("TQ=8", dict(tracer_queue_entries=8)),
@@ -412,6 +431,8 @@ def fig19(scale: float = 0.04, seed: int = 1,
     ]
     rows = []
     for entries in queue_entries:
+        built, cp = build_heap(profile, scale=scale, seed=seed)
+        heap = built.heap
         for label, overrides in configs:
             heap.restore(cp)
             cfg = GCUnitConfig(mark_queue_entries=entries, **overrides)
@@ -484,11 +505,20 @@ def fig20(scale: float = 0.03, seed: int = 1,
 def fig21(scale: float = 0.05, seed: int = 1, n_warm_gcs: int = 2,
           cache_sizes: Sequence[int] = (0, 16, 64, 105, 128, 256),
           benchmark: str = "luindex") -> ExperimentResult:
-    """Object access frequencies and mark-bit-cache filtering (Fig. 21)."""
-    built, _cp = build_heap(DACAPO_PROFILES[benchmark], scale=scale,
-                            seed=seed)
+    """Object access frequencies and mark-bit-cache filtering (Fig. 21).
+
+    Each cache size is a self-contained cell: the measured mark runs on a
+    *freshly built* heap (zeroed simulator, cold DRAM) restored to the
+    deterministically evolved image, so any subset of sizes produces
+    exactly the rows of the full sweep — the property the sharding merge
+    and the simulation cache rely on.
+    """
+    profile = DACAPO_PROFILES[benchmark]
+    built, _cp = build_heap(profile, scale=scale, seed=seed)
     heap = built.heap
-    # Evolve the heap (the paper samples the 8th GC of luindex).
+    # Evolve the heap (the paper samples the 8th GC of luindex). The warm
+    # phase is deterministic from the fresh build, so every process that
+    # runs a cell reconstructs the identical evolved image.
     warm = MutatorModel(built, collector="hw")
     warm.run(n_gcs=n_warm_gcs)
     warm.mutate_phase()
@@ -506,12 +536,14 @@ def fig21(scale: float = 0.05, seed: int = 1, n_warm_gcs: int = 2,
     by_count = sorted(counts.values(), reverse=True)
     top56 = sum(by_count[:56])
 
-    # (b) filter effectiveness per cache size.
+    # (b) filter effectiveness per cache size, each on a fresh heap.
     rows = []
     for size in cache_sizes:
-        heap.restore(evolved)
+        cell_built, _ = build_heap(profile, scale=scale, seed=seed)
+        cell_heap = cell_built.heap
+        cell_heap.restore(evolved)
         hw, _unit = run_hardware(
-            heap, GCUnitConfig(mark_bit_cache_entries=size)
+            cell_heap, GCUnitConfig(mark_bit_cache_entries=size)
         )
         duplicates = hw.objects_requeued + hw.counters["marker_filtered"]
         filtered_pct = (100.0 * hw.counters["marker_filtered"]

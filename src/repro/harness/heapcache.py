@@ -16,7 +16,12 @@ from its checkpoint, so this module caches builds:
 * an optional **on-disk layer** enabled by ``REPRO_HEAP_CACHE`` (``1`` for
   ``~/.cache/repro-heaps``, any other value is used as the directory;
   ``0``/``off`` disables). Disk entries survive across processes, which is
-  what makes the parallel figure pipeline's workers share builds.
+  what makes the parallel figure pipeline's workers share builds. The
+  directory is LRU-capped by ``REPRO_HEAP_CACHE_MAX_MB`` and an entry
+  that fails to reconstruct (torn write, bit-rot, stale pickle format) is
+  dropped and transparently rebuilt — the shared disk-cache discipline of
+  :mod:`repro.harness.diskcache`, which the simulation result cache
+  (:mod:`repro.harness.simcache`) uses too.
 
 A cache hit never returns a previously-handed-out object: the entry is
 unpickled into a **fresh** ``ManagedHeap`` (new simulator, cold memory
@@ -31,7 +36,6 @@ import hashlib
 import os
 import pickle
 import random
-import tempfile
 import zlib
 from collections import OrderedDict
 from pathlib import Path
@@ -39,6 +43,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.harness.diskcache import atomic_write_bytes, evict_lru, \
+    max_mb_from_env, touch
 from repro.heap.heapimage import HeapCheckpoint, ManagedHeap
 from repro.memory.config import MemorySystemConfig
 from repro.workloads.graphgen import BuiltHeap, HeapGraphBuilder
@@ -122,16 +128,27 @@ class HeapBuildCache:
     ) -> Tuple[BuiltHeap, HeapCheckpoint]:
         key = fingerprint(profile, scale, seed, config)
         blob = self._mem.get(key)
+        from_disk = False
         if blob is not None:
             self._mem.move_to_end(key)
         else:
             blob = self._disk_read(key)
             if blob is not None:
-                self.disk_hits += 1
-                self._mem_store(key, blob)
+                from_disk = True
         if blob is not None:
-            self.hits += 1
-            return self._reconstruct(blob, profile, scale, seed)
+            try:
+                result = self._reconstruct(blob, profile, scale, seed)
+            except Exception:
+                # Corrupt entry (torn write, bit-rot, stale pickle
+                # format): drop it everywhere and rebuild transparently.
+                self._mem.pop(key, None)
+                self._disk_remove(key)
+            else:
+                if from_disk:
+                    self.disk_hits += 1
+                    self._mem_store(key, blob)
+                self.hits += 1
+                return result
 
         self.misses += 1
         built = HeapGraphBuilder(profile, scale=scale, seed=seed,
@@ -221,31 +238,29 @@ class HeapBuildCache:
     def _disk_read(self, key: str) -> Optional[bytes]:
         if self.disk_dir is None:
             return None
+        path = self.disk_dir / f"{key}.heap"
         try:
-            return (self.disk_dir / f"{key}.heap").read_bytes()
+            blob = path.read_bytes()
         except OSError:
             return None
+        touch(path)
+        return blob
 
     def _disk_write(self, key: str, blob: bytes) -> None:
         """Atomic write (tmp + rename) so concurrent workers never see a
-        torn entry."""
+        torn entry; then enforce the ``REPRO_HEAP_CACHE_MAX_MB`` LRU cap."""
+        if self.disk_dir is None:
+            return
+        if atomic_write_bytes(self.disk_dir / f"{key}.heap", blob):
+            evict_lru(self.disk_dir, max_mb_from_env("REPRO_HEAP_CACHE_MAX_MB"),
+                      suffix=".heap")
+
+    def _disk_remove(self, key: str) -> None:
         if self.disk_dir is None:
             return
         try:
-            self.disk_dir.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(dir=self.disk_dir, suffix=".tmp")
-            try:
-                with os.fdopen(fd, "wb") as fh:
-                    fh.write(blob)
-                os.replace(tmp, self.disk_dir / f"{key}.heap")
-            except BaseException:
-                try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
+            (self.disk_dir / f"{key}.heap").unlink()
         except OSError:
-            # The cache is an optimization; never let disk trouble fail a run.
             pass
 
 

@@ -7,13 +7,26 @@
   cache is shared across figures (fig15/fig23 and the avrora ablations
   reuse each other's builds).
 * **jobs>1** fans entries out over worker processes (``fork`` start
-  method where available, ``spawn`` otherwise), **one process per task**
-  so a crash, hang, or OOM kill is attributed to exactly the entry that
-  caused it and takes nothing else down. Completion order is arbitrary
-  but the merge sorts by suite index, so the output document and the
-  per-figure digests are independent of scheduling. Set
+  method where available, ``spawn`` otherwise). Completion order is
+  arbitrary but the merge sorts by suite index, so the output document
+  and the per-figure digests are independent of scheduling. Set
   ``REPRO_HEAP_CACHE`` to share heap builds across workers via the disk
-  cache.
+  cache. Two worker disciplines exist (``worker_mode``):
+
+  - ``"pool"`` — **persistent workers**: ``jobs`` long-lived processes
+    each loop over tasks from a duplex pipe, amortizing interpreter +
+    import startup (and their in-process heap caches) across the tasks
+    they run. A worker that dies mid-task is detected by pipe EOF, the
+    task is attributed to exactly that worker, and a replacement worker
+    is spawned — crash attribution survives pooling because each worker
+    runs one task at a time.
+  - ``"fresh"`` — **one process per task attempt**, the PR-4 discipline:
+    maximum isolation, and the only mode in which ``REPRO_FAULTS``
+    injection executes (faults fire at worker start, which a persistent
+    worker has only once).
+  - ``"auto"`` (default) resolves to ``"fresh"`` when a fault plan is
+    armed and ``"pool"`` otherwise, so fault drills keep their
+    per-attempt injection semantics without callers caring.
 
 Fault tolerance (all opt-in; a fault-free run is byte-identical to the
 pre-retry pipeline):
@@ -124,6 +137,58 @@ def _child_main(conn, index: int, exp_id: str, kwargs: Dict[str, Any],
                        attempt_stats()))
         except Exception:  # parent went away; nothing to report to
             pass
+    finally:
+        conn.close()
+
+
+def _stats_delta(before: Dict[str, float],
+                 after: Dict[str, float]) -> Dict[str, float]:
+    """Per-attempt resource accounting for a persistent worker.
+
+    ``attempt_stats`` is cumulative for the process; a pooled worker
+    subtracts its pre-task snapshot so the attempt record carries this
+    task's CPU time (peak RSS stays the process-lifetime high-water mark —
+    still the right signal for spotting an OOM-bound attempt).
+    """
+    out = dict(after)
+    if "cpu_s" in before and "cpu_s" in out:
+        out["cpu_s"] = round(out["cpu_s"] - before["cpu_s"], 3)
+    return out
+
+
+def _pool_worker_main(conn) -> None:
+    """Persistent worker: loop tasks from a duplex pipe until the sentinel.
+
+    Referenced as a module global (not a closure) so it pickles under
+    ``spawn`` and inherits monkeypatched ``run_entry`` under ``fork``.
+    ``None`` is the stop sentinel; a task is ``(index, exp_id, kwargs)``.
+    No fault execution here — ``worker_mode`` routing guarantees armed
+    fault plans run on fresh per-task workers instead.
+    """
+    try:
+        while True:
+            try:
+                task = conn.recv()
+            except (EOFError, OSError):
+                break
+            if task is None:
+                break
+            index, exp_id, kwargs = task
+            before = attempt_stats()
+            try:
+                run = run_entry(index, exp_id, kwargs)
+            except BaseException as exc:
+                try:
+                    conn.send(("error", f"{type(exc).__name__}: {exc}",
+                               _stats_delta(before, attempt_stats())))
+                except Exception:  # parent went away; nothing to report to
+                    break
+            else:
+                try:
+                    conn.send(("ok", run,
+                               _stats_delta(before, attempt_stats())))
+                except Exception:
+                    break
     finally:
         conn.close()
 
@@ -352,6 +417,188 @@ def _run_pool(states: List[_TaskState], jobs: int, sched: _Scheduler,
             conn.close()
 
 
+class _PoolWorker:
+    """One persistent worker process and what it is currently running."""
+
+    __slots__ = ("conn", "proc", "state", "started", "deadline")
+
+    def __init__(self, conn, proc):
+        self.conn = conn
+        self.proc = proc
+        self.state: Optional[_TaskState] = None
+        self.started = 0.0
+        self.deadline: Optional[float] = None
+
+
+def _run_persistent_pool(states: List[_TaskState], jobs: int,
+                         sched: _Scheduler, timeout: Optional[float],
+                         say: Callable[[str], None]) -> None:
+    """jobs>1, worker_mode="pool": long-lived workers over duplex pipes.
+
+    Dispatch keeps one task in flight per worker, so a death (pipe EOF)
+    or a blown deadline still attributes to exactly one entry; the dead
+    worker is replaced and the entry goes through the normal retry
+    accounting. Workers are told to stop (``None`` sentinel) as the queue
+    drains.
+    """
+    ctx = _pool_context()
+    pending = deque(states)
+    workers: List[_PoolWorker] = []
+    say(f"running {len(states)} experiments on {jobs} persistent "
+        "workers ...")
+
+    def spawn() -> _PoolWorker:
+        parent_conn, child_conn = ctx.Pipe()
+        proc = ctx.Process(target=_pool_worker_main, args=(child_conn,))
+        proc.start()
+        child_conn.close()
+        worker = _PoolWorker(parent_conn, proc)
+        workers.append(worker)
+        return worker
+
+    def discard(worker: _PoolWorker, *, kill: bool) -> None:
+        workers.remove(worker)
+        if kill:
+            _kill(worker.proc)
+        else:
+            try:
+                worker.conn.send(None)
+            except (OSError, ValueError):
+                pass
+            worker.proc.join(5.0)
+            if worker.proc.is_alive():  # pragma: no cover - stuck worker
+                _kill(worker.proc)
+        worker.conn.close()
+
+    try:
+        while pending or any(w.state is not None for w in workers):
+            now = time.monotonic()
+            busy = sum(1 for w in workers if w.state is not None)
+            # Keep exactly as many workers as remaining work can use.
+            while len(workers) < min(jobs, busy + len(pending)):
+                spawn()
+
+            # Dispatch every ready task there is an idle worker for.
+            for worker in workers:
+                if worker.state is not None or not pending:
+                    continue
+                ready = next((i for i, s in enumerate(pending)
+                              if s.not_before <= now), None)
+                if ready is None:
+                    break
+                pending.rotate(-ready)
+                state = pending.popleft()
+                pending.rotate(ready)
+                try:
+                    worker.conn.send((state.index, state.exp_id,
+                                      state.kwargs))
+                except (OSError, ValueError):
+                    # Died while idle: requeue, reap below via pipe EOF.
+                    pending.appendleft(state)
+                    continue
+                worker.state = state
+                worker.started = time.monotonic()
+                worker.deadline = (worker.started + timeout
+                                   if timeout else None)
+
+            if not any(w.state is not None for w in workers):
+                if pending:
+                    # Everything pending is backing off; sleep until the
+                    # earliest retry becomes eligible.
+                    wake = min(s.not_before for s in pending)
+                    time.sleep(max(0.0, wake - time.monotonic()))
+                continue
+
+            # Wait for a result (or a death), bounded by the nearest
+            # deadline. Idle workers are watched too: their EOF means a
+            # silent death to reap before assigning them work.
+            wait_for = _TICK if pending else 1.0
+            deadlines = [w.deadline for w in workers
+                         if w.state is not None and w.deadline is not None]
+            if deadlines:
+                wait_for = min(wait_for,
+                               max(0.0, min(deadlines) - time.monotonic()))
+            by_conn = {w.conn: w for w in workers}
+            ready_conns = multiprocessing.connection.wait(
+                list(by_conn), timeout=wait_for)
+
+            for conn in ready_conns:
+                worker = by_conn[conn]
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    msg = None  # worker died
+                if msg is None:
+                    state = worker.state
+                    wall = (time.monotonic() - worker.started
+                            if state is not None else 0.0)
+                    worker.proc.join(5.0)
+                    detail = _describe_exit(worker.proc.exitcode)
+                    discard(worker, kill=True)
+                    if state is not None:
+                        if sched.record_failure(state, "crash", detail,
+                                                wall) is not None:
+                            pending.append(state)
+                    continue
+                state = worker.state
+                worker.state = None
+                worker.deadline = None
+                wall = time.monotonic() - worker.started
+                if msg[0] == "ok":
+                    sched.finish_ok(state, msg[1], wall, msg[2])
+                else:
+                    if sched.record_failure(state, "error", msg[1],
+                                            wall) is not None:
+                        pending.append(state)
+
+            # Reap workers that blew their deadline; their replacement is
+            # spawned by the top-up at the head of the loop.
+            now = time.monotonic()
+            for worker in list(workers):
+                if (worker.state is None or worker.deadline is None
+                        or now < worker.deadline):
+                    continue
+                state = worker.state
+                discard(worker, kill=True)
+                if sched.record_failure(
+                        state, "timeout",
+                        f"timed out after {timeout:.0f}s",
+                        now - worker.started) is not None:
+                    pending.append(state)
+
+            # Retire surplus idle workers once the queue has drained past
+            # them (graceful stop, not a kill).
+            surplus = len(workers) - max(
+                1, min(jobs, sum(1 for w in workers
+                                 if w.state is not None) + len(pending)))
+            for worker in [w for w in workers if w.state is None][:surplus]:
+                discard(worker, kill=False)
+    finally:
+        # Abort, KeyboardInterrupt, or normal exit: never leak workers.
+        for worker in list(workers):
+            discard(worker, kill=worker.state is not None)
+
+
+def resolve_worker_mode(worker_mode: str,
+                        fault_plan: Optional[faults.FaultPlan]) -> str:
+    """``auto`` → ``fresh`` iff a fault plan is armed, else ``pool``.
+
+    Explicitly requesting ``pool`` with a fault plan armed is an error:
+    persistent workers never execute injected faults, and silently
+    ignoring the plan would make a fault drill vacuously pass.
+    """
+    if worker_mode not in ("auto", "pool", "fresh"):
+        raise ValueError(f"worker_mode must be auto|pool|fresh, "
+                         f"got {worker_mode!r}")
+    if worker_mode == "auto":
+        return "fresh" if fault_plan is not None else "pool"
+    if worker_mode == "pool" and fault_plan is not None:
+        raise ValueError("worker_mode='pool' cannot run a fault plan; "
+                         "fault injection needs fresh per-task workers "
+                         "(worker_mode='fresh' or 'auto')")
+    return worker_mode
+
+
 def run_suite(
     jobs: int = 1,
     only: Optional[Sequence[str]] = None,
@@ -364,6 +611,7 @@ def run_suite(
     store=None,
     fault_plan: Optional[faults.FaultPlan] = None,
     shard_figures: bool = False,
+    worker_mode: str = "auto",
 ) -> List[FigureRun]:
     """Run the figure suite with ``jobs`` workers; results in suite order.
 
@@ -376,16 +624,20 @@ def run_suite(
     records that :func:`render_report` annotates.
 
     ``shard_figures`` (with ``jobs > 1``) additionally splits figures
-    with a benchmark axis (see :mod:`repro.harness.sharding`) across the
+    with a shardable axis (see :mod:`repro.harness.sharding`) across the
     ``jobs`` workers — those entries run first, each using the whole
     worker pool, then the remaining entries fan out one-per-worker.
-    Digests are unchanged either way.
+    ``worker_mode`` picks the fan-out discipline: ``"pool"`` (persistent
+    workers), ``"fresh"`` (one process per task attempt), or ``"auto"``
+    (fresh iff a fault plan is armed). Digests are unchanged across all
+    of it.
     """
     entries = select(only)
     tasks = [(i, exp_id, kwargs) for i, (exp_id, kwargs) in enumerate(entries)]
     say = progress if progress is not None else (lambda msg: None)
     if fault_plan is None:
         fault_plan = faults.plan_from_env()
+    worker_mode = resolve_worker_mode(worker_mode, fault_plan)
 
     completed: Dict[int, FigureRun] = {}
     if store is not None:
@@ -417,6 +669,8 @@ def run_suite(
         jobs = max(1, min(jobs, len(states)))
         if jobs == 1:
             _run_inline(states, sched, fault_plan, say)
+        elif worker_mode == "pool":
+            _run_persistent_pool(states, jobs, sched, timeout, say)
         else:
             _run_pool(states, jobs, sched, fault_plan, timeout, say)
     return _ordered(completed)

@@ -1,0 +1,164 @@
+"""Worker disciplines: persistent pool vs fresh-per-task processes.
+
+``worker_mode="pool"`` amortizes interpreter startup across tasks but must
+keep the guarantees of the fresh-process pipeline: byte-identical digests,
+one-task-per-worker crash attribution with retry and replacement, timeout
+reaping, and the hard rule that fault plans never run on pooled workers.
+"""
+
+import os
+
+import pytest
+
+import repro.harness.parallel as parallel
+import repro.harness.suite as suite_mod
+from repro.harness import faults, heapcache
+from repro.harness.parallel import digests, resolve_worker_mode, run_suite
+
+#: Static-model entries: no simulation, so pool tests run in seconds.
+TINY = [("fig22", {}), ("abl_barriers", {})]
+
+BACKOFF = 0.01
+
+
+@pytest.fixture
+def tiny_suite(monkeypatch):
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    monkeypatch.delenv("REPRO_SIM_CACHE", raising=False)
+    original = list(suite_mod.SUITE)
+    suite_mod.SUITE[:] = TINY
+    heapcache.reset_cache()
+    yield
+    suite_mod.SUITE[:] = original
+    heapcache.reset_cache()
+
+
+class TestResolveWorkerMode:
+    PLAN = faults.parse_spec("crash:fig22:1")
+
+    def test_auto_prefers_pool(self):
+        assert resolve_worker_mode("auto", None) == "pool"
+
+    def test_auto_with_fault_plan_falls_back_to_fresh(self):
+        assert resolve_worker_mode("auto", self.PLAN) == "fresh"
+
+    def test_explicit_modes_pass_through(self):
+        assert resolve_worker_mode("pool", None) == "pool"
+        assert resolve_worker_mode("fresh", None) == "fresh"
+        assert resolve_worker_mode("fresh", self.PLAN) == "fresh"
+
+    def test_pool_with_fault_plan_is_an_error(self):
+        with pytest.raises(ValueError, match="fault"):
+            resolve_worker_mode("pool", self.PLAN)
+
+    def test_unknown_mode_is_an_error(self):
+        with pytest.raises(ValueError, match="auto|pool|fresh"):
+            resolve_worker_mode("turbo", None)
+
+
+class TestPoolIdentity:
+    def test_pool_matches_fresh_and_inline_digests(self, tiny_suite):
+        inline = run_suite(jobs=1)
+        fresh = run_suite(jobs=2, worker_mode="fresh")
+        pooled = run_suite(jobs=2, worker_mode="pool")
+        assert digests(inline) == digests(fresh) == digests(pooled)
+        assert all(r.ok for r in pooled)
+
+    def test_workers_are_reused_across_tasks(self, tiny_suite, tmp_path,
+                                             monkeypatch):
+        pids = tmp_path / "pids"
+
+        def recording_run_entry(index, exp_id, kwargs,
+                                _real=parallel.run_entry):
+            with open(pids, "a") as fh:
+                fh.write(f"{os.getpid()}\n")
+            return _real(index, exp_id, kwargs)
+
+        # Three tasks on two persistent workers: pigeonhole forces reuse,
+        # which fresh mode (one process per task) never exhibits.
+        suite_mod.SUITE[:] = TINY + [("fig22", {})]
+        monkeypatch.setattr(parallel, "run_entry", recording_run_entry)
+        runs = run_suite(jobs=2, worker_mode="pool")
+        assert all(r.ok for r in runs)
+        recorded = pids.read_text().split()
+        assert len(recorded) == 3
+        assert len(set(recorded)) <= 2
+
+
+class TestPoolFaultTolerance:
+    def test_worker_death_is_attributed_retried_and_replaced(
+            self, tiny_suite, tmp_path, monkeypatch):
+        flag = str(tmp_path / "crashed-once")
+
+        def crashing_run_entry(index, exp_id, kwargs,
+                               _real=parallel.run_entry):
+            if exp_id == "fig22":
+                try:
+                    fd = os.open(flag, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                except FileExistsError:
+                    pass  # second attempt: behave
+                else:
+                    os.close(fd)
+                    os._exit(42)  # die without reporting: pipe EOF
+            return _real(index, exp_id, kwargs)
+
+        clean = run_suite(jobs=2, worker_mode="pool")
+        monkeypatch.setattr(parallel, "run_entry", crashing_run_entry)
+        runs = run_suite(jobs=2, worker_mode="pool", retries=1,
+                         backoff=BACKOFF)
+        assert digests(runs) == digests(clean)
+        crashed = next(r for r in runs if r.exp_id == "fig22")
+        assert crashed.ok and crashed.attempts == 2
+        first = crashed.attempt_history[0]
+        assert first["status"] == "crash"
+        assert "status 42" in first["error"]
+        # The sibling entry was unaffected by the dead worker.
+        other = next(r for r in runs if r.exp_id == "abl_barriers")
+        assert other.ok and other.attempts == 1
+
+    def test_exhausted_retries_fail_the_entry(self, tiny_suite, monkeypatch):
+        def always_crashing(index, exp_id, kwargs, _real=parallel.run_entry):
+            if exp_id == "fig22":
+                os._exit(17)
+            return _real(index, exp_id, kwargs)
+
+        monkeypatch.setattr(parallel, "run_entry", always_crashing)
+        runs = run_suite(jobs=2, worker_mode="pool", retries=1,
+                         backoff=BACKOFF, keep_going=True)
+        failed = next(r for r in runs if r.exp_id == "fig22")
+        assert failed.status == "failed" and failed.attempts == 2
+        assert all(rec["status"] == "crash"
+                   for rec in failed.attempt_history)
+
+    def test_deadline_kills_a_hung_pooled_worker(self, tiny_suite, tmp_path,
+                                                 monkeypatch):
+        flag = str(tmp_path / "hung-once")
+
+        def hanging_run_entry(index, exp_id, kwargs,
+                              _real=parallel.run_entry):
+            if exp_id == "fig22":
+                try:
+                    fd = os.open(flag, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                except FileExistsError:
+                    pass
+                else:
+                    os.close(fd)
+                    import time
+                    time.sleep(60)
+            return _real(index, exp_id, kwargs)
+
+        monkeypatch.setattr(parallel, "run_entry", hanging_run_entry)
+        runs = run_suite(jobs=2, worker_mode="pool", timeout=1.0,
+                         retries=1, backoff=BACKOFF)
+        hung = next(r for r in runs if r.exp_id == "fig22")
+        assert hung.ok and hung.attempts == 2
+        assert hung.attempt_history[0]["status"] == "timeout"
+
+    def test_per_attempt_stats_are_deltas(self, tiny_suite):
+        runs = run_suite(jobs=2, worker_mode="pool")
+        for run in runs:
+            for rec in run.attempt_history:
+                # Static models cost ~0 CPU; a cumulative (non-delta)
+                # reading would carry worker import/startup time.
+                assert rec["cpu_s"] < 5.0
+                assert rec["cpu_s"] >= 0.0

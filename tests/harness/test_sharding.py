@@ -8,10 +8,16 @@ non-shardable entries silently fall back to the inline path.
 """
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.harness import heapcache
+from repro.harness.experiments import ExperimentResult
 from repro.harness.sharding import (
     SHARDABLE,
+    _column_refold_merge,
+    _concat_merge,
+    _geomean_tail_merge,
     axis_values,
     can_shard,
     run_entry_sharded,
@@ -54,6 +60,100 @@ class TestSplit:
         assert not can_shard("fig15", {"benchmarks": ["avrora"]}, 4)
         assert not can_shard("fig01b", {}, 4)
 
+    def test_can_shard_declines_oversubscription(self):
+        # fig19's default axis has 4 queue sizes: 4 workers is the most
+        # a shard can use; a 5th would idle on an empty chunk.
+        assert can_shard("fig19", {}, 4)
+        assert not can_shard("fig19", {}, 5)
+        # fig18's axis is the two cache modes.
+        assert can_shard("fig18", {}, 2)
+        assert not can_shard("fig18", {}, 3)
+
+    def test_every_new_figure_is_registered(self):
+        assert {"fig16", "fig17", "fig18", "fig19", "fig20", "fig21"} <= \
+            set(SHARDABLE)
+
+
+def _synthetic(headers, rows):
+    return ExperimentResult(exp_id="syn", title="t", paper_claim="p",
+                            headers=headers, rows=rows,
+                            extras={"heavy": object()})
+
+
+#: Positive, finite: the geomean refold takes logs of these.
+POS = st.floats(min_value=1e-3, max_value=1e3,
+                allow_nan=False, allow_infinity=False)
+
+
+class TestMergeProperties:
+    """merge(shard-split rows) == unsharded rows, byte-for-byte, for every
+    merge family and every shard count (including oversubscribed)."""
+
+    @settings(deadline=None)
+    @given(values=st.lists(POS, min_size=1, max_size=8),
+           n_shards=st.integers(1, 10))
+    def test_concat(self, values, n_shards):
+        headers = ["bench", "value"]
+        rows = [[f"b{i}", v] for i, v in enumerate(values)]
+        full = _synthetic(headers, rows)
+        chunks = split_axis(rows, n_shards)
+        merged = _concat_merge([_synthetic(headers, c) for c in chunks])
+        assert merged.rows == rows
+        assert merged.render() == full.render()
+        assert merged.extras == {}
+
+    @settings(deadline=None)
+    @given(values=st.lists(st.tuples(POS, POS), min_size=1, max_size=8),
+           n_shards=st.integers(1, 10))
+    def test_geomean_tail_refolds_bit_identically(self, values, n_shards):
+        from repro.engine.stats import geomean
+
+        headers = ["bench", "mark", "sweep"]
+        merge = _geomean_tail_merge(1, 2)
+
+        def result_for(rows):
+            # The unsharded figures fold a trailing geomean over the
+            # speedup columns, left to right over the row order.
+            summary = ["geomean",
+                       geomean([r[1] for r in rows]),
+                       geomean([r[2] for r in rows])]
+            return _synthetic(headers, [list(r) for r in rows] + [summary])
+
+        rows = [[f"b{i}", m, s] for i, (m, s) in enumerate(values)]
+        full = result_for(rows)
+        merged = merge([result_for(c) for c in split_axis(rows, n_shards)])
+        assert merged.rows == full.rows
+        assert merged.render() == full.render()
+
+    @settings(deadline=None)
+    @given(data=st.data())
+    def test_column_refold_overlay(self, data):
+        n_rows = data.draw(st.integers(1, 6))
+        n_modes = data.draw(st.integers(2, 4))
+        n_shards = data.draw(st.integers(1, 6))
+        matrix = data.draw(st.lists(
+            st.lists(POS, min_size=n_modes, max_size=n_modes),
+            min_size=n_rows, max_size=n_rows))
+        # One trailing column blank in every chunk must stay blank.
+        headers = ["source"] + [f"m{m}" for m in range(n_modes)] + ["pad"]
+        full_rows = [[f"r{r}", *matrix[r], ""] for r in range(n_rows)]
+        chunk_results = []
+        for modes in split_axis(list(range(n_modes)), n_shards):
+            rows = [[f"r{r}",
+                     *(matrix[r][m] if m in modes else ""
+                       for m in range(n_modes)), ""]
+                    for r in range(n_rows)]
+            chunk_results.append(_synthetic(headers, rows))
+        merged = _column_refold_merge(chunk_results)
+        assert merged.rows == full_rows
+        assert merged.render() == _synthetic(headers, full_rows).render()
+
+    def test_column_refold_rejects_row_count_mismatch(self):
+        a = _synthetic(["s", "x"], [["r0", 1.0]])
+        b = _synthetic(["s", "x"], [["r0", ""], ["r1", ""]])
+        with pytest.raises(ValueError, match="row count"):
+            _column_refold_merge([a, b])
+
 
 class TestShardedIdentity:
     """The gate: sharded digest == unsharded digest, rows and geomean."""
@@ -64,6 +164,15 @@ class TestShardedIdentity:
                        benchmarks=["avrora", "luindex", "lusearch"])),
         ("fig01a", dict(scale=SCALE, seed=1, n_gcs=1,
                         benchmarks=["avrora", "luindex"])),
+        ("fig16", dict(scale=SCALE, seed=1,
+                       benchmarks=["avrora", "luindex"])),
+        ("fig17", dict(scale=SCALE, seed=1,
+                       benchmarks=["avrora", "luindex"])),
+        ("fig18", dict(scale=SCALE, seed=1)),
+        ("fig19", dict(scale=SCALE, seed=1, queue_entries=(64, 2048))),
+        ("fig20", dict(scale=SCALE, seed=1, sweeper_counts=(1, 2),
+                       benchmarks=["avrora", "luindex"])),
+        ("fig21", dict(scale=SCALE, seed=1, cache_sizes=(0, 256))),
     ])
     def test_sharded_matches_unsharded(self, exp_id, kwargs):
         inline = run_entry(0, exp_id, kwargs)
