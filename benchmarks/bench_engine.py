@@ -19,6 +19,10 @@ Measures, for each simulation kernel (``bucket``, ``heapq``, and
   sim-cache-warm, and sharded (``run_all_seconds`` in the history);
   identity across all four configurations is gated, and the warm run must
   re-simulate zero cells and beat the cold run;
+* **fleet SLO figure wall time** — the pinned small-scale multi-tenant
+  scenario timed cold, sim-cache-warm, and tenant-sharded
+  (``fleet_slo_seconds`` in the history); digest identity across the
+  three runs is gated, and the warm run must re-simulate zero cells;
 
 plus (with ``--full-suite``) the wall time of ``run_suite(jobs=1)``. The
 results land in ``BENCH_engine.json`` so the perf trajectory is tracked
@@ -289,6 +293,64 @@ def bench_run_all(jobs: int = 2) -> dict:
     }
 
 
+def bench_fleet(jobs: int = 2) -> dict:
+    """Fleet SLO figure wall time: cold, sim-cache-warm, tenant-sharded.
+
+    Times the pinned small-scale multi-tenant scenario (the one
+    ``tests/fleet/test_determinism.py`` pins by digest) through three
+    pipeline configurations sharing one ``REPRO_SIM_CACHE``: cold inline
+    (every tenant cell simulated), warm inline (every cell served from
+    the cache), and sharded across the tenant axis against the same warm
+    cache. Timings are report-only; what gates the script is digest
+    identity across all three runs plus the warm run re-simulating
+    **zero** cells.
+    """
+    import os
+    import tempfile
+
+    from repro.fleet.timeline import reset_base_cache
+    from repro.harness.heapcache import reset_cache
+    from repro.harness.sharding import run_entry_sharded
+    from repro.harness.suite import run_entry
+
+    kwargs = dict(scale=0.008, n_tenants=3, n_queries=600, warmup=60,
+                  n_gcs=2)
+    saved = os.environ.get("REPRO_SIM_CACHE")
+    cache = tempfile.mkdtemp(prefix="bench-fleet-simcache-")
+    os.environ["REPRO_SIM_CACHE"] = cache
+
+    def timed(fn):
+        reset_cache()
+        reset_base_cache()
+        t0 = time.perf_counter()
+        run = fn()
+        return round(time.perf_counter() - t0, 3), run
+
+    try:
+        cold_s, cold = timed(lambda: run_entry(0, "fleet_slo", kwargs))
+        warm_s, warm = timed(lambda: run_entry(0, "fleet_slo", kwargs))
+        shard_s, shard = timed(
+            lambda: run_entry_sharded(0, "fleet_slo", kwargs, jobs=jobs))
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_SIM_CACHE", None)
+        else:
+            os.environ["REPRO_SIM_CACHE"] = saved
+        reset_cache()
+        reset_base_cache()
+
+    return {
+        "jobs": jobs,
+        "kwargs": kwargs,
+        "cold_seconds": cold_s,
+        "warm_seconds": warm_s,
+        "sharded_warm_seconds": shard_s,
+        "warm_cells_simulated": warm.cache_misses,
+        "warm_cells_hit": warm.cache_hits,
+        "identical_digests": cold.digest == warm.digest == shard.digest,
+    }
+
+
 def bench_suite(jobs: int = 1) -> dict:
     """Wall time of the full figure suite (minutes; opt-in)."""
     from repro.harness.heapcache import reset_cache
@@ -396,6 +458,19 @@ def main() -> int:
               file=sys.stderr)
         return 1
 
+    print("fleet slo cold/warm/sharded ...", flush=True)
+    fl = bench_fleet(jobs=args.run_all_jobs)
+    report["fleet"] = fl
+    if not fl["identical_digests"]:
+        print("FATAL: cold/warm/sharded fleet_slo digests disagree",
+              file=sys.stderr)
+        return 1
+    if fl["warm_cells_simulated"] != 0:
+        print(f"FATAL: warm fleet_slo re-simulated "
+              f"{fl['warm_cells_simulated']} cell(s); expected 0",
+              file=sys.stderr)
+        return 1
+
     history.append({
         "generated": report["generated"],
         "scale": args.scale,
@@ -415,6 +490,12 @@ def main() -> int:
             "sharded_warm": ra["sharded_warm_seconds"],
             "sharded_cold": ra["sharded_cold_seconds"],
             "jobs": ra["jobs"],
+        },
+        "fleet_slo_seconds": {
+            "cold": fl["cold_seconds"],
+            "warm": fl["warm_seconds"],
+            "sharded_warm": fl["sharded_warm_seconds"],
+            "jobs": fl["jobs"],
         },
     })
     report["history"] = history
@@ -446,6 +527,10 @@ def main() -> int:
           f"{ra['sharded_warm_seconds']:.2f}s / sharded cold "
           f"{ra['sharded_cold_seconds']:.2f}s "
           f"(jobs={ra['jobs']}, {ra['warm_cells_hit']} cells cached)")
+    print(f"  fleet_slo cold {fl['cold_seconds']:.2f}s / warm "
+          f"{fl['warm_seconds']:.2f}s / sharded warm "
+          f"{fl['sharded_warm_seconds']:.2f}s "
+          f"(jobs={fl['jobs']}, {fl['warm_cells_hit']} cells cached)")
     print(f"wrote {args.out}")
     return 0
 

@@ -25,6 +25,10 @@ Commands:
                                   print the watchdog diagnosis, and verify
                                   the software-fallback recovery against the
                                   fault-free oracle.
+* ``fleet [--policy dedicated,shared,software] [--lbo] [opts]``
+                                — simulate the multi-tenant fleet and print
+                                  the SLO report (and optionally the
+                                  lower-bound-overhead table).
 """
 
 from __future__ import annotations
@@ -273,6 +277,41 @@ def _cmd_fault_drill(args) -> int:
     return 0
 
 
+def _cmd_fleet(args) -> int:
+    import hashlib
+
+    from repro.fleet.admission import POLICIES, resolve_policy
+    from repro.harness.experiments import fleet_lbo, fleet_slo
+
+    policies = [p.strip() for p in args.policy.split(",") if p.strip()]
+    if not policies:
+        # Mirror suite.select(): an empty selection must not silently
+        # simulate nothing.
+        print("empty policy selection; "
+              f"valid policies: {', '.join(POLICIES)}", file=sys.stderr)
+        return 2
+    try:
+        for policy in policies:
+            resolve_policy(policy)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    result = fleet_slo(scale=args.scale, seed=args.seed, n_gcs=args.gcs,
+                       n_tenants=args.tenants, n_queries=args.queries,
+                       warmup=args.warmup, policies=tuple(policies),
+                       n_units=args.units, dram_tax=args.dram_tax,
+                       shed_backlog_intervals=args.shed_intervals)
+    rendered = result.render()
+    print(rendered)
+    if args.lbo:
+        print()
+        print(fleet_lbo(scale=args.scale, seed=args.seed,
+                        n_gcs=args.gcs).render())
+    if args.digest:
+        print(hashlib.sha256(rendered.encode()).hexdigest())
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -365,6 +404,36 @@ def main(argv=None) -> int:
                               metavar="N",
                               help="concurrent mode: evacuate N blocks in "
                               "the relocation prologue")
+    fleet_parser = sub.add_parser(
+        "fleet", help="simulate the multi-tenant fleet under SLO")
+    fleet_parser.add_argument("--policy", default="dedicated,shared,software",
+                              help="comma-separated GC scheduling policies "
+                              "(dedicated, shared, software)")
+    fleet_parser.add_argument("--tenants", type=int, default=4,
+                              help="fleet size (mixed DaCapo profiles)")
+    fleet_parser.add_argument("--units", type=int, default=1,
+                              help="accelerator GC units behind the "
+                              "shared-policy admission queue")
+    fleet_parser.add_argument("--queries", type=int, default=3000,
+                              help="length of the open-loop arrival stream")
+    fleet_parser.add_argument("--warmup", type=int, default=150,
+                              help="global queries discarded as warm-up")
+    fleet_parser.add_argument("--gcs", type=int, default=2,
+                              help="collections per tenant base run")
+    fleet_parser.add_argument("--scale", type=float, default=0.015)
+    fleet_parser.add_argument("--seed", type=int, default=1)
+    fleet_parser.add_argument("--dram-tax", type=float, default=0.25,
+                              help="shared-DRAM contention service-rate tax")
+    fleet_parser.add_argument("--shed-intervals", type=int, default=0,
+                              metavar="N",
+                              help="shed a query arriving > N intervals "
+                              "behind (0 = never shed)")
+    fleet_parser.add_argument("--lbo", action="store_true",
+                              help="also print the lower-bound-overhead "
+                              "(Cai et al.) table")
+    fleet_parser.add_argument("--digest", action="store_true",
+                              help="print the SLO table's sha256 "
+                              "fingerprint")
     args = parser.parse_args(argv)
     return {
         "list": _cmd_list,
@@ -374,6 +443,7 @@ def main(argv=None) -> int:
         "run-all": _cmd_run_all,
         "trace": _cmd_trace,
         "fault-drill": _cmd_fault_drill,
+        "fleet": _cmd_fleet,
     }[args.command](args)
 
 

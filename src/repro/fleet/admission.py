@@ -1,0 +1,142 @@
+"""GC scheduling policies and the shared-unit admission queue.
+
+Three policies arbitrate who collects on what:
+
+* ``dedicated`` — one accelerator unit (and DRAM channel) per tenant;
+  pause timelines pass through untouched. The upper bound: zero queueing,
+  zero contention, maximum silicon.
+* ``shared`` — the fleet shares ``n_units`` accelerator units behind a
+  FIFO admission queue. A tenant wanting to collect *stops its mutator at
+  the request cycle* (stop-the-world) and resumes when a unit finishes
+  its collection, so queue wait widens the pause; every admitted
+  collection is additionally stretched by the shared-DRAM-channel
+  service-rate tax ``1 + dram_tax * (n_tenants - 1) / n_units``.
+* ``software`` — no accelerator at all: every tenant falls back to the
+  software collector on its own CPU (the under-contention fallback).
+
+The ``shared`` event loop is a plain earliest-request-first heap. FIFO is
+well-defined because each tenant's requests are pushed in order and a
+tenant's next request time never precedes its previous grant's end (the
+mutator was stopped), so the heap never reorders an earlier request
+behind a later one.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, replace
+from typing import List, Sequence, Tuple
+
+from repro.workloads.mutator import MutatorRunResult
+
+POLICIES: Tuple[str, ...] = ("dedicated", "shared", "software")
+
+
+def resolve_policy(name: str) -> str:
+    """Validate a policy name, raising with the valid list (CLI UX)."""
+    if name not in POLICIES:
+        raise ValueError(f"unknown policy {name!r}; "
+                         f"valid policies: {', '.join(POLICIES)}")
+    return name
+
+
+@dataclass(frozen=True)
+class ServiceGrant:
+    """One admitted collection on one unit."""
+
+    tenant: int
+    pause_index: int
+    unit: int
+    request: int  # cycle the tenant stopped and asked to collect
+    grant: int    # cycle a unit started serving it (>= request)
+    end: int      # grant + taxed duration
+
+    @property
+    def wait_cycles(self) -> int:
+        return self.grant - self.request
+
+
+@dataclass
+class ScheduleResult:
+    """The fleet schedule under one policy."""
+
+    policy: str
+    #: Per-tenant adjusted timelines — what each tenant's queries see.
+    timelines: List[MutatorRunResult]
+    #: Admission log (empty for ``dedicated``/``software``).
+    grants: List[ServiceGrant]
+    #: Per-tenant total cycles spent stopped waiting for a unit.
+    queue_wait_cycles: List[int]
+
+
+def _dedicated(timelines: Sequence[MutatorRunResult]) -> ScheduleResult:
+    return ScheduleResult(
+        policy="dedicated",
+        timelines=[replace(tl) for tl in timelines],
+        grants=[],
+        queue_wait_cycles=[0] * len(timelines),
+    )
+
+
+def _shared(timelines: Sequence[MutatorRunResult], n_units: int,
+            dram_tax: float) -> ScheduleResult:
+    n_tenants = len(timelines)
+    tax = 1.0 + dram_tax * (n_tenants - 1) / n_units
+    #: (request cycle, tenant, pause index) — tenant breaks ties.
+    pending: List[Tuple[int, int, int]] = []
+    for t, tl in enumerate(timelines):
+        if tl.pauses:
+            heapq.heappush(pending, (tl.pauses[0].start_cycle, t, 0))
+    units = [0] * n_units  # cycle each unit becomes free
+    drift = [0] * n_tenants  # how far each tenant's schedule has slipped
+    adjusted: List[List] = [[] for _ in range(n_tenants)]
+    grants: List[ServiceGrant] = []
+    waits = [0] * n_tenants
+    while pending:
+        request, t, i = heapq.heappop(pending)
+        unit = min(range(n_units), key=lambda u: (units[u], u))
+        grant = max(request, units[unit])
+        base_pause = timelines[t].pauses[i]
+        duration = math.ceil(base_pause.pause_cycles * tax)
+        end = grant + duration
+        units[unit] = end
+        grants.append(ServiceGrant(tenant=t, pause_index=i, unit=unit,
+                                   request=request, grant=grant, end=end))
+        waits[t] += grant - request
+        # The tenant is stopped from request to end: its recorded pause is
+        # the whole stall (wait + taxed collection).
+        adjusted[t].append(replace(base_pause, start_cycle=request,
+                                   mark_cycles=end - request,
+                                   sweep_cycles=0))
+        drift[t] += (end - request) - base_pause.pause_cycles
+        if i + 1 < len(timelines[t].pauses):
+            heapq.heappush(
+                pending,
+                (timelines[t].pauses[i + 1].start_cycle + drift[t], t, i + 1))
+    return ScheduleResult(
+        policy="shared",
+        timelines=[
+            MutatorRunResult(collector=tl.collector, pauses=adjusted[t],
+                             mutator_cycles=tl.mutator_cycles)
+            for t, tl in enumerate(timelines)
+        ],
+        grants=grants,
+        queue_wait_cycles=waits,
+    )
+
+
+def schedule_fleet(policy: str, timelines: Sequence[MutatorRunResult],
+                   n_units: int = 1, dram_tax: float = 0.25) -> ScheduleResult:
+    """Arbitrate the fleet's collections under ``policy``.
+
+    ``timelines`` are the per-tenant *requested* timelines (already
+    phase-offset): hardware-collector runs for ``dedicated``/``shared``,
+    software-collector runs for ``software``. The returned timelines are
+    what each tenant's query replay should run against.
+    """
+    resolve_policy(policy)
+    if policy == "shared":
+        return _shared(timelines, n_units, dram_tax)
+    result = _dedicated(timelines)
+    return replace(result, policy=policy)

@@ -1,0 +1,38 @@
+"""Open-loop load balancer: one seeded arrival stream sprayed over tenants.
+
+The balancer is deliberately dumb — uniform random spray, no health
+checks, no pause awareness — because the figures measure what the *GC
+policies* do to the tail, and a smart balancer would mask it. One global
+stream (query ``g`` arrives at ``g * interval_cycles``) is assigned
+tenant-by-tenant from a seed-derived RNG, so any per-tenant slice is
+recomputable without materializing the others: exactly what the
+per-tenant shard/cache cells need.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+
+def spray(n_queries: int, n_tenants: int, seed: int) -> List[int]:
+    """Tenant assignment per global query index, from the fleet seed."""
+    rng = random.Random(f"fleet-balancer:{seed}")
+    return [rng.randrange(n_tenants) for _ in range(n_queries)]
+
+
+def tenant_arrivals(assignments: Sequence[int], interval_cycles: int,
+                    tenant: int, warmup: int) -> Tuple[List[int], int]:
+    """One tenant's slice of the global stream.
+
+    Returns ``(arrival cycles, n_warmup)`` where ``n_warmup`` counts the
+    tenant's arrivals that fall inside the fleet-wide warm-up window (the
+    first ``warmup`` *global* queries). Because arrivals are assigned in
+    global order, those are exactly the tenant's first ``n_warmup``
+    arrivals — the form :class:`~repro.workloads.latency.QueryReplay`
+    consumes. A tenant the spray never picked gets ``([], 0)``.
+    """
+    arrivals = [g * interval_cycles for g, t in enumerate(assignments)
+                if t == tenant]
+    n_warmup = sum(1 for t in assignments[:warmup] if t == tenant)
+    return arrivals, n_warmup

@@ -1,0 +1,71 @@
+"""Per-tenant GC pause timelines, derived from shared base runs.
+
+Simulating a full :class:`~repro.workloads.mutator.MutatorModel` run per
+tenant would multiply the fleet's cost by its size for no modeling gain:
+two tenants running the same DaCapo profile at the same scale/seed have
+statistically identical pause behavior. The fleet therefore keeps a
+memoized *base-run library* — one simulated run per distinct
+``(benchmark, collector, scale, seed, n_gcs)`` — and differentiates
+tenants by a deterministic phase offset (staggered process start), which
+is what actually matters to the admission queue: whether GC requests
+collide in time.
+
+Base runs are cached per process and never mutated; tenant timelines are
+built from :func:`dataclasses.replace` copies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Tuple
+
+from repro.harness.runners import build_heap
+from repro.workloads.mutator import MutatorModel, MutatorRunResult
+from repro.workloads.profiles import DACAPO_PROFILES
+
+_BASE_CACHE: Dict[Tuple[str, str, float, int, int], MutatorRunResult] = {}
+
+
+def reset_base_cache() -> None:
+    """Drop memoized base runs (test isolation)."""
+    _BASE_CACHE.clear()
+
+
+def base_run(benchmark: str, collector: str, scale: float, seed: int,
+             n_gcs: int) -> MutatorRunResult:
+    """The shared (memoized) mutator run for one profile × collector."""
+    key = (benchmark, collector, scale, seed, n_gcs)
+    cached = _BASE_CACHE.get(key)
+    if cached is None:
+        built, _checkpoint = build_heap(DACAPO_PROFILES[benchmark],
+                                        scale=scale, seed=seed)
+        cached = MutatorModel(built, collector=collector,
+                              seed=seed).run(n_gcs=n_gcs)
+        _BASE_CACHE[key] = cached
+    return cached
+
+
+def tenant_timeline(base: MutatorRunResult,
+                    phase_frac: float) -> MutatorRunResult:
+    """A tenant's view of a base run: pauses shifted by a phase offset.
+
+    The offset models a staggered process start — the tenant did
+    ``offset`` extra cycles of mutator work before its first collection —
+    so it is added to both every pause's ``start_cycle`` and the mutator
+    total, keeping the timeline well-formed (monotone, non-overlapping,
+    last pause inside ``total_cycles``). The offset spans up to a quarter
+    of the mean inter-GC gap: enough to desynchronize same-profile
+    tenants' admission requests, small enough to keep pause cadence.
+    """
+    if not 0.0 <= phase_frac < 1.0:
+        raise ValueError(f"phase_frac must be in [0, 1): {phase_frac}")
+    if not base.pauses:
+        return replace(base)
+    gap = base.total_cycles // (4 * len(base.pauses))
+    offset = int(phase_frac * gap)
+    return MutatorRunResult(
+        collector=base.collector,
+        pauses=[replace(p, start_cycle=p.start_cycle + offset)
+                for p in base.pauses],
+        mutator_cycles=base.mutator_cycles + offset,
+    )

@@ -99,6 +99,26 @@ def _column_refold_merge(results: List[Any]) -> Any:
     return merged
 
 
+def _fleet_slo_merge(results: List[Any]) -> Any:
+    """Merge for ``fleet_slo``: concat tenant rows, refold policy summaries.
+
+    Each chunk replayed a contiguous slice of the tenant axis and appended
+    its own per-policy summary rows (marked ``"fleet"`` in the tenant
+    column); drop those, concatenate the tenant rows in axis order, and
+    refold the summaries from the merged rows through the *same* helper
+    the unsharded figure uses — same floats, same left-to-right fold, so
+    the summary rows are bit-identical.
+    """
+    from repro.fleet.report import SUMMARY_MARKER, fleet_summary_rows
+
+    merged = replace(results[0])
+    tenant_rows = [row for result in results for row in result.rows
+                   if row[0] != SUMMARY_MARKER]
+    merged.rows = tenant_rows + fleet_summary_rows(tenant_rows)
+    merged.extras = {}
+    return merged
+
+
 @dataclass(frozen=True)
 class ShardSpec:
     """How one experiment splits: the kwarg axis, its defaults, the merge.
@@ -112,6 +132,10 @@ class ShardSpec:
     axis: str
     merge: Callable[[List[Any]], Any]
     default: Optional[Tuple[Any, ...]] = None
+    #: Optional kwargs-aware default for axes whose value set depends on
+    #: *other* kwargs (fleet_slo's tenant axis tracks ``n_tenants``).
+    #: Takes precedence over ``default`` when the axis is implicit.
+    default_fn: Optional[Callable[[Dict[str, Any]], Tuple[Any, ...]]] = None
 
 
 #: Experiments with an axis of independent units of work, and how their
@@ -137,6 +161,13 @@ SHARDABLE: Dict[str, ShardSpec] = {
                        default=tuple(BENCHMARK_ORDER)),
     "fig21": ShardSpec(axis="cache_sizes", merge=_concat_merge,
                        default=(0, 16, 64, 105, 128, 256)),
+    # The fleet figures: per-tenant / per-fleet-size cells. fleet_slo's
+    # default mirrors the function's n_tenants=4 roster.
+    "fleet_slo": ShardSpec(
+        axis="tenants", merge=_fleet_slo_merge, default=(0, 1, 2, 3),
+        default_fn=lambda kw: tuple(range(kw.get("n_tenants", 4)))),
+    "fleet_lbo": ShardSpec(axis="fleet_sizes", merge=_concat_merge,
+                           default=(2, 4)),
 }
 
 
@@ -150,6 +181,8 @@ def axis_values(exp_id: str, kwargs: Dict[str, Any]) -> Optional[List[Any]]:
     if spec is None:
         return None
     values = kwargs.get(spec.axis)
+    if values is None and spec.default_fn is not None:
+        values = spec.default_fn(kwargs)
     if values is None:
         values = spec.default if spec.default is not None else BENCHMARK_ORDER
     return list(values)

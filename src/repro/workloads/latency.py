@@ -24,7 +24,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.workloads.mutator import MutatorRunResult
 
@@ -67,12 +67,23 @@ class QuerySimulator:
 
     def _tile_pauses(self) -> List[Tuple[int, int]]:
         """Pause windows [(start, end)] from the run, tiled so the schedule
-        can extend past one benchmark iteration (DaCapo loops internally)."""
+        can extend past one benchmark iteration (DaCapo loops internally).
+
+        A run whose pauses cover the entire window leaves no mutator time
+        for service to progress, so ``_advance_through_pauses`` would spin
+        forever hopping from one tiled pause straight into the next; such
+        degenerate timelines are rejected here, at construction.
+        """
         segments = self.run.timeline()
         period = self.run.total_cycles
         base = [(s, e) for kind, s, e in segments if kind == "gc"]
         if not base or period <= 0:
             return []
+        covered = sum(end - start for start, end in base)
+        if covered >= period:
+            raise ValueError(
+                f"GC pauses cover the entire run window ({covered} of "
+                f"{period} cycles): queries could never complete")
         return base  # tiling handled modulo `period` during lookup
 
     def _pause_after(self, t: int) -> Tuple[int, int]:
@@ -102,7 +113,14 @@ class QuerySimulator:
 
     def run_queries(self, n_queries: int = 10_000,
                     warmup: int = 1_000) -> List[QueryRecord]:
-        """Replay the schedule; returns post-warmup records."""
+        """Replay the schedule; returns post-warmup records.
+
+        When fewer queries arrive than the warm-up discards
+        (``n_queries <= warmup``) the returned list is empty — every query
+        was warm-up — and downstream summaries (:func:`percentile_summary`,
+        :func:`tail_ratio`) raise ``ValueError("no records")`` rather than
+        emitting NaNs.
+        """
         rng = random.Random(self.seed)
         records: List[QueryRecord] = []
         prev_completion = 0
@@ -127,6 +145,94 @@ class QuerySimulator:
             if i >= warmup:
                 records.append(QueryRecord(i, intended, completion, near_gc))
         return records
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of replaying an explicit arrival schedule.
+
+    ``records`` holds the post-warm-up *serviced* queries (shed queries
+    never execute and leave no record); the counters account for every
+    arrival exactly once: ``arrived == completed + in_flight + shed``.
+    """
+
+    records: List[QueryRecord]
+    arrived: int
+    completed: int  # serviced with completion <= horizon (incl. warm-up)
+    in_flight: int  # serviced but still running at the horizon
+    shed: int       # dropped by the backlog admission check
+
+    @property
+    def conserved(self) -> bool:
+        return self.arrived == self.completed + self.in_flight + self.shed
+
+
+class QueryReplay(QuerySimulator):
+    """Replay an *explicit* arrival schedule against a pause timeline.
+
+    :meth:`QuerySimulator.run_queries` generates its own regular open-loop
+    schedule; the fleet layer instead sprays one global arrival stream
+    across tenants, so each tenant replays an irregular slice of it. For
+    the regular schedule ``[i * interval, ...]`` the two are differentially
+    identical: same seed, same service-time draws in the same order, same
+    records (asserted by the test battery).
+    """
+
+    def replay(
+        self,
+        arrivals: Sequence[int],
+        warmup: int = 0,
+        horizon: Optional[int] = None,
+        shed_backlog_cycles: Optional[int] = None,
+    ) -> ReplayResult:
+        """Run the schedule; latency is measured from intended arrival.
+
+        ``warmup`` discards the first N records (they are still simulated —
+        they consume RNG draws and queue behind-schedule work exactly like
+        :meth:`run_queries`'s warm-up). ``horizon`` splits serviced queries
+        into completed vs in-flight at a cutoff cycle; ``None`` means no
+        cutoff (everything serviced counts as completed).
+        ``shed_backlog_cycles`` models load shedding: a query arriving when
+        the server is running more than that many cycles behind is dropped
+        without service. An empty schedule returns a zero-count result.
+        """
+        rng = random.Random(self.seed)
+        records: List[QueryRecord] = []
+        prev_completion = 0
+        prev_intended = 0
+        prev_near_gc = False
+        completed = in_flight = shed = 0
+        for i, intended in enumerate(arrivals):
+            if intended < prev_intended:
+                raise ValueError(
+                    f"arrival schedule must be non-decreasing: "
+                    f"arrivals[{i}] == {intended} < {prev_intended}")
+            prev_intended = intended
+            service = max(
+                1000,
+                int(rng.lognormvariate(math.log(self.service_mean),
+                                       self.service_sigma)),
+            )
+            if (shed_backlog_cycles is not None
+                    and prev_completion - intended > shed_backlog_cycles):
+                shed += 1
+                continue
+            start = max(intended, prev_completion)
+            completion = self._advance_through_pauses(start, service)
+            near_gc = (completion - start > service) or (
+                start > intended and prev_near_gc
+            )
+            prev_completion = completion
+            prev_near_gc = near_gc
+            if horizon is not None and completion > horizon:
+                in_flight += 1
+            else:
+                completed += 1
+            if i >= warmup:
+                records.append(QueryRecord(i, intended, completion, near_gc))
+        return ReplayResult(records=records, arrived=len(arrivals),
+                            completed=completed, in_flight=in_flight,
+                            shed=shed)
 
 
 def latency_cdf(records: Sequence[QueryRecord]) -> List[Tuple[float, float]]:

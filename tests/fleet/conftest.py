@@ -1,0 +1,17 @@
+"""Shared fixtures for the fleet battery: per-test cache isolation."""
+
+import pytest
+
+from repro.fleet.timeline import reset_base_cache
+from repro.harness import heapcache
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches(monkeypatch):
+    monkeypatch.delenv("REPRO_HEAP_CACHE", raising=False)
+    monkeypatch.delenv("REPRO_SIM_CACHE", raising=False)
+    heapcache.reset_cache()
+    reset_base_cache()
+    yield
+    heapcache.reset_cache()
+    reset_base_cache()

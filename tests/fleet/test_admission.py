@@ -1,0 +1,148 @@
+"""Admission queue: FIFO order, unit exclusivity, well-formed timelines.
+
+All on hand-built synthetic timelines — fast, and hypothesis can explore
+the space (pause layouts × unit counts × tax rates) far beyond what real
+simulated runs would cover.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fleet.admission import (
+    POLICIES,
+    resolve_policy,
+    schedule_fleet,
+)
+from repro.workloads.mutator import GCPauseRecord, MutatorRunResult
+
+
+def timeline(pauses, mutator=5_000_000, collector="hw"):
+    """pauses: [(start, duration)], monotone and non-overlapping."""
+    run = MutatorRunResult(collector=collector, mutator_cycles=mutator)
+    for i, (start, duration) in enumerate(pauses):
+        run.pauses.append(GCPauseRecord(
+            index=i, start_cycle=start, mark_cycles=duration,
+            sweep_cycles=0, objects_marked=0, cells_freed=0))
+    return run
+
+
+#: Per-tenant pause layout: gaps between pauses and durations; starts are
+#: accumulated so base timelines are monotone and non-overlapping.
+def tenant_layouts():
+    pause = st.tuples(st.integers(1, 2_000_000),   # gap before the pause
+                      st.integers(1, 800_000))     # duration
+    return st.lists(st.lists(pause, min_size=0, max_size=5),
+                    min_size=1, max_size=5)
+
+
+def build_timelines(layouts):
+    timelines = []
+    for layout in layouts:
+        cursor = 0
+        pauses = []
+        for gap, duration in layout:
+            cursor += gap
+            pauses.append((cursor, duration))
+            cursor += duration
+        timelines.append(timeline(pauses, mutator=cursor + 1_000_000))
+    return timelines
+
+
+class TestPolicies:
+    def test_resolve_policy_lists_valid_names(self):
+        with pytest.raises(ValueError) as err:
+            resolve_policy("bogus")
+        for name in POLICIES:
+            assert name in str(err.value)
+
+    def test_schedule_fleet_validates_policy(self):
+        with pytest.raises(ValueError, match="valid policies"):
+            schedule_fleet("bogus", [timeline([(100, 10)])])
+
+    def test_dedicated_is_passthrough(self):
+        tls = build_timelines([[(100_000, 50_000)], [(120_000, 60_000)]])
+        sched = schedule_fleet("dedicated", tls)
+        assert sched.grants == []
+        assert sched.queue_wait_cycles == [0, 0]
+        for got, want in zip(sched.timelines, tls):
+            assert got.pauses == want.pauses
+            assert got.total_cycles == want.total_cycles
+
+    def test_software_is_passthrough_of_sw_timelines(self):
+        tls = build_timelines([[(100_000, 300_000)]])
+        sched = schedule_fleet("software", tls)
+        assert sched.policy == "software"
+        assert sched.timelines[0].pauses == tls[0].pauses
+
+
+class TestSharedQueue:
+    def test_uncontended_single_tenant_only_pays_the_tax(self):
+        tls = build_timelines([[(100_000, 50_000), (500_000, 60_000)]])
+        sched = schedule_fleet("shared", tls, n_units=1, dram_tax=0.25)
+        # One tenant: contention tax factor is 1.0, no queueing.
+        assert sched.queue_wait_cycles == [0]
+        assert [p.pause_cycles for p in sched.timelines[0].pauses] == \
+            [p.pause_cycles for p in tls[0].pauses]
+
+    def test_colliding_requests_queue_fifo(self):
+        # Both tenants request at cycle 100_000; tenant 0 wins the tie,
+        # tenant 1 waits out tenant 0's whole taxed collection.
+        tls = build_timelines([[(100_000, 50_000)], [(100_000, 40_000)]])
+        sched = schedule_fleet("shared", tls, n_units=1, dram_tax=0.0)
+        first, second = sched.grants
+        assert (first.tenant, second.tenant) == (0, 1)
+        assert first.grant == first.request == 100_000
+        assert second.grant == first.end
+        assert sched.queue_wait_cycles[1] == first.end - second.request
+        # The waiting tenant's recorded pause covers its whole stall.
+        pause = sched.timelines[1].pauses[0]
+        assert pause.start_cycle == second.request
+        assert pause.pause_cycles == second.end - second.request
+
+    def test_two_units_serve_colliding_requests_in_parallel(self):
+        tls = build_timelines([[(100_000, 50_000)], [(100_000, 40_000)]])
+        sched = schedule_fleet("shared", tls, n_units=2, dram_tax=0.0)
+        assert {g.unit for g in sched.grants} == {0, 1}
+        assert all(g.wait_cycles == 0 for g in sched.grants)
+
+    def test_dram_tax_stretches_service(self):
+        tls = build_timelines([[(100_000, 100_000)], [(900_000, 100_000)]])
+        sched = schedule_fleet("shared", tls, n_units=1, dram_tax=0.5)
+        # tax = 1 + 0.5 * (2-1)/1 = 1.5
+        assert all(g.end - g.grant == 150_000 for g in sched.grants)
+
+    @settings(deadline=None, max_examples=60)
+    @given(layouts=tenant_layouts(), n_units=st.integers(1, 3),
+           dram_tax=st.floats(0.0, 0.5, allow_nan=False))
+    def test_invariants(self, layouts, n_units, dram_tax):
+        timelines = build_timelines(layouts)
+        sched = schedule_fleet("shared", timelines, n_units=n_units,
+                               dram_tax=dram_tax)
+        grants = sched.grants
+        # Every base pause was admitted exactly once.
+        assert len(grants) == sum(len(tl.pauses) for tl in timelines)
+        # FIFO: the admission log is ordered by request time.
+        assert all(a.request <= b.request
+                   for a, b in zip(grants, grants[1:]))
+        # Unit exclusivity: a unit never serves two tenants in the same
+        # cycle — its grant windows are disjoint in admission order.
+        busy_until = {}
+        for grant in grants:
+            assert grant.grant >= grant.request
+            assert grant.end > grant.grant
+            assert grant.grant >= busy_until.get(grant.unit, 0)
+            busy_until[grant.unit] = grant.end
+        # Per-tenant adjusted timelines stay monotone, non-overlapping,
+        # and inside their run window.
+        for base, adjusted in zip(timelines, sched.timelines):
+            assert len(adjusted.pauses) == len(base.pauses)
+            cursor = 0
+            for pause in adjusted.pauses:
+                assert pause.start_cycle >= cursor
+                cursor = pause.start_cycle + pause.pause_cycles
+            assert cursor <= adjusted.total_cycles
+            # Stalls only ever widen a pause, never shrink it.
+            for got, want in zip(adjusted.pauses, base.pauses):
+                assert got.pause_cycles >= want.pause_cycles
+        assert all(wait >= 0 for wait in sched.queue_wait_cycles)

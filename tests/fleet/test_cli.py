@@ -1,0 +1,45 @@
+"""``python -m repro fleet`` CLI: policy validation UX and output."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestPolicyValidation:
+    def test_bogus_policy_exits_nonzero_listing_valid(self, capsys):
+        assert main(["fleet", "--policy", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "bogus" in err
+        for name in ("dedicated", "shared", "software"):
+            assert name in err
+
+    def test_one_bad_policy_in_a_list_still_fails(self, capsys):
+        assert main(["fleet", "--policy", "dedicated,bogus"]) == 2
+        assert "valid policies" in capsys.readouterr().err
+
+    def test_empty_policy_selection_fails(self, capsys):
+        assert main(["fleet", "--policy", ","]) == 2
+        assert "valid policies" in capsys.readouterr().err
+
+
+class TestFleetCommand:
+    def test_prints_table_and_digest(self, capsys):
+        rc = main(["fleet", "--scale", "0.008", "--tenants", "2",
+                   "--queries", "300", "--warmup", "30", "--gcs", "1",
+                   "--policy", "dedicated", "--digest"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "## fleet_slo" in out
+        assert "goodput q/s" in out
+        digest = out.strip().splitlines()[-1]
+        assert len(digest) == 64 and int(digest, 16) >= 0
+
+    @pytest.mark.slow
+    def test_lbo_flag_appends_the_lbo_table(self, capsys):
+        rc = main(["fleet", "--scale", "0.008", "--tenants", "2",
+                   "--queries", "200", "--warmup", "20", "--gcs", "1",
+                   "--policy", "dedicated", "--lbo"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "## fleet_lbo" in out
+        assert "LBO %" in out

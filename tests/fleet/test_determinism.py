@@ -1,0 +1,92 @@
+"""Differential determinism: the fleet figures are byte-identical across
+kernels, worker layouts, and cache states — pinned the way
+``test_fastpath.py`` pins the 3×2 matrix.
+
+The pinned digests are the determinism contract for the small-scale
+scenario; a change here means fleet behavior changed and must be
+deliberate (update the constants in the same commit that explains why).
+"""
+
+import pytest
+
+from repro.fleet.timeline import reset_base_cache
+from repro.harness import heapcache
+from repro.harness.sharding import axis_values, can_shard, run_entry_sharded
+from repro.harness.suite import run_entry
+
+SLO_KWARGS = dict(scale=0.008, n_tenants=3, n_queries=600, warmup=60,
+                  n_gcs=2)
+SLO_DIGEST = "7e2c15c29cd6c2a86bfca3c687a3b2bb06455afab6be2fa439f6c2de648b8e4d"
+LBO_KWARGS = dict(scale=0.008, n_gcs=2)
+LBO_DIGEST = "0d294e883a9a8ce21282be06f7dd8da74fb57f2dd53f5abc4bdec20631975463"
+
+KERNELS = ("bucket", "heapq", "vector")
+
+
+class TestPinnedDigests:
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_fleet_slo_digest_per_kernel(self, kernel, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", kernel)
+        heapcache.reset_cache()
+        reset_base_cache()
+        assert run_entry(0, "fleet_slo", SLO_KWARGS).digest == SLO_DIGEST
+
+    def test_fleet_lbo_digest(self):
+        assert run_entry(0, "fleet_lbo", LBO_KWARGS).digest == LBO_DIGEST
+
+
+class TestShardedIdentity:
+    def test_fleet_slo_sharded_matches_inline(self):
+        inline = run_entry(0, "fleet_slo", SLO_KWARGS)
+        heapcache.reset_cache()
+        reset_base_cache()
+        sharded = run_entry_sharded(0, "fleet_slo", SLO_KWARGS, jobs=2)
+        assert sharded.rendered == inline.rendered
+        assert sharded.digest == inline.digest == SLO_DIGEST
+        assert len(sharded.shard_digests) == 2
+
+    @pytest.mark.slow
+    def test_fleet_lbo_sharded_matches_inline(self):
+        inline = run_entry(0, "fleet_lbo", LBO_KWARGS)
+        heapcache.reset_cache()
+        reset_base_cache()
+        sharded = run_entry_sharded(0, "fleet_lbo", LBO_KWARGS, jobs=2)
+        assert sharded.rendered == inline.rendered
+        assert sharded.digest == inline.digest == LBO_DIGEST
+
+    def test_tenant_axis_tracks_n_tenants(self):
+        assert axis_values("fleet_slo", SLO_KWARGS) == [0, 1, 2]
+        assert axis_values("fleet_slo", {}) == [0, 1, 2, 3]
+        assert axis_values("fleet_slo", {"tenants": (1,)}) == [1]
+        assert axis_values("fleet_lbo", {}) == [2, 4]
+        assert can_shard("fleet_slo", SLO_KWARGS, 3)
+        assert not can_shard("fleet_slo", SLO_KWARGS, 4)
+
+
+class TestSimCacheIdentity:
+    def test_cold_and_warm_render_identical_bytes(self, tmp_path,
+                                                  monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_CACHE", str(tmp_path))
+        cold = run_entry(0, "fleet_slo", SLO_KWARGS)
+        assert cold.cache_misses == 3 and cold.cache_hits == 0
+        heapcache.reset_cache()
+        reset_base_cache()
+        warm = run_entry(0, "fleet_slo", SLO_KWARGS)
+        assert warm.cache_hits == 3 and warm.cache_misses == 0
+        assert warm.rendered == cold.rendered
+        assert warm.digest == cold.digest == SLO_DIGEST
+
+
+@pytest.mark.slow
+class TestFullScale:
+    """The suite-scale entries themselves (the figures CI regenerates)."""
+
+    def test_suite_entry_sharded_identity(self):
+        from repro.harness.suite import SUITE
+
+        kwargs = dict(SUITE)["fleet_slo"]
+        inline = run_entry(0, "fleet_slo", kwargs)
+        heapcache.reset_cache()
+        reset_base_cache()
+        sharded = run_entry_sharded(0, "fleet_slo", kwargs, jobs=2)
+        assert sharded.rendered == inline.rendered

@@ -1,0 +1,49 @@
+"""The LBO figure's claims: a lower bound, ordered concurrent < STW."""
+
+import pytest
+
+from repro.fleet.lbo import LBO_HEADERS, fleet_lbo_rows
+from repro.harness.experiments import fleet_lbo
+
+SCALE, SEED, N_GCS = 0.008, 1, 2
+
+
+class TestLBO:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return fleet_lbo_rows(scale=SCALE, seed=SEED, n_gcs=N_GCS,
+                              fleet_sizes=(2, 4))
+
+    def test_lower_bound_property(self, rows):
+        """Every collector's LBO is >= 0 (a ratio against the empirical
+        per-tenant minimum can never fall below 1), and the baseline
+        collector of each fleet reports ~0."""
+        for _size, _collector, cost_ms, gc_pct, lbo in rows:
+            assert cost_ms > 0
+            assert 0.0 <= gc_pct < 100.0
+            assert lbo >= 0.0
+        for size in (2, 4):
+            group = [row for row in rows if row[0] == size]
+            assert len(group) == 3
+            assert min(row[4] for row in group) == pytest.approx(0.0)
+
+    def test_concurrent_below_stw_at_both_fleet_sizes(self, rows):
+        """The acceptance criterion: the concurrent collector's
+        lower-bound overhead sits below both stop-the-world collectors
+        (hardware and software) for every tested fleet size."""
+        for size in (2, 4):
+            lbo = {collector: row[4] for row in rows
+                   for collector in [row[1]] if row[0] == size}
+            assert lbo["concurrent"] < lbo["hw"] < lbo["sw"]
+
+    def test_figure_schema_and_grouping(self, rows):
+        result = fleet_lbo(scale=SCALE, seed=SEED, n_gcs=N_GCS,
+                           fleet_sizes=(2, 4))
+        assert list(result.headers) == list(LBO_HEADERS)
+        assert [row[0] for row in result.rows] == [2, 2, 2, 4, 4, 4]
+        assert result.rows == rows
+
+    def test_single_collector_reports_zero_lbo(self):
+        rows = fleet_lbo_rows(scale=SCALE, seed=SEED, n_gcs=1,
+                              fleet_sizes=(2,), collectors=("hw",))
+        assert [row[4] for row in rows] == [pytest.approx(0.0)]

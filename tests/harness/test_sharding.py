@@ -70,8 +70,16 @@ class TestSplit:
         assert not can_shard("fig18", {}, 3)
 
     def test_every_new_figure_is_registered(self):
-        assert {"fig16", "fig17", "fig18", "fig19", "fig20", "fig21"} <= \
-            set(SHARDABLE)
+        assert {"fig16", "fig17", "fig18", "fig19", "fig20", "fig21",
+                "fleet_slo", "fleet_lbo"} <= set(SHARDABLE)
+
+    def test_kwargs_aware_default_fn(self):
+        # fleet_slo's tenant axis tracks the n_tenants kwarg rather than
+        # a static default; explicit tenants kwargs still win.
+        assert axis_values("fleet_slo", {"n_tenants": 2}) == [0, 1]
+        assert axis_values("fleet_slo", {}) == [0, 1, 2, 3]
+        assert axis_values("fleet_slo", {"n_tenants": 2,
+                                         "tenants": (0,)}) == [0]
 
 
 def _synthetic(headers, rows):
