@@ -23,6 +23,10 @@ Measures, for each simulation kernel (``bucket``, ``heapq``, and
   scenario timed cold, sim-cache-warm, and tenant-sharded
   (``fleet_slo_seconds`` in the history); digest identity across the
   three runs is gated, and the warm run must re-simulate zero cells;
+* **fleet resilience figure wall time** — the pinned small-scale fault
+  drills (no faults / unit crash / tenant crash) timed cold,
+  sim-cache-warm, and roster-sharded (``fleet_resilience_seconds`` in
+  the history); same digest-identity and zero-resimulation gates;
 
 plus (with ``--full-suite``) the wall time of ``run_suite(jobs=1)``. The
 results land in ``BENCH_engine.json`` so the perf trajectory is tracked
@@ -351,6 +355,71 @@ def bench_fleet(jobs: int = 2) -> dict:
     }
 
 
+def bench_fleet_resilience(jobs: int = 2) -> dict:
+    """Fleet resilience figure wall time: cold, warm, roster-sharded.
+
+    Same harness as :func:`bench_fleet`, pointed at the fault-drill
+    figure (the small-scale roster ``tests/fleet/test_determinism.py``
+    pins by digest: fault-free, a unit crash interrupting an in-flight
+    grant, and a crashed tenant). The fault plane, failover admission,
+    and degraded-mode accounting all sit on the timed path, so this
+    series catches a resilience-layer slowdown that the fault-free
+    ``fleet_slo`` series would never see. Gated on digest identity
+    across the three runs plus zero warm re-simulation.
+    """
+    import os
+    import tempfile
+
+    from repro.fleet.timeline import reset_base_cache
+    from repro.harness.heapcache import reset_cache
+    from repro.harness.sharding import run_entry_sharded
+    from repro.harness.suite import run_entry
+
+    kwargs = dict(scale=0.008, n_tenants=3, n_queries=300, warmup=30,
+                  n_gcs=2, n_units=2,
+                  rosters=(("no faults", ""),
+                           ("crash u1", "crash:u1@1400000"),
+                           ("crashed tenant", "crash:t1@2000000")))
+    saved = os.environ.get("REPRO_SIM_CACHE")
+    cache = tempfile.mkdtemp(prefix="bench-resilience-simcache-")
+    os.environ["REPRO_SIM_CACHE"] = cache
+
+    def timed(fn):
+        reset_cache()
+        reset_base_cache()
+        t0 = time.perf_counter()
+        run = fn()
+        return round(time.perf_counter() - t0, 3), run
+
+    try:
+        cold_s, cold = timed(
+            lambda: run_entry(0, "fleet_resilience", kwargs))
+        warm_s, warm = timed(
+            lambda: run_entry(0, "fleet_resilience", kwargs))
+        shard_s, shard = timed(
+            lambda: run_entry_sharded(0, "fleet_resilience", kwargs,
+                                      jobs=jobs))
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_SIM_CACHE", None)
+        else:
+            os.environ["REPRO_SIM_CACHE"] = saved
+        reset_cache()
+        reset_base_cache()
+
+    return {
+        "jobs": jobs,
+        "kwargs": {k: v for k, v in kwargs.items() if k != "rosters"},
+        "rosters": [list(r) for r in kwargs["rosters"]],
+        "cold_seconds": cold_s,
+        "warm_seconds": warm_s,
+        "sharded_warm_seconds": shard_s,
+        "warm_cells_simulated": warm.cache_misses,
+        "warm_cells_hit": warm.cache_hits,
+        "identical_digests": cold.digest == warm.digest == shard.digest,
+    }
+
+
 def bench_suite(jobs: int = 1) -> dict:
     """Wall time of the full figure suite (minutes; opt-in)."""
     from repro.harness.heapcache import reset_cache
@@ -471,6 +540,19 @@ def main() -> int:
               file=sys.stderr)
         return 1
 
+    print("fleet resilience cold/warm/sharded ...", flush=True)
+    fr = bench_fleet_resilience(jobs=args.run_all_jobs)
+    report["fleet_resilience"] = fr
+    if not fr["identical_digests"]:
+        print("FATAL: cold/warm/sharded fleet_resilience digests disagree",
+              file=sys.stderr)
+        return 1
+    if fr["warm_cells_simulated"] != 0:
+        print(f"FATAL: warm fleet_resilience re-simulated "
+              f"{fr['warm_cells_simulated']} cell(s); expected 0",
+              file=sys.stderr)
+        return 1
+
     history.append({
         "generated": report["generated"],
         "scale": args.scale,
@@ -496,6 +578,12 @@ def main() -> int:
             "warm": fl["warm_seconds"],
             "sharded_warm": fl["sharded_warm_seconds"],
             "jobs": fl["jobs"],
+        },
+        "fleet_resilience_seconds": {
+            "cold": fr["cold_seconds"],
+            "warm": fr["warm_seconds"],
+            "sharded_warm": fr["sharded_warm_seconds"],
+            "jobs": fr["jobs"],
         },
     })
     report["history"] = history
@@ -531,6 +619,10 @@ def main() -> int:
           f"{fl['warm_seconds']:.2f}s / sharded warm "
           f"{fl['sharded_warm_seconds']:.2f}s "
           f"(jobs={fl['jobs']}, {fl['warm_cells_hit']} cells cached)")
+    print(f"  fleet_resilience cold {fr['cold_seconds']:.2f}s / warm "
+          f"{fr['warm_seconds']:.2f}s / sharded warm "
+          f"{fr['sharded_warm_seconds']:.2f}s "
+          f"(jobs={fr['jobs']}, {fr['warm_cells_hit']} cells cached)")
     print(f"wrote {args.out}")
     return 0
 

@@ -29,6 +29,11 @@ Commands:
                                 — simulate the multi-tenant fleet and print
                                   the SLO report (and optionally the
                                   lower-bound-overhead table).
+* ``fleet --faults SPEC``       — arm the fleet fault plane (crashed /
+                                  browned-out / slow units and tenants)
+                                  and print the degraded-mode resilience
+                                  table: availability, failovers, retry
+                                  wait, fallback tax.
 """
 
 from __future__ import annotations
@@ -281,8 +286,27 @@ def _cmd_fleet(args) -> int:
     import hashlib
 
     from repro.fleet.admission import POLICIES, resolve_policy
-    from repro.harness.experiments import fleet_lbo, fleet_slo
+    from repro.fleet.faults import FleetFaultSpec, FleetFaultSpecError
+    from repro.harness.experiments import (
+        fleet_lbo,
+        fleet_resilience,
+        fleet_slo,
+    )
 
+    # Count constraints first: the shared DRAM tax divides by --units and
+    # the replay horizon multiplies by --queries, so zero/negative values
+    # crash deep in the simulation with errors that name neither the flag
+    # nor the bound. Mirror the policy-validation style: exit 2, state
+    # the constraint.
+    for flag, value, minimum in (("--units", args.units, 1),
+                                 ("--tenants", args.tenants, 1),
+                                 ("--queries", args.queries, 1),
+                                 ("--warmup", args.warmup, 0),
+                                 ("--gcs", args.gcs, 1)):
+        if value < minimum:
+            print(f"{flag} must be at least {minimum} (got {value})",
+                  file=sys.stderr)
+            return 2
     policies = [p.strip() for p in args.policy.split(",") if p.strip()]
     if not policies:
         # Mirror suite.select(): an empty selection must not silently
@@ -296,6 +320,24 @@ def _cmd_fleet(args) -> int:
     except ValueError as exc:
         print(exc, file=sys.stderr)
         return 2
+    if args.faults is not None:
+        try:
+            faults = FleetFaultSpec.parse(args.faults)
+            faults.validate(args.units, args.tenants)
+        except FleetFaultSpecError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        result = fleet_resilience(
+            scale=args.scale, seed=args.seed, n_gcs=args.gcs,
+            n_tenants=args.tenants, n_queries=args.queries,
+            warmup=args.warmup, n_units=args.units,
+            dram_tax=args.dram_tax,
+            rosters=((args.faults.strip() or "no faults", args.faults),))
+        rendered = result.render()
+        print(rendered)
+        if args.digest:
+            print(hashlib.sha256(rendered.encode()).hexdigest())
+        return 0
     result = fleet_slo(scale=args.scale, seed=args.seed, n_gcs=args.gcs,
                        n_tenants=args.tenants, n_queries=args.queries,
                        warmup=args.warmup, policies=tuple(policies),
@@ -428,6 +470,12 @@ def main(argv=None) -> int:
                               metavar="N",
                               help="shed a query arriving > N intervals "
                               "behind (0 = never shed)")
+    fleet_parser.add_argument("--faults", default=None, metavar="SPEC",
+                              help="arm the fleet fault plane and print "
+                              "the resilience table instead: comma-"
+                              "separated kind:target[@cycle][+duration]"
+                              "[xfactor], kinds crash/brownout/slow, "
+                              "targets u<N>/t<N> (shared policy)")
     fleet_parser.add_argument("--lbo", action="store_true",
                               help="also print the lower-bound-overhead "
                               "(Cai et al.) table")

@@ -58,8 +58,28 @@ DEFAULT_DELAY_CYCLES = 2_000_000
 CORRUPT_BIT = 1 << 33
 
 
-class HWFaultSpecError(ValueError):
+class FaultSpecGrammarError(ValueError):
+    """A comma-separated ``kind:target[...]`` fault spec does not parse.
+
+    Shared base for the spec grammars of this plane (``REPRO_HWFAULTS``)
+    and the fleet tier's :class:`repro.fleet.faults.FleetFaultSpec`, so
+    callers that accept either spec style can catch one exception type.
+    """
+
+
+class HWFaultSpecError(FaultSpecGrammarError):
     """The ``REPRO_HWFAULTS`` spec does not parse."""
+
+
+def split_spec_entries(spec: str) -> List[str]:
+    """Split a comma-separated fault spec into stripped non-empty entries.
+
+    The shared front half of both fault grammars (hardware plane and
+    fleet tier): tolerate stray whitespace and empty chunks so specs can
+    be assembled programmatically (``",".join(parts)`` with optional
+    parts) without tripping the parser.
+    """
+    return [chunk.strip() for chunk in spec.split(",") if chunk.strip()]
 
 
 @dataclass(frozen=True)
@@ -224,10 +244,7 @@ class FaultPlane:
 def parse_hwfault_spec(spec: str) -> FaultPlane:
     """Parse ``kind:component[:nth|@cycle],...`` into a :class:`FaultPlane`."""
     faults: List[HWFault] = []
-    for chunk in spec.split(","):
-        chunk = chunk.strip()
-        if not chunk:
-            continue
+    for chunk in split_spec_entries(spec):
         parts = chunk.split(":")
         if len(parts) not in (2, 3):
             raise HWFaultSpecError(

@@ -22,24 +22,46 @@ Everything is deterministic: the whole fleet derives from the
 
 from repro.fleet.admission import (
     POLICIES,
+    FailoverConfig,
+    FailoverEvent,
     ScheduleResult,
     ServiceGrant,
     resolve_policy,
     schedule_fleet,
 )
-from repro.fleet.balancer import spray, tenant_arrivals
+from repro.fleet.balancer import offline_split, spray, tenant_arrivals
+from repro.fleet.faults import (
+    DEFAULT_RESILIENCE_ROSTERS,
+    FleetFault,
+    FleetFaultSpec,
+    FleetFaultSpecError,
+)
 from repro.fleet.lbo import fleet_lbo_rows
 from repro.fleet.report import (
+    ConservationError,
     FleetResult,
     TenantReport,
+    fleet_resilience_row,
     fleet_summary_rows,
     simulate_fleet,
 )
 from repro.fleet.spec import FleetSpec, TenantSpec
-from repro.fleet.timeline import base_run, reset_base_cache, tenant_timeline
+from repro.fleet.timeline import (
+    base_run,
+    reset_base_cache,
+    tenant_heap_digest,
+    tenant_timeline,
+)
 
 __all__ = [
+    "DEFAULT_RESILIENCE_ROSTERS",
     "POLICIES",
+    "ConservationError",
+    "FailoverConfig",
+    "FailoverEvent",
+    "FleetFault",
+    "FleetFaultSpec",
+    "FleetFaultSpecError",
     "FleetResult",
     "FleetSpec",
     "ScheduleResult",
@@ -48,12 +70,15 @@ __all__ = [
     "TenantSpec",
     "base_run",
     "fleet_lbo_rows",
+    "fleet_resilience_row",
     "fleet_summary_rows",
+    "offline_split",
     "resolve_policy",
     "reset_base_cache",
     "schedule_fleet",
     "simulate_fleet",
     "spray",
     "tenant_arrivals",
+    "tenant_heap_digest",
     "tenant_timeline",
 ]

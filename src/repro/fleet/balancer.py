@@ -36,3 +36,19 @@ def tenant_arrivals(assignments: Sequence[int], interval_cycles: int,
                 if t == tenant]
     n_warmup = sum(1 for t in assignments[:warmup] if t == tenant)
     return arrivals, n_warmup
+
+
+def offline_split(arrivals: Sequence[int],
+                  offline_after_cycle: int) -> Tuple[List[int], List[int]]:
+    """Split one tenant's arrival slice at its crash cycle.
+
+    Returns ``(live, offline)``: arrivals strictly before the cycle the
+    tenant went offline, and the shed tail at/after it. The balancer
+    keeps spraying at a dead tenant (it has no health checks, by design —
+    see module docstring), so the shed tail is real traffic the
+    conservation law must still count; the split lets the resilience
+    report and the chaos battery predict exactly how many arrivals a
+    crashed tenant sheds without replaying anything.
+    """
+    live = [a for a in arrivals if a < offline_after_cycle]
+    return live, list(arrivals[len(live):])

@@ -1,0 +1,257 @@
+"""Fleet-tier fault plane: unit outages, brownouts, and slow tenants.
+
+:mod:`repro.engine.faultplane` injects failures *inside* one modeled
+accelerator (a dropped DRAM response, a wedged marker); this module
+injects them one level up, into the *fleet* — whole GC units crashing,
+browning out, or running slow, and tenants whose collections degrade.
+The paper's deployment story ("by replacing libhwgc, we can swap in a
+software implementation of our GC", §V-E) scales to the datacenter as
+failover: a collection in flight on a dead unit is retried on a
+surviving unit, and a tenant that cannot get hardware service inside
+its patience budget falls back to its own software collector — the
+fleet-scale analogue of :meth:`repro.core.driver.HWGCDriver.run_gc_safe`.
+
+Spec grammar (CLI ``--faults`` / programmatic), comma-separated entries
+styled after ``REPRO_HWFAULTS``'s ``kind:component[:nth|@cycle]``::
+
+    <kind>:<target>[@<cycle>][+<duration>][x<factor>]
+
+* ``kind`` — ``crash`` (permanent outage from the trigger cycle),
+  ``brownout`` (service-rate multiplier over a bounded cycle window), or
+  ``slow`` (permanent service-rate multiplier from the trigger cycle).
+* ``target`` — ``u<N>`` (accelerator unit N of the shared pool) or
+  ``t<N>`` (tenant N of the roster). A crashed *unit* stops serving; a
+  crashed *tenant* goes offline — its remaining collections are
+  cancelled and its later query arrivals are shed (and counted).
+* ``@cycle`` — trigger cycle (default 0); ``+duration`` — window length,
+  required for ``brownout`` and invalid elsewhere; ``x<factor>`` —
+  service-rate multiplier for ``brownout``/``slow`` (defaults
+  :data:`DEFAULT_BROWNOUT_FACTOR` / :data:`DEFAULT_SLOW_FACTOR`).
+
+Everything is a pure function of the frozen :class:`FleetFaultSpec` —
+no randomness, no wall clock — so every faulted fleet run is exactly
+reproducible, shardable per roster, and simulation-cacheable by content
+address like any other figure cell.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.engine.faultplane import FaultSpecGrammarError, split_spec_entries
+
+KINDS: Tuple[str, ...] = ("crash", "brownout", "slow")
+TARGET_KINDS: Tuple[str, ...] = ("unit", "tenant")
+
+#: Default service-rate multipliers: a brownout is a hard degradation
+#: (thermal throttle, contended channel), a slow fault a milder one
+#: (aging part, noisy neighbour).
+DEFAULT_BROWNOUT_FACTOR = 4.0
+DEFAULT_SLOW_FACTOR = 2.0
+
+#: ``crash:u0@10+5`` etc. — kind : (u|t)index [@cycle] [+duration] [xfactor]
+_ENTRY_RE = re.compile(
+    r"^(?P<kind>[a-z]+):(?P<tk>[ut])(?P<index>\d+)"
+    r"(?:@(?P<at>\d+))?(?:\+(?P<duration>\d+))?(?:x(?P<factor>[0-9.]+))?$")
+
+
+class FleetFaultSpecError(FaultSpecGrammarError):
+    """The fleet fault spec does not parse or is inconsistent."""
+
+
+@dataclass(frozen=True)
+class FleetFault:
+    """One scheduled fleet-tier fault."""
+
+    kind: str
+    target_kind: str  # "unit" | "tenant"
+    index: int
+    at_cycle: int = 0
+    #: Window length for ``brownout``; ``None`` for the open-ended kinds.
+    duration: Optional[int] = None
+    #: Service-rate multiplier for ``brownout``/``slow``; ``None`` for
+    #: ``crash``.
+    factor: Optional[float] = None
+
+    def spec(self) -> str:
+        """The entry's canonical grammar string (parse round-trip)."""
+        out = f"{self.kind}:{self.target_kind[0]}{self.index}"
+        if self.at_cycle:
+            out += f"@{self.at_cycle}"
+        if self.duration is not None:
+            out += f"+{self.duration}"
+        if self.factor is not None:
+            out += f"x{self.factor:g}"
+        return out
+
+    @property
+    def end_cycle(self) -> float:
+        """Last cycle the fault degrades service (inf if open-ended)."""
+        if self.duration is None:
+            return math.inf
+        return self.at_cycle + self.duration
+
+
+@dataclass(frozen=True)
+class FleetFaultSpec:
+    """A frozen roster of fleet faults — the fault plane's single input."""
+
+    faults: Tuple[FleetFault, ...] = ()
+
+    @classmethod
+    def parse(cls, spec: str) -> "FleetFaultSpec":
+        """Parse the comma-separated grammar (see module docstring)."""
+        faults: List[FleetFault] = []
+        for chunk in split_spec_entries(spec):
+            m = _ENTRY_RE.match(chunk)
+            if m is None:
+                raise FleetFaultSpecError(
+                    f"bad fleet fault {chunk!r}: expected "
+                    f"kind:target[@cycle][+duration][xfactor] with kind "
+                    f"{'/'.join(KINDS)} and target u<N>/t<N>")
+            kind = m.group("kind")
+            if kind not in KINDS:
+                raise FleetFaultSpecError(
+                    f"bad fleet fault {chunk!r}: kind must be one of "
+                    f"{'/'.join(KINDS)}")
+            target_kind = "unit" if m.group("tk") == "u" else "tenant"
+            at_cycle = int(m.group("at") or 0)
+            duration = (int(m.group("duration"))
+                        if m.group("duration") is not None else None)
+            factor = (float(m.group("factor"))
+                      if m.group("factor") is not None else None)
+            if kind == "crash":
+                if duration is not None or factor is not None:
+                    raise FleetFaultSpecError(
+                        f"bad fleet fault {chunk!r}: crash is permanent — "
+                        f"it takes no +duration or xfactor")
+            elif kind == "brownout":
+                if duration is None or duration < 1:
+                    raise FleetFaultSpecError(
+                        f"bad fleet fault {chunk!r}: brownout needs a "
+                        f"+duration window of at least 1 cycle")
+            else:  # slow
+                if duration is not None:
+                    raise FleetFaultSpecError(
+                        f"bad fleet fault {chunk!r}: slow is permanent — "
+                        f"use brownout for a bounded window")
+            if factor is None and kind != "crash":
+                factor = (DEFAULT_BROWNOUT_FACTOR if kind == "brownout"
+                          else DEFAULT_SLOW_FACTOR)
+            if factor is not None and factor <= 1.0:
+                raise FleetFaultSpecError(
+                    f"bad fleet fault {chunk!r}: xfactor must exceed 1.0 "
+                    f"(it multiplies service time)")
+            faults.append(FleetFault(kind=kind, target_kind=target_kind,
+                                     index=int(m.group("index")),
+                                     at_cycle=at_cycle, duration=duration,
+                                     factor=factor))
+        return cls(faults=tuple(faults))
+
+    def spec(self) -> str:
+        return ",".join(fault.spec() for fault in self.faults)
+
+    def validate(self, n_units: int, n_tenants: int) -> "FleetFaultSpec":
+        """Check every target names a real unit/tenant; returns self."""
+        for fault in self.faults:
+            bound = n_units if fault.target_kind == "unit" else n_tenants
+            if not 0 <= fault.index < bound:
+                raise FleetFaultSpecError(
+                    f"fleet fault {fault.spec()!r} targets "
+                    f"{fault.target_kind} {fault.index}, but the fleet has "
+                    f"only {bound} {fault.target_kind}(s) "
+                    f"(valid: 0..{bound - 1})")
+        return self
+
+    # -- queries the admission loop asks ---------------------------------
+
+    def _matching(self, target_kind: str, index: int) -> List[FleetFault]:
+        return [f for f in self.faults
+                if f.target_kind == target_kind and f.index == index]
+
+    def crash_cycle(self, unit: int) -> Optional[int]:
+        """Cycle unit ``unit`` dies, or ``None`` if it never does."""
+        crashes = [f.at_cycle for f in self._matching("unit", unit)
+                   if f.kind == "crash"]
+        return min(crashes) if crashes else None
+
+    def tenant_crash_cycle(self, tenant: int) -> Optional[int]:
+        crashes = [f.at_cycle for f in self._matching("tenant", tenant)
+                   if f.kind == "crash"]
+        return min(crashes) if crashes else None
+
+    def crashed_units(self, n_units: int) -> Tuple[int, ...]:
+        return tuple(u for u in range(n_units)
+                     if self.crash_cycle(u) is not None)
+
+    def rate_segments(self, unit: int) -> List[Tuple[int, float, float]]:
+        """Piecewise-constant service-time multiplier of one unit.
+
+        Returns ``[(start, end, factor), ...]`` covering ``[0, inf)`` in
+        ascending order; overlapping brownout/slow windows multiply.
+        """
+        degradations = [f for f in self._matching("unit", unit)
+                        if f.kind in ("brownout", "slow")]
+        bounds = sorted({0, math.inf,
+                         *(f.at_cycle for f in degradations),
+                         *(f.end_cycle for f in degradations)})
+        segments: List[Tuple[int, float, float]] = []
+        for start, end in zip(bounds, bounds[1:]):
+            factor = 1.0
+            for f in degradations:
+                if f.at_cycle <= start and end <= f.end_cycle:
+                    factor *= f.factor
+            segments.append((int(start), end, factor))
+        return segments or [(0, math.inf, 1.0)]
+
+    def service_end(self, unit: int, start: int, work_cycles: int) -> int:
+        """Completion cycle of ``work_cycles`` of service started at
+        ``start`` on ``unit``, stretched through its brownout/slow
+        windows (a segment with factor ``f`` serves one work cycle per
+        ``f`` wall cycles). Crashes are *not* applied here — the
+        admission loop handles interruption explicitly."""
+        remaining = work_cycles
+        cursor = start
+        for seg_start, seg_end, factor in self.rate_segments(unit):
+            if seg_end <= cursor:
+                continue
+            need = math.ceil(remaining * factor)
+            if seg_end == math.inf or cursor + need <= seg_end:
+                return cursor + need
+            done = int((seg_end - cursor) // factor)
+            remaining -= done
+            cursor = int(seg_end)
+        raise AssertionError("rate segments must cover [0, inf)")
+
+    def tenant_factor(self, tenant: int, cycle: int) -> float:
+        """Service-time multiplier of one tenant's collections at
+        ``cycle`` (its heap degraded: brownout window or permanent slow)."""
+        factor = 1.0
+        for f in self._matching("tenant", tenant):
+            if f.kind in ("brownout", "slow") and \
+                    f.at_cycle <= cycle < f.end_cycle:
+                factor *= f.factor
+        return factor
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+
+#: The default roster family of the ``fleet_resilience`` figure: goodput
+#: and tail latency vs number of failed units (0/1/2 of 3) and vs
+#: brownout duration (short/long), plus a degraded-but-alive row. Crash
+#: cycles sit *inside* in-flight grants of the suite-scale scenario
+#: (4 tenants × 3 units at scale 0.015 grant between ~2.1M and ~6.4M
+#: cycles), so service is actually interrupted and failover exercised,
+#: not just cold outage. Labels are the figure's axis column.
+DEFAULT_RESILIENCE_ROSTERS: Tuple[Tuple[str, str], ...] = (
+    ("no faults", ""),
+    ("crash 1 of 3 units", "crash:u2@2800000"),
+    ("crash 2 of 3 units", "crash:u2@2800000,crash:u1@3700000"),
+    ("brownout 1 unit, short", "brownout:u0@2000000+2000000x4"),
+    ("brownout 1 unit, long", "brownout:u0@2000000+20000000x4"),
+    ("slow unit + slow tenant", "slow:u1x3,slow:t0x2"),
+)

@@ -24,9 +24,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.fleet.admission import POLICIES, schedule_fleet
-from repro.fleet.balancer import spray, tenant_arrivals
+from repro.fleet.admission import (
+    POLICIES,
+    FailoverConfig,
+    schedule_fleet,
+)
+from repro.fleet.faults import FleetFaultSpec
 from repro.fleet.spec import FleetSpec, TenantSpec
+from repro.fleet.balancer import spray, tenant_arrivals
 from repro.fleet.timeline import base_run, tenant_timeline
 from repro.workloads.latency import (
     QueryReplay,
@@ -46,6 +51,20 @@ SLO_HEADERS: Tuple[str, ...] = (
 #: from per-tenant rows (the merge drops and refolds the former).
 SUMMARY_MARKER = "fleet"
 
+#: Column schema of the ``fleet_resilience`` table — one fleet-level row
+#: per fault roster. Deliberately *not* part of :data:`SLO_HEADERS`: the
+#: fleet_slo digest is pinned, so degraded-mode accounting lives in its
+#: own figure rather than widening the frozen SLO schema.
+RESILIENCE_HEADERS: Tuple[str, ...] = (
+    "fault roster", "arrived", "done", "shed", "goodput q/s",
+    "p99 ms", "p99.9 ms", "avail %", "failovers", "retry wait ms",
+    "fallback tax ms", "cancelled",
+)
+
+
+class ConservationError(AssertionError):
+    """A replay broke ``arrived == completed + in_flight + shed``."""
+
 
 @dataclass
 class TenantReport:
@@ -61,6 +80,13 @@ class TenantReport:
     goodput_qps: float
     wait_ms: float
     gc_tax_pct: float
+    #: Degraded-mode accounting (defaults are the fault-free identities;
+    #: they stay out of :meth:`row` so the pinned SLO schema is frozen).
+    availability: float = 1.0
+    failovers: int = 0
+    retry_wait_ms: float = 0.0
+    fallback_tax_ms: float = 0.0
+    cancelled: int = 0
 
     def row(self) -> List[Any]:
         lat = (lambda key: self.summary[key]) if self.summary else \
@@ -154,8 +180,15 @@ def simulate_fleet(
     spec: FleetSpec,
     policies: Sequence[str] = POLICIES,
     tenant_indices: Optional[Sequence[int]] = None,
+    faults: Optional[FleetFaultSpec] = None,
 ) -> FleetResult:
-    """Simulate the fleet; replay only ``tenant_indices`` (default: all)."""
+    """Simulate the fleet; replay only ``tenant_indices`` (default: all).
+
+    ``faults`` arms the fleet fault plane (shared policy only; the
+    dedicated/software baselines have no shared pool to fail). With it
+    unset every code path is byte-identical to the fault-free driver —
+    the pinned ``fleet_slo`` digest contract.
+    """
     roster = spec.tenants()
     if tenant_indices is None:
         tenant_indices = tuple(t.index for t in roster)
@@ -163,6 +196,10 @@ def simulate_fleet(
         if not 0 <= t < spec.n_tenants:
             raise ValueError(f"tenant index {t} outside the "
                              f"{spec.n_tenants}-tenant roster")
+    if faults is not None and not faults:
+        faults = None  # an empty spec is the fault-free run, exactly
+    if faults is not None:
+        faults.validate(spec.n_units, spec.n_tenants)
     interval, service = derive_schedule(spec)
     assignments = spray(spec.n_queries, spec.n_tenants, spec.seed)
     horizon = spec.n_queries * interval
@@ -178,18 +215,44 @@ def simulate_fleet(
                 t.phase_frac)
             for t in roster
         ]
-        sched = schedule_fleet(policy, requested, n_units=spec.n_units,
-                               dram_tax=spec.dram_tax)
+        if faults is not None and policy == "shared":
+            software = [
+                tenant_timeline(
+                    base_run(t.benchmark, "sw", spec.scale, spec.seed,
+                             spec.n_gcs),
+                    t.phase_frac)
+                for t in roster
+            ]
+            sched = schedule_fleet(
+                policy, requested, n_units=spec.n_units,
+                dram_tax=spec.dram_tax, faults=faults,
+                failover=FailoverConfig(
+                    backoff_cycles=spec.failover_backoff_cycles,
+                    max_retries=spec.failover_retries,
+                    timeout_cycles=spec.failover_timeout_cycles),
+                software_timelines=software)
+        else:
+            sched = schedule_fleet(policy, requested, n_units=spec.n_units,
+                                   dram_tax=spec.dram_tax)
         for index in tenant_indices:
             tenant = roster[index]
             timeline = sched.timelines[index]
             arrivals, n_warmup = tenant_arrivals(assignments, interval,
                                                  index, spec.warmup)
+            offline = (faults.tenant_crash_cycle(index)
+                       if faults is not None and policy == "shared"
+                       else None)
             replay = QueryReplay(
                 timeline, interval_cycles=interval,
                 service_mean_cycles=service, seed=tenant.seed,
             ).replay(arrivals, warmup=n_warmup, horizon=horizon,
-                     shed_backlog_cycles=shed_cycles)
+                     shed_backlog_cycles=shed_cycles,
+                     offline_after_cycle=offline)
+            if not replay.conserved:
+                raise ConservationError(
+                    f"tenant {index} under {policy}: arrived "
+                    f"{replay.arrived} != completed {replay.completed} + "
+                    f"in_flight {replay.in_flight} + shed {replay.shed}")
             summary = (percentile_summary(replay.records,
                                           percentiles=(50.0, 99.0, 99.9))
                        if replay.records else None)
@@ -201,6 +264,11 @@ def simulate_fleet(
                 goodput_qps=replay.completed / (horizon / 1e9),
                 wait_ms=sched.queue_wait_cycles[index] / 1e6,
                 gc_tax_pct=100.0 * timeline.gc_time_fraction,
+                availability=sched.availability(index),
+                failovers=sched.failovers[index],
+                retry_wait_ms=sched.retry_wait_cycles[index] / 1e6,
+                fallback_tax_ms=sched.fallback_tax_cycles[index] / 1e6,
+                cancelled=sched.cancelled[index],
             )
     return FleetResult(
         spec=spec,
@@ -210,3 +278,39 @@ def simulate_fleet(
         service_mean_cycles=service,
         reports=reports,
     )
+
+
+def fleet_resilience_row(label: str, spec: FleetSpec,
+                         faults_spec: str) -> List[Any]:
+    """One fleet-level row of the ``fleet_resilience`` table.
+
+    Simulates the shared policy under one fault roster and folds the
+    tenants: counts, goodput, failovers, retry wait, fallback tax and
+    cancellations sum; latency and availability take the *worst* tenant
+    (the fleet meets an SLO only if every tenant does). Conservation is
+    asserted per tenant inside :func:`simulate_fleet` — a violation
+    raises :class:`ConservationError` rather than rendering a wrong row.
+    """
+    faults = FleetFaultSpec.parse(faults_spec)
+    result = simulate_fleet(spec, policies=("shared",), faults=faults)
+    reports = [result.reports[(t, "shared")]
+               for t in result.tenant_indices]
+    horizon = spec.n_queries * result.interval_cycles
+
+    def worst(key: str) -> Any:
+        values = [r.summary[key] for r in reports if r.summary]
+        return max(values) if values else ""
+
+    return [
+        label,
+        sum(r.replay.arrived for r in reports),
+        sum(r.replay.completed for r in reports),
+        sum(r.replay.shed for r in reports),
+        sum(r.replay.completed for r in reports) / (horizon / 1e9),
+        worst("p99"), worst("p99.9"),
+        100.0 * min(r.availability for r in reports),
+        sum(r.failovers for r in reports),
+        sum(r.retry_wait_ms for r in reports),
+        sum(r.fallback_tax_ms for r in reports),
+        sum(r.cancelled for r in reports),
+    ]

@@ -42,6 +42,11 @@ class FleetSpec:
     ``shared`` policy every admission is stretched by
     ``1 + dram_tax * (n_tenants - 1) / n_units``.
     ``shed_backlog_intervals`` of 0 disables load shedding.
+
+    The ``failover_*`` fields tune the shared policy's retry discipline
+    when a fleet fault plane is armed (see
+    :class:`~repro.fleet.admission.FailoverConfig`); with no faults they
+    are inert and the fault-free schedule stays byte-identical.
     """
 
     n_tenants: int = 4
@@ -56,12 +61,22 @@ class FleetSpec:
     n_units: int = 1
     dram_tax: float = 0.25
     shed_backlog_intervals: int = 0
+    failover_backoff_cycles: int = 50_000
+    failover_retries: int = 3
+    failover_timeout_cycles: int = 1_000_000
 
     def __post_init__(self) -> None:
         if self.n_tenants < 1:
             raise ValueError("fleet needs at least one tenant")
         if self.n_units < 1:
             raise ValueError("fleet needs at least one GC unit")
+        if self.failover_backoff_cycles < 1:
+            raise ValueError("failover backoff must be at least one cycle")
+        if self.failover_retries < 0:
+            raise ValueError("failover retry budget cannot be negative")
+        if self.failover_timeout_cycles < 0:
+            raise ValueError("failover timeout cannot be negative "
+                             "(0 disables the patience budget)")
         if not self.profiles_cycle:
             raise ValueError("profiles_cycle must name at least one profile")
         unknown = [p for p in self.profiles_cycle if p not in DACAPO_PROFILES]

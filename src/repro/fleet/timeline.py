@@ -24,11 +24,13 @@ from repro.workloads.mutator import MutatorModel, MutatorRunResult
 from repro.workloads.profiles import DACAPO_PROFILES
 
 _BASE_CACHE: Dict[Tuple[str, str, float, int, int], MutatorRunResult] = {}
+_DIGEST_CACHE: Dict[Tuple[str, str, float, int, int], str] = {}
 
 
 def reset_base_cache() -> None:
-    """Drop memoized base runs (test isolation)."""
+    """Drop memoized base runs and heap digests (test isolation)."""
     _BASE_CACHE.clear()
+    _DIGEST_CACHE.clear()
 
 
 def base_run(benchmark: str, collector: str, scale: float, seed: int,
@@ -42,6 +44,33 @@ def base_run(benchmark: str, collector: str, scale: float, seed: int,
         cached = MutatorModel(built, collector=collector,
                               seed=seed).run(n_gcs=n_gcs)
         _BASE_CACHE[key] = cached
+    return cached
+
+
+def tenant_heap_digest(benchmark: str, collector: str, scale: float,
+                       seed: int, n_gcs: int) -> str:
+    """Heap digest after ``n_gcs`` collections of one profile × collector.
+
+    The fleet's heap-convergence oracle: heap evolution depends only on
+    the mutator run (which collections happened, in order), never on
+    *when* the admission queue scheduled them or whether a unit or the
+    software fallback served them. A faulted fleet run therefore
+    converges to the fault-free digest exactly when every surviving
+    tenant's collections all actually ran — pass the count of served
+    collections as ``n_gcs`` and a scheduler that dropped or duplicated
+    one diverges here. Memoized like :func:`base_run`.
+    """
+    from repro.heap.verify import heap_digest
+
+    key = (benchmark, collector, scale, seed, n_gcs)
+    cached = _DIGEST_CACHE.get(key)
+    if cached is None:
+        built, _checkpoint = build_heap(DACAPO_PROFILES[benchmark],
+                                        scale=scale, seed=seed)
+        model = MutatorModel(built, collector=collector, seed=seed)
+        model.run(n_gcs=n_gcs)
+        cached = heap_digest(model.heap)
+        _DIGEST_CACHE[key] = cached
     return cached
 
 

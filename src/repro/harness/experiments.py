@@ -924,6 +924,66 @@ def fleet_lbo(scale: float = 0.015, seed: int = 1, n_gcs: int = 2,
     )
 
 
+def fleet_resilience(scale: float = 0.015, seed: int = 1, n_gcs: int = 2,
+                     n_tenants: int = 4, n_queries: int = 2000,
+                     warmup: int = 100, n_units: int = 3,
+                     dram_tax: float = 0.25,
+                     failover_backoff_cycles: int = 50_000,
+                     failover_retries: int = 3,
+                     failover_timeout_cycles: int = 1_000_000,
+                     profiles_cycle: Optional[Sequence[str]] = None,
+                     rosters: Optional[Sequence[Sequence[str]]] = None
+                     ) -> ExperimentResult:
+    """Fleet goodput and tail latency under unit outages and brownouts.
+
+    One fleet-level row per fault roster, all under the ``shared`` policy
+    with failover armed: grants in flight on a crashed unit re-queue
+    earliest-request-first onto the survivors with exponential backoff,
+    and a request that exhausts its retry budget or its patience budget
+    is served by the tenant's software collector (degraded mode, taxed
+    honestly in its own column). ``rosters`` — ``(label, fault spec)``
+    pairs — is the shard/cache cell axis: every cell recomputes its
+    whole fleet schedule from the spec, so any roster subset reproduces
+    its row byte-identically.
+    """
+    from repro.fleet.faults import DEFAULT_RESILIENCE_ROSTERS
+    from repro.fleet.report import RESILIENCE_HEADERS, fleet_resilience_row
+    from repro.fleet.spec import DEFAULT_PROFILES_CYCLE, FleetSpec
+
+    if rosters is None:
+        rosters = DEFAULT_RESILIENCE_ROSTERS
+    spec = FleetSpec(
+        n_tenants=n_tenants,
+        profiles_cycle=tuple(profiles_cycle) if profiles_cycle is not None
+        else DEFAULT_PROFILES_CYCLE,
+        scale=scale, seed=seed, n_gcs=n_gcs,
+        n_queries=n_queries, warmup=warmup,
+        n_units=n_units, dram_tax=dram_tax,
+        failover_backoff_cycles=failover_backoff_cycles,
+        failover_retries=failover_retries,
+        failover_timeout_cycles=failover_timeout_cycles,
+    )
+    rows = [fleet_resilience_row(label, spec, faults_spec)
+            for label, faults_spec in rosters]
+    return ExperimentResult(
+        exp_id="fleet_resilience",
+        title=f"fleet resilience: {n_tenants} tenants, {n_units} units, "
+        f"fault drills",
+        paper_claim="by replacing libhwgc, we can swap in a software "
+        "implementation of our GC (§V-E) — at fleet scale that escape "
+        "hatch is failover plus per-tenant software fallback, and the "
+        "SLO report must price the degraded mode honestly",
+        headers=list(RESILIENCE_HEADERS),
+        rows=rows,
+        notes="shared policy only (the dedicated/software baselines have "
+        "no shared pool to fail); latency and availability columns take "
+        "the worst tenant, counts sum; 'cancelled' are collections of "
+        "crashed tenants (their later arrivals are shed and counted); "
+        "conservation (arrived == done + in-flight + shed) is asserted "
+        "per tenant before any row renders.",
+    )
+
+
 #: Registry used by EXPERIMENTS.md generation and the benchmark suite.
 ALL_EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "fig01a": fig01a,
@@ -947,4 +1007,5 @@ ALL_EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "abl_throttle": abl_throttle,
     "fleet_slo": fleet_slo,
     "fleet_lbo": fleet_lbo,
+    "fleet_resilience": fleet_resilience,
 }

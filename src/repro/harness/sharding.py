@@ -168,7 +168,19 @@ SHARDABLE: Dict[str, ShardSpec] = {
         default_fn=lambda kw: tuple(range(kw.get("n_tenants", 4)))),
     "fleet_lbo": ShardSpec(axis="fleet_sizes", merge=_concat_merge,
                            default=(2, 4)),
+    # One cell per fault roster; each cell rebuilds its whole fleet
+    # schedule from the spec, so rows concatenate in axis order.
+    "fleet_resilience": ShardSpec(
+        axis="rosters", merge=_concat_merge,
+        default_fn=lambda kw: _resilience_rosters()),
 }
+
+
+def _resilience_rosters() -> Tuple[Any, ...]:
+    """Late import: sharding must stay importable without the fleet pkg."""
+    from repro.fleet.faults import DEFAULT_RESILIENCE_ROSTERS
+
+    return DEFAULT_RESILIENCE_ROSTERS
 
 
 def axis_values(exp_id: str, kwargs: Dict[str, Any]) -> Optional[List[Any]]:

@@ -99,7 +99,12 @@ class QuerySimulator:
 
     def _advance_through_pauses(self, t: int, work: int) -> int:
         """Completion time of ``work`` cycles of service starting at ``t``,
-        frozen during GC pauses."""
+        frozen during GC pauses. A pause-free timeline (e.g. a crashed
+        tenant whose collections were all cancelled) serves undisturbed —
+        without this guard :meth:`_pause_after` would search the empty
+        pause list forever."""
+        if not self._pauses:
+            return t + work
         while True:
             start, end = self._pause_after(t)
             if t >= start:
@@ -184,6 +189,7 @@ class QueryReplay(QuerySimulator):
         warmup: int = 0,
         horizon: Optional[int] = None,
         shed_backlog_cycles: Optional[int] = None,
+        offline_after_cycle: Optional[int] = None,
     ) -> ReplayResult:
         """Run the schedule; latency is measured from intended arrival.
 
@@ -194,7 +200,12 @@ class QueryReplay(QuerySimulator):
         cutoff (everything serviced counts as completed).
         ``shed_backlog_cycles`` models load shedding: a query arriving when
         the server is running more than that many cycles behind is dropped
-        without service. An empty schedule returns a zero-count result.
+        without service. ``offline_after_cycle`` models a crashed tenant
+        (fleet fault plane): arrivals at or after that cycle are shed —
+        still drawing their service time from the RNG, so the pre-crash
+        prefix replays byte-identically to the fault-free run — and stay
+        accounted by the conservation law. An empty schedule returns a
+        zero-count result.
         """
         rng = random.Random(self.seed)
         records: List[QueryRecord] = []
@@ -213,6 +224,10 @@ class QueryReplay(QuerySimulator):
                 int(rng.lognormvariate(math.log(self.service_mean),
                                        self.service_sigma)),
             )
+            if (offline_after_cycle is not None
+                    and intended >= offline_after_cycle):
+                shed += 1
+                continue
             if (shed_backlog_cycles is not None
                     and prev_completion - intended > shed_backlog_cycles):
                 shed += 1

@@ -115,6 +115,84 @@ class TestSharedQueue:
     @settings(deadline=None, max_examples=60)
     @given(layouts=tenant_layouts(), n_units=st.integers(1, 3),
            dram_tax=st.floats(0.0, 0.5, allow_nan=False))
+    def test_schedule_is_deterministic(self, layouts, n_units, dram_tax):
+        timelines = build_timelines(layouts)
+        first = schedule_fleet("shared", timelines, n_units=n_units,
+                               dram_tax=dram_tax)
+        second = schedule_fleet("shared", timelines, n_units=n_units,
+                                dram_tax=dram_tax)
+        assert first.grants == second.grants
+        assert first.timelines == second.timelines
+
+    @settings(deadline=None, max_examples=60)
+    @given(layouts=tenant_layouts(),
+           extra_units=st.integers(0, 3),
+           dram_tax=st.floats(0.0, 0.5, allow_nan=False))
+    def test_surplus_units_mean_no_tenant_ever_waits(self, layouts,
+                                                     extra_units, dram_tax):
+        # Edge geometry n_units > n_tenants: a tenant has at most one
+        # collection outstanding (its mutator is stopped), so with a
+        # unit to spare every grant starts at its request cycle and
+        # FIFO order is exactly request order.
+        timelines = build_timelines(layouts)
+        n_units = len(timelines) + max(1, extra_units)
+        sched = schedule_fleet("shared", timelines, n_units=n_units,
+                               dram_tax=dram_tax)
+        assert sched.queue_wait_cycles == [0] * len(timelines)
+        assert all(g.grant == g.request for g in sched.grants)
+        assert all(a.request <= b.request
+                   for a, b in zip(sched.grants, sched.grants[1:]))
+
+    def test_unit_tie_break_is_lowest_index(self):
+        # Three idle units, two simultaneous requests: tenant 0 (tie
+        # broken by tenant index) lands on unit 0, tenant 1 on unit 1 —
+        # never units 2/1, never dependent on dict/hash order.
+        tls = build_timelines([[(100_000, 50_000)], [(100_000, 40_000)]])
+        sched = schedule_fleet("shared", tls, n_units=3, dram_tax=0.0)
+        assert [(g.tenant, g.unit) for g in sched.grants] == [(0, 0), (1, 1)]
+
+    @settings(deadline=None, max_examples=60)
+    @given(layouts=tenant_layouts(), dram_tax=st.floats(0.0, 0.5,
+                                                        allow_nan=False))
+    def test_single_unit_without_collisions_is_dedicated_with_tax(
+            self, layouts, dram_tax):
+        # Edge geometry n_units == 1 with well-separated tenants: space
+        # the layouts out so no two requests ever overlap in service,
+        # then the shared queue is pure passthrough-plus-tax — each
+        # pause starts at its request and lasts ceil(base * tax).
+        import math
+
+        from dataclasses import replace
+
+        timelines = build_timelines(layouts)
+        spaced = []
+        offset = 0
+        for tl in timelines:
+            spaced.append(MutatorRunResult(
+                collector=tl.collector,
+                pauses=[replace(p, start_cycle=p.start_cycle + offset)
+                        for p in tl.pauses],
+                mutator_cycles=tl.mutator_cycles + offset))
+            # Far past any taxed service of this tenant's whole window.
+            offset += 2 * tl.total_cycles + 10_000_000
+        sched = schedule_fleet("shared", spaced, n_units=1,
+                               dram_tax=dram_tax)
+        tax = 1.0 + dram_tax * (len(spaced) - 1)
+        assert sched.queue_wait_cycles == [0] * len(spaced)
+        for base, adjusted in zip(spaced, sched.timelines):
+            # Like a dedicated unit whose collector is tax× slower:
+            # each pause lasts ceil(base * tax) and later pauses slip
+            # by the accumulated stretch (the mutator restarts late).
+            drift = 0
+            for want, got in zip(base.pauses, adjusted.pauses):
+                assert got.start_cycle == want.start_cycle + drift
+                assert got.pause_cycles == \
+                    math.ceil(want.pause_cycles * tax)
+                drift += got.pause_cycles - want.pause_cycles
+
+    @settings(deadline=None, max_examples=60)
+    @given(layouts=tenant_layouts(), n_units=st.integers(1, 3),
+           dram_tax=st.floats(0.0, 0.5, allow_nan=False))
     def test_invariants(self, layouts, n_units, dram_tax):
         timelines = build_timelines(layouts)
         sched = schedule_fleet("shared", timelines, n_units=n_units,

@@ -22,6 +22,63 @@ class TestPolicyValidation:
         assert "valid policies" in capsys.readouterr().err
 
 
+class TestCountValidation:
+    @pytest.mark.parametrize("flag,bad,minimum", [
+        ("--units", "0", 1),
+        ("--units", "-2", 1),
+        ("--tenants", "0", 1),
+        ("--tenants", "-1", 1),
+        ("--queries", "0", 1),
+        ("--warmup", "-1", 0),
+        ("--gcs", "0", 1),
+    ])
+    def test_non_positive_counts_exit_2_naming_the_constraint(
+            self, capsys, flag, bad, minimum):
+        assert main(["fleet", flag, bad]) == 2
+        err = capsys.readouterr().err
+        assert f"{flag} must be at least {minimum} (got {bad})" in err
+
+    def test_valid_counts_are_not_rejected_by_the_validator(self, capsys):
+        # --warmup 0 is legal (minimum is 0, not 1): the validator must
+        # not reject the boundary value.  Smallest possible run.
+        rc = main(["fleet", "--scale", "0.008", "--tenants", "1",
+                   "--queries", "1", "--warmup", "0", "--gcs", "1",
+                   "--policy", "dedicated"])
+        assert rc == 0
+        assert "## fleet_slo" in capsys.readouterr().out
+
+
+class TestFaultsFlag:
+    @pytest.mark.parametrize("spec", [
+        "explode:u0",            # unknown kind
+        "crash:x1",              # unknown target class
+        "crash:u0+5",            # crash forbids a duration
+        "brownout:u0",           # brownout requires one
+        "slow:u0x1.0",           # factor must exceed 1.0
+        "crash:",                # missing target
+    ])
+    def test_bad_grammar_exits_2(self, capsys, spec):
+        assert main(["fleet", "--faults", spec]) == 2
+        assert capsys.readouterr().err.strip()
+
+    def test_out_of_range_target_exits_2(self, capsys):
+        assert main(["fleet", "--units", "2", "--tenants", "2",
+                     "--faults", "crash:u5"]) == 2
+        assert "u5" in capsys.readouterr().err
+
+    def test_faults_run_prints_the_resilience_table(self, capsys):
+        rc = main(["fleet", "--scale", "0.008", "--tenants", "2",
+                   "--queries", "200", "--warmup", "20", "--gcs", "1",
+                   "--units", "2", "--faults", "slow:u0x2", "--digest"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "## fleet_resilience" in out
+        assert "avail %" in out and "failovers" in out
+        assert "slow:u0x2" in out
+        digest = out.strip().splitlines()[-1]
+        assert len(digest) == 64 and int(digest, 16) >= 0
+
+
 class TestFleetCommand:
     def test_prints_table_and_digest(self, capsys):
         rc = main(["fleet", "--scale", "0.008", "--tenants", "2",
